@@ -1,0 +1,235 @@
+package mlpsim_test
+
+// One benchmark per paper exhibit (Tables 1, 3-6; Figures 2, 4-11): each
+// regenerates its table/figure on a reduced setup and reports the headline
+// number as a custom metric, so `go test -bench=.` both exercises every
+// experiment path end to end and prints the reproduced values. Engine
+// micro-benchmarks at the bottom measure simulator throughput.
+
+import (
+	"testing"
+
+	"mlpsim"
+	"mlpsim/internal/annotate"
+	"mlpsim/internal/core"
+	"mlpsim/internal/cyclesim"
+	"mlpsim/internal/experiments"
+	"mlpsim/internal/trace"
+	"mlpsim/internal/workload"
+)
+
+// benchSetup is small enough for repeated runs on one core.
+func benchSetup() experiments.Setup {
+	s := experiments.Quick(1)
+	s.Warmup = 150_000
+	s.Measure = 400_000
+	s.Workloads = []workload.Config{workload.Database(1)}
+	return s
+}
+
+func BenchmarkTable1(b *testing.B) {
+	s := benchSetup()
+	for i := 0; i < b.N; i++ {
+		res := experiments.RunTable1(s)
+		b.ReportMetric(res.Rows[1].MLP, "MLP@1000")
+	}
+}
+
+func BenchmarkFigure2(b *testing.B) {
+	s := benchSetup()
+	for i := 0; i < b.N; i++ {
+		res := experiments.RunFigure2(s)
+		b.ReportMetric(res.Series[0].MeanDistance, "mean-inter-miss")
+	}
+}
+
+func BenchmarkTable3(b *testing.B) {
+	s := benchSetup()
+	for i := 0; i < b.N; i++ {
+		res := experiments.RunTable3(s)
+		b.ReportMetric(res.MaxRelError(1000), "max-rel-err@1000")
+	}
+}
+
+func BenchmarkTable4(b *testing.B) {
+	s := benchSetup()
+	for i := 0; i < b.N; i++ {
+		res := experiments.RunTable4(s)
+		b.ReportMetric(res.MaxRelError(), "max-rel-err")
+	}
+}
+
+func BenchmarkTable5(b *testing.B) {
+	s := benchSetup()
+	for i := 0; i < b.N; i++ {
+		res := experiments.RunTable5(s)
+		b.ReportMetric(res.Rows[0].StallOnUse, "MLP-stall-on-use")
+	}
+}
+
+func BenchmarkFigure4(b *testing.B) {
+	s := benchSetup()
+	for i := 0; i < b.N; i++ {
+		res := experiments.RunFigure4(s)
+		b.ReportMetric(res.Lookup("Database", 64, core.ConfigC).MLP, "MLP-64C")
+	}
+}
+
+func BenchmarkFigure5(b *testing.B) {
+	s := benchSetup()
+	for i := 0; i < b.N; i++ {
+		res := experiments.RunFigure5(s)
+		fr := res.Cells[0].Result.LimiterFracs()
+		b.ReportMetric(fr[core.LimMaxwin], "maxwin-frac")
+	}
+}
+
+func BenchmarkFigure6(b *testing.B) {
+	s := benchSetup()
+	for i := 0; i < b.N; i++ {
+		res := experiments.RunFigure6(s)
+		b.ReportMetric(res.INF["Database"], "MLP-INF")
+	}
+}
+
+func BenchmarkFigure7(b *testing.B) {
+	s := benchSetup()
+	for i := 0; i < b.N; i++ {
+		res := experiments.RunFigure7(s)
+		b.ReportMetric(res.Cells[0].MLP, "MLP-1MB")
+	}
+}
+
+func BenchmarkFigure8(b *testing.B) {
+	s := benchSetup()
+	for i := 0; i < b.N; i++ {
+		res := experiments.RunFigure8(s)
+		b.ReportMetric(res.Rows[0].RAE, "MLP-RAE")
+	}
+}
+
+func BenchmarkTable6(b *testing.B) {
+	s := benchSetup()
+	for i := 0; i < b.N; i++ {
+		res := experiments.RunTable6(s)
+		b.ReportMetric(res.Rows[0].Correct, "vp-correct-frac")
+	}
+}
+
+func BenchmarkFigure9(b *testing.B) {
+	s := benchSetup()
+	for i := 0; i < b.N; i++ {
+		res := experiments.RunFigure9(s)
+		b.ReportMetric(res.Rows[len(res.Rows)-1].PerfGainPct, "vp-rae-gain-pct")
+	}
+}
+
+func BenchmarkFigure10(b *testing.B) {
+	s := benchSetup()
+	for i := 0; i < b.N; i++ {
+		res := experiments.RunFigure10(s)
+		b.ReportMetric(res.Rows[0].PerfVPBP, "MLP-RAE-perfVPBP")
+	}
+}
+
+func BenchmarkFigure11(b *testing.B) {
+	s := benchSetup()
+	for i := 0; i < b.N; i++ {
+		res := experiments.RunFigure11(s)
+		var rae float64
+		for _, r := range res.Rows {
+			if r.Config == "RAE" {
+				rae = r.GainPct
+			}
+		}
+		b.ReportMetric(rae, "rae-gain-pct")
+	}
+}
+
+// --- simulator micro-benchmarks --------------------------------------------
+
+// BenchmarkGenerator measures raw trace generation throughput.
+func BenchmarkGenerator(b *testing.B) {
+	g := workload.MustNew(workload.Database(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := g.Next(); !ok {
+			b.Fatal("generator ended")
+		}
+	}
+}
+
+// BenchmarkAnnotator measures generation + cache/predictor annotation.
+func BenchmarkAnnotator(b *testing.B) {
+	a := annotate.New(workload.MustNew(workload.Database(1)), annotate.Config{})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := a.Next(); !ok {
+			b.Fatal("stream ended")
+		}
+	}
+}
+
+// BenchmarkMLPsimEngine measures end-to-end epoch-model simulation.
+func BenchmarkMLPsimEngine(b *testing.B) {
+	a := annotate.New(workload.MustNew(workload.Database(1)), annotate.Config{})
+	cfg := core.Default()
+	cfg.MaxInstructions = int64(b.N)
+	b.ResetTimer()
+	res := core.NewEngine(a, cfg).Run()
+	if res.Instructions != int64(b.N) {
+		b.Fatalf("simulated %d of %d", res.Instructions, b.N)
+	}
+}
+
+// BenchmarkMLPsimRunahead measures runahead-mode simulation.
+func BenchmarkMLPsimRunahead(b *testing.B) {
+	a := annotate.New(workload.MustNew(workload.Database(1)), annotate.Config{})
+	cfg := core.Default().WithIssue(core.ConfigD).WithRunahead()
+	cfg.MaxInstructions = int64(b.N)
+	b.ResetTimer()
+	res := core.NewEngine(a, cfg).Run()
+	if res.Instructions != int64(b.N) {
+		b.Fatalf("simulated %d of %d", res.Instructions, b.N)
+	}
+}
+
+// BenchmarkCycleSim measures the cycle-level simulator.
+func BenchmarkCycleSim(b *testing.B) {
+	a := annotate.New(workload.MustNew(workload.Database(1)), annotate.Config{})
+	cfg := cyclesim.Default(1000)
+	cfg.MaxInstructions = int64(b.N)
+	b.ResetTimer()
+	res := cyclesim.New(a, cfg).Run()
+	if res.Instructions != int64(b.N) {
+		b.Fatalf("retired %d of %d", res.Instructions, b.N)
+	}
+}
+
+// BenchmarkTraceEncode measures binary trace encoding.
+func BenchmarkTraceEncode(b *testing.B) {
+	insts := trace.Collect(trace.Limit(workload.MustNew(workload.Database(1)), 100_000), -1)
+	enc, err := trace.NewEncoder(discard{}, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := enc.Encode(insts[i%len(insts)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+type discard struct{}
+
+func (discard) Write(p []byte) (int, error) { return len(p), nil }
+
+// BenchmarkFacadeSimulate measures the public API end to end.
+func BenchmarkFacadeSimulate(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := mlpsim.Simulate(mlpsim.Database(1), mlpsim.DefaultProcessor(),
+			mlpsim.Options{Warmup: 100_000, Measure: 200_000})
+		b.ReportMetric(res.MLP(), "MLP")
+	}
+}

@@ -1,0 +1,82 @@
+// Command experiments regenerates the paper's tables and figures.
+//
+// Examples:
+//
+//	experiments                 # everything, paper order
+//	experiments -only table3    # one exhibit
+//	experiments -list           # available exhibits
+//	experiments -warmup 5000000 -measure 20000000   # bigger runs
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"mlpsim/internal/experiments"
+)
+
+func main() {
+	var (
+		only    = flag.String("only", "", "run a single exhibit (e.g. table3, figure8)")
+		list    = flag.Bool("list", false, "list available exhibits")
+		seed    = flag.Int64("seed", 1, "workload generation seed")
+		warmup  = flag.Int64("warmup", 2_000_000, "warm-up instructions per run")
+		measure = flag.Int64("measure", 8_000_000, "measured instructions per run")
+		par     = flag.Int("parallel", 0, "concurrent simulator runs (0 = GOMAXPROCS)")
+		csvDir  = flag.String("csv", "", "also write each exhibit's rows as CSV into this directory")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, r := range experiments.All() {
+			fmt.Printf("%-10s %s\n", r.ID, r.Title)
+		}
+		return
+	}
+
+	setup := experiments.Default(*seed)
+	setup.Warmup = *warmup
+	setup.Measure = *measure
+	setup.Parallelism = *par
+
+	runners := experiments.All()
+	if *only != "" {
+		r := experiments.Find(*only)
+		if r == nil {
+			fmt.Fprintf(os.Stderr, "experiments: unknown exhibit %q (use -list)\n", *only)
+			os.Exit(1)
+		}
+		runners = []experiments.Runner{*r}
+	}
+
+	if *csvDir != "" {
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+	}
+	for _, r := range runners {
+		start := time.Now()
+		out := r.Run(setup)
+		fmt.Println(out)
+		fmt.Printf("[%s completed in %s]\n\n", r.ID, time.Since(start).Round(time.Millisecond))
+		if *csvDir != "" {
+			if err := writeCSV(filepath.Join(*csvDir, r.ID+".csv"), out); err != nil {
+				fmt.Fprintln(os.Stderr, "experiments: csv:", err)
+			}
+		}
+	}
+}
+
+// writeCSV stores one exhibit's rows.
+func writeCSV(path string, exhibit interface{}) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return experiments.WriteCSV(f, exhibit)
+}

@@ -1,0 +1,178 @@
+// Command mlpsim runs the epoch-model MLP simulator on a synthetic
+// workload or a stored binary trace and prints MLP, access counts and the
+// epoch-limiter breakdown.
+//
+// Examples:
+//
+//	mlpsim -workload database -window 64 -issue C
+//	mlpsim -workload jbb -window 64 -rob 256 -issue D
+//	mlpsim -workload database -issue D -runahead
+//	mlpsim -trace db.trc -issue E -window 2048
+//	mlpsim -workload web -inorder use
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"mlpsim/internal/annotate"
+	"mlpsim/internal/bpred"
+	"mlpsim/internal/core"
+	"mlpsim/internal/mem"
+	"mlpsim/internal/prefetch"
+	"mlpsim/internal/trace"
+	"mlpsim/internal/vpred"
+	"mlpsim/internal/workload"
+)
+
+func main() {
+	var (
+		workloadName = flag.String("workload", "database", "workload: database, jbb, web, chase, stream, serialized, ibound, strided, storeheavy")
+		traceFile    = flag.String("trace", "", "binary trace file (overrides -workload)")
+		seed         = flag.Int64("seed", 1, "workload generation seed")
+		warmup       = flag.Int64("warmup", 2_000_000, "warm-up instructions")
+		measure      = flag.Int64("measure", 8_000_000, "measured instructions (0 = rest of trace)")
+		window       = flag.Int("window", 64, "issue window entries")
+		rob          = flag.Int("rob", 0, "reorder buffer entries (0 = same as window)")
+		fetchBuf     = flag.Int("fetchbuf", 32, "fetch buffer entries")
+		issue        = flag.String("issue", "C", "issue configuration A-E (Table 2)")
+		inorder      = flag.String("inorder", "", "in-order mode: miss or use (overrides window flags)")
+		runahead     = flag.Bool("runahead", false, "enable runahead execution")
+		maxRunahead  = flag.Int("max-runahead", 2048, "maximum runahead distance")
+		vp           = flag.Bool("vp", false, "enable missing-load value prediction (16K last-value)")
+		perfVP       = flag.Bool("perf-vp", false, "perfect value prediction (limit study)")
+		perfBP       = flag.Bool("perf-bp", false, "perfect branch prediction (limit study)")
+		perfI        = flag.Bool("perf-ifetch", false, "perfect instruction prefetching (limit study)")
+		l2           = flag.Int("l2", 2<<20, "L2 capacity in bytes")
+		mshrs        = flag.Int("mshrs", 0, "miss-status holding registers (0 = unlimited)")
+		storeBuf     = flag.Int("storebuf", 0, "store buffer entries (0 = infinite)")
+		ipf          = flag.Int("iprefetch", 0, "hardware sequential I-prefetch depth (0 = off)")
+		dpf          = flag.Int("dprefetch", 0, "hardware stride D-prefetch depth (0 = off)")
+		epochs       = flag.Bool("epochs", false, "print per-epoch detail (first 50 epochs)")
+		timeline     = flag.Bool("timeline", false, "print a Figure-1-style epoch timeline (first 32 epochs)")
+	)
+	flag.Parse()
+
+	src, err := openSource(*traceFile, *workloadName, *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mlpsim:", err)
+		os.Exit(1)
+	}
+
+	acfg := annotate.Config{Hierarchy: mem.DefaultHierarchy().WithL2Size(*l2)}
+	if *ipf > 0 {
+		acfg.IPrefetch = prefetch.NewSequential(*ipf, mem.IFetch)
+	}
+	if *dpf > 0 {
+		acfg.DPrefetch = prefetch.NewStride(1024, *dpf)
+	}
+	if *vp {
+		acfg.Value = vpred.NewLastValue(vpred.DefaultEntries)
+	}
+	if *perfBP {
+		acfg.Branch = bpred.Perfect{}
+	}
+	ann := annotate.New(src, acfg)
+	ann.Warm(*warmup)
+
+	cfg := core.Default()
+	cfg.IssueWindow = *window
+	cfg.ROB = *rob
+	if cfg.ROB == 0 {
+		cfg.ROB = *window
+	}
+	cfg.FetchBuffer = *fetchBuf
+	ic, err := core.ParseIssueConfig(*issue)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mlpsim:", err)
+		os.Exit(1)
+	}
+	cfg.Issue = ic
+	switch *inorder {
+	case "":
+	case "miss":
+		cfg.Mode = core.InOrderStallOnMiss
+	case "use":
+		cfg.Mode = core.InOrderStallOnUse
+	default:
+		fmt.Fprintf(os.Stderr, "mlpsim: unknown -inorder mode %q\n", *inorder)
+		os.Exit(1)
+	}
+	cfg.Runahead = *runahead
+	cfg.MaxRunahead = *maxRunahead
+	cfg.MSHRs = *mshrs
+	cfg.StoreBuffer = *storeBuf
+	cfg.ValuePredict = *vp
+	cfg.PerfectVP = *perfVP
+	cfg.PerfectBP = *perfBP
+	cfg.PerfectIFetch = *perfI
+	cfg.MaxInstructions = *measure
+
+	if *epochs {
+		n := 0
+		cfg.OnEpoch = func(ep core.Epoch) {
+			if n < 50 {
+				fmt.Printf("epoch %4d: trigger=%-10d accesses=%2d (D=%d P=%d I=%d) limiter=%s\n",
+					ep.Seq, ep.Trigger, ep.Accesses, ep.DAccesses, ep.PAccesses, ep.IAccesses, ep.Limiter)
+			}
+			n++
+		}
+	}
+	var tl core.Timeline
+	if *timeline {
+		prev := cfg.OnEpoch
+		cfg.OnEpoch = func(ep core.Epoch) {
+			tl.OnEpoch(ep)
+			if prev != nil {
+				prev(ep)
+			}
+		}
+	}
+	if err := cfg.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, "mlpsim:", err)
+		os.Exit(1)
+	}
+
+	res := core.NewEngine(ann, cfg).Run()
+	if *timeline {
+		fmt.Println(tl.String())
+	}
+
+	fmt.Printf("configuration:    %s\n", cfg.Name())
+	fmt.Printf("instructions:     %d\n", res.Instructions)
+	fmt.Printf("off-chip accesses: %d  (loads %d, prefetches %d, ifetches %d)\n",
+		res.Accesses, res.DAccesses, res.PAccesses, res.IAccesses)
+	fmt.Printf("epochs:           %d\n", res.Epochs)
+	fmt.Printf("miss rate:        %.3f / 100 instructions\n", res.MissRatePer100())
+	fmt.Printf("MLP:              %.3f\n", res.MLP())
+	if res.SAccesses > 0 {
+		fmt.Printf("store misses:     %d (store MLP %.3f)\n", res.SAccesses, res.StoreMLP())
+	}
+	fmt.Println("epoch limiters:")
+	fr := res.LimiterFracs()
+	for l := 0; l < core.NumLimiters; l++ {
+		if res.Limiters[l] == 0 {
+			continue
+		}
+		fmt.Printf("  %-14s %6.1f%%  (%d)\n", core.Limiter(l).String(), 100*fr[l], res.Limiters[l])
+	}
+}
+
+// openSource returns the instruction source: a decoded trace file or a
+// preset workload generator.
+func openSource(traceFile, name string, seed int64) (trace.Source, error) {
+	if traceFile != "" {
+		f, err := os.Open(traceFile)
+		if err != nil {
+			return nil, err
+		}
+		// The file stays open for the process lifetime.
+		return trace.NewReaderSource(f)
+	}
+	cfg, err := workload.ByName(name, seed)
+	if err != nil {
+		return nil, err
+	}
+	return workload.MustNew(cfg), nil
+}

@@ -1,0 +1,87 @@
+// Command tracegen generates a synthetic workload trace and stores it in
+// the binary trace format consumed by cmd/mlpsim.
+//
+// Example:
+//
+//	tracegen -workload database -n 10000000 -o db.trc
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"mlpsim/internal/trace"
+	"mlpsim/internal/workload"
+)
+
+func main() {
+	var (
+		name = flag.String("workload", "database", "workload: database, jbb, web, chase, stream, serialized, ibound")
+		seed = flag.Int64("seed", 1, "generation seed")
+		n    = flag.Int64("n", 10_000_000, "instructions to generate")
+		out  = flag.String("o", "", "output file (required)")
+	)
+	flag.Parse()
+	if *out == "" {
+		fmt.Fprintln(os.Stderr, "tracegen: -o output file is required")
+		os.Exit(1)
+	}
+
+	var cfg workload.Config
+	switch *name {
+	case "database", "db":
+		cfg = workload.Database(*seed)
+	case "jbb", "specjbb", "specjbb2000":
+		cfg = workload.JBB(*seed)
+	case "web", "specweb", "specweb99":
+		cfg = workload.Web(*seed)
+	case "chase", "pointerchase":
+		cfg = workload.PointerChase(*seed)
+	case "stream":
+		cfg = workload.Stream(*seed)
+	case "serialized":
+		cfg = workload.Serialized(*seed)
+	case "ibound":
+		cfg = workload.IBound(*seed)
+	default:
+		fmt.Fprintf(os.Stderr, "tracegen: unknown workload %q\n", *name)
+		os.Exit(1)
+	}
+
+	f, err := os.Create(*out)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tracegen:", err)
+		os.Exit(1)
+	}
+	defer f.Close()
+
+	enc, err := trace.NewEncoder(f, uint64(*n))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tracegen:", err)
+		os.Exit(1)
+	}
+	g := workload.MustNew(cfg)
+	src := trace.Limit(g, *n)
+	for {
+		in, ok := src.Next()
+		if !ok {
+			break
+		}
+		if err := enc.Encode(in); err != nil {
+			fmt.Fprintln(os.Stderr, "tracegen:", err)
+			os.Exit(1)
+		}
+	}
+	if err := enc.Flush(); err != nil {
+		fmt.Fprintln(os.Stderr, "tracegen:", err)
+		os.Exit(1)
+	}
+	info, err := f.Stat()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tracegen:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %d instructions to %s (%d bytes, %.2f bytes/inst)\n",
+		enc.Count(), *out, info.Size(), float64(info.Size())/float64(enc.Count()))
+}

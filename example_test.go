@@ -1,0 +1,51 @@
+package mlpsim_test
+
+import (
+	"fmt"
+
+	"mlpsim"
+)
+
+// The minimal session: measure the database workload's MLP under the
+// paper's default 64-entry configuration-C processor.
+func ExampleSimulate() {
+	res := mlpsim.Simulate(mlpsim.Database(1), mlpsim.DefaultProcessor(),
+		mlpsim.Options{Warmup: 100_000, Measure: 200_000})
+	fmt.Printf("MLP > 1: %t\n", res.MLP() > 1)
+	// Output: MLP > 1: true
+}
+
+// Runahead execution removes the window-size and serialization
+// termination conditions (§3.5); it beats any practical window.
+func ExampleProcessorConfig_WithRunahead() {
+	opts := mlpsim.Options{Warmup: 100_000, Measure: 200_000}
+	conv := mlpsim.Simulate(mlpsim.Database(2),
+		mlpsim.DefaultProcessor().WithIssue(mlpsim.ConfigD), opts)
+	rae := mlpsim.Simulate(mlpsim.Database(2),
+		mlpsim.DefaultProcessor().WithIssue(mlpsim.ConfigD).WithRunahead(), opts)
+	fmt.Printf("runahead beats conventional: %t\n", rae.MLP() > conv.MLP())
+	// Output: runahead beats conventional: true
+}
+
+// A pointer chase cannot overlap its misses: every miss address depends
+// on the previous miss's data, so MLP is exactly 1 at any window size.
+func ExampleSimulate_pointerChase() {
+	res := mlpsim.Simulate(mlpsim.PointerChase(1),
+		mlpsim.DefaultProcessor().WithWindow(2048).WithIssue(mlpsim.ConfigE),
+		mlpsim.Options{Warmup: 50_000, Measure: 100_000})
+	fmt.Printf("MLP = %.0f\n", res.MLP())
+	// Output: MLP = 1
+}
+
+// Epoch burst sizes feed the finite-bandwidth memory model (§4.1's
+// queueing-model use case).
+func ExampleBurstCollector() {
+	col := mlpsim.NewBurstCollector(32)
+	cfg := mlpsim.DefaultProcessor()
+	cfg.OnEpoch = col.OnEpoch
+	mlpsim.Simulate(mlpsim.Database(3), cfg, mlpsim.Options{Warmup: 100_000, Measure: 200_000})
+	one := col.MeanEpochCycles(mlpsim.MemoryModel{Channels: 1, ServiceCycles: 120, LeadCycles: 880})
+	many := col.MeanEpochCycles(mlpsim.MemoryModel{Channels: 8, ServiceCycles: 120, LeadCycles: 880})
+	fmt.Printf("one channel slower: %t\n", one > many)
+	// Output: one channel slower: true
+}

@@ -1,0 +1,57 @@
+// Limit study (§5.6): how much MLP headroom remains beyond runahead
+// execution if instruction prefetching, branch prediction or value
+// prediction were perfect?
+package main
+
+import (
+	"fmt"
+
+	"mlpsim"
+)
+
+func main() {
+	opts := mlpsim.Options{Warmup: 500_000, Measure: 2_000_000}
+
+	base := mlpsim.DefaultProcessor().WithIssue(mlpsim.ConfigD).WithRunahead()
+	variants := []struct {
+		name string
+		mod  func(*mlpsim.ProcessorConfig)
+	}{
+		{"RAE", func(*mlpsim.ProcessorConfig) {}},
+		{"RAE.perfI", func(c *mlpsim.ProcessorConfig) { c.PerfectIFetch = true }},
+		{"RAE.perfVP", func(c *mlpsim.ProcessorConfig) { c.PerfectVP = true }},
+		{"RAE.perfBP", func(c *mlpsim.ProcessorConfig) { c.PerfectBP = true }},
+		{"RAE.perfVP.perfBP", func(c *mlpsim.ProcessorConfig) {
+			c.PerfectVP = true
+			c.PerfectBP = true
+		}},
+	}
+
+	fmt.Printf("%-14s", "workload")
+	for _, v := range variants {
+		fmt.Printf("%19s", v.name)
+	}
+	fmt.Println()
+
+	for _, w := range mlpsim.Workloads(1) {
+		fmt.Printf("%-14s", w.Name)
+		var first float64
+		for i, v := range variants {
+			cfg := base
+			v.mod(&cfg)
+			res := mlpsim.Simulate(w, cfg, opts)
+			if i == 0 {
+				first = res.MLP()
+				fmt.Printf("%19.2f", first)
+			} else {
+				fmt.Printf("%11.2f (%+3.0f%%)", res.MLP(), 100*(res.MLP()/first-1))
+			}
+		}
+		fmt.Println()
+	}
+
+	fmt.Println("\nPerfect branch prediction removes unresolvable mispredictions;")
+	fmt.Println("perfect value prediction cuts dependent-miss chains; combining")
+	fmt.Println("them leaves only true memory-level structure. There is still")
+	fmt.Println("considerable MLP headroom beyond runahead execution (§5.6).")
+}

@@ -1,0 +1,48 @@
+// Multithreaded MLP (the paper's first §7 future-work item): several
+// hardware threads share the cache hierarchy. Per-thread MLP barely moves
+// — each thread still faces the same window termination conditions — but
+// the machine-level MLP bound scales with the thread count, because one
+// thread's stall epochs overlap another's. Cache contention pushes
+// per-thread miss rates up as threads are added, which is the price paid
+// for that overlap.
+package main
+
+import (
+	"fmt"
+
+	"mlpsim"
+)
+
+func main() {
+	fmt.Println("Multithreaded MLP — database workload copies sharing one L2")
+	fmt.Printf("%-8s %-22s %-11s %-22s\n",
+		"threads", "per-thread MLP", "combined", "miss rate solo→shared")
+
+	for _, k := range []int{1, 2, 4} {
+		threads := make([]mlpsim.Workload, k)
+		for t := range threads {
+			threads[t] = mlpsim.Database(int64(1 + t*100))
+		}
+		res := mlpsim.SimulateSMT(mlpsim.SMTConfig{
+			Threads:   threads,
+			Processor: mlpsim.DefaultProcessor(),
+			Warmup:    400_000,
+			Measure:   800_000,
+		})
+		per, rates := "", ""
+		for t := 0; t < k; t++ {
+			if t > 0 {
+				per += " "
+				rates += " "
+			}
+			per += fmt.Sprintf("%.2f", res.PerThread[t].MLP())
+			rates += fmt.Sprintf("%.2f→%.2f", res.SoloMissRate[t], res.SharedMissRate[t])
+		}
+		fmt.Printf("%-8d %-22s %.2f–%-6.2f %-22s\n",
+			k, per, res.CombinedLower, res.CombinedUpper, rates)
+	}
+
+	fmt.Println("\nThe combined range brackets a real SMT: the lower bound is a")
+	fmt.Println("switch-on-event machine with no overlap, the upper bound is")
+	fmt.Println("perfect inter-thread latency overlap.")
+}

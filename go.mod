@@ -1,0 +1,3 @@
+module mlpsim
+
+go 1.22

@@ -1,0 +1,267 @@
+// Package annotate performs the functional first pass over a trace: it
+// runs every instruction through the cache hierarchy and the branch
+// predictor in program order and marks the events the epoch model and the
+// cycle simulator consume — off-chip data misses (Dmiss), off-chip useful
+// prefetches (Pmiss), off-chip instruction fetches (Imiss) and branch
+// mispredictions. It also classifies missing-load value predictability
+// (Table 6).
+//
+// Running classification once, in trace order, keeps the miss stream
+// identical across simulators so that MLPsim and the cycle-accurate
+// simulator disagree only about *timing*, exactly as in the paper's
+// validation experiment (Table 3).
+package annotate
+
+import (
+	"mlpsim/internal/bpred"
+	"mlpsim/internal/isa"
+	"mlpsim/internal/mem"
+	"mlpsim/internal/prefetch"
+	"mlpsim/internal/trace"
+	"mlpsim/internal/vpred"
+)
+
+// Inst is one dynamic instruction with its microarchitectural events.
+type Inst struct {
+	isa.Inst
+	// Index is the 0-based position in the dynamic instruction stream.
+	Index int64
+	// DMiss marks a load/atomic whose data access goes off-chip.
+	DMiss bool
+	// PMiss marks a software prefetch whose access goes off-chip.
+	PMiss bool
+	// IMiss marks an instruction whose fetch goes off-chip (set on the
+	// first instruction of the missing line).
+	IMiss bool
+	// SMiss marks a store whose write-allocate access goes off-chip.
+	// Store misses are invisible to MLP with infinite store buffers (the
+	// paper's baseline assumption) but drive the store-MLP extension.
+	SMiss bool
+	// Mispred marks a mispredicted branch.
+	Mispred bool
+	// VPOutcome is the value-prediction outcome for DMiss loads (NoPredict
+	// when value prediction is disabled or the instruction is not a
+	// missing load).
+	VPOutcome vpred.Outcome
+	// Line is the L2 line address of the data access (memory instructions
+	// only); off-chip accesses to the same line in one epoch merge.
+	Line uint64
+	// ILine is the L2 line address of the instruction's fetch.
+	ILine uint64
+}
+
+// OffChip reports whether the instruction initiates any off-chip access.
+func (in *Inst) OffChip() bool { return in.DMiss || in.PMiss || in.IMiss }
+
+// Config selects the hierarchy and predictors used for annotation.
+type Config struct {
+	// Hierarchy is the cache configuration; the zero value selects the
+	// paper's default hierarchy.
+	Hierarchy mem.HierarchyConfig
+	// Branch is the branch predictor; nil selects the default gshare.
+	// Use bpred.Perfect{} for the limit study's perfect prediction.
+	Branch bpred.Predictor
+	// Value is the missing-load value predictor; nil disables value
+	// prediction (all outcomes NoPredict). Use vpred.Perfect{} for the
+	// limit study.
+	Value vpred.Predictor
+	// IPrefetch, when non-nil, is a hardware sequential instruction
+	// prefetcher (the §5.6 extension): lines it covers never become
+	// I-misses.
+	IPrefetch *prefetch.Sequential
+	// DPrefetch, when non-nil, is a hardware stride data prefetcher:
+	// loads whose lines it covers never become D-misses.
+	DPrefetch *prefetch.Stride
+}
+
+// Stats summarizes the annotated stream since the last ResetStats.
+type Stats struct {
+	Instructions uint64
+	DMisses      uint64
+	PMisses      uint64
+	IMisses      uint64
+	OffChip      uint64 // DMisses + PMisses + IMisses
+	SMisses      uint64 // off-chip store misses (not in OffChip)
+	Branches     uint64
+	Mispredicts  uint64
+	Prefetches   uint64 // prefetch instructions seen
+	PrefetchUsed uint64 // off-chip prefetches whose line was later demanded
+	VP           vpred.Stats
+}
+
+// MissRatePer100 returns off-chip accesses per 100 instructions — the
+// paper's "L2 Miss Rate (per 100 insts)" of Table 1.
+func (s Stats) MissRatePer100() float64 {
+	if s.Instructions == 0 {
+		return 0
+	}
+	return 100 * float64(s.OffChip) / float64(s.Instructions)
+}
+
+// Annotator wraps a trace source and yields annotated instructions.
+type Annotator struct {
+	src trace.Source
+	h   *mem.Hierarchy
+	bp  bpred.Predictor
+	vp  vpred.Predictor
+
+	idx       int64
+	prevILine uint64
+	haveILine bool
+	stats     Stats
+
+	ipf *prefetch.Sequential
+	dpf *prefetch.Stride
+
+	// pendingPrefetch maps off-chip-prefetched lines to their issue index
+	// so later demand accesses can mark them useful.
+	pendingPrefetch map[uint64]int64
+}
+
+// New builds an annotator over src.
+func New(src trace.Source, cfg Config) *Annotator {
+	if cfg.Hierarchy.L2.SizeBytes == 0 {
+		cfg.Hierarchy = mem.DefaultHierarchy()
+	}
+	bp := cfg.Branch
+	if bp == nil {
+		bp = bpred.NewGshare(bpred.DefaultGshare())
+	}
+	vp := cfg.Value
+	if vp == nil {
+		vp = vpred.None{}
+	}
+	return &Annotator{
+		src:             src,
+		h:               mem.NewHierarchy(cfg.Hierarchy),
+		bp:              bp,
+		vp:              vp,
+		ipf:             cfg.IPrefetch,
+		dpf:             cfg.DPrefetch,
+		pendingPrefetch: make(map[uint64]int64),
+	}
+}
+
+// Next implements a trace.Source-like iterator over annotated
+// instructions.
+func (a *Annotator) Next() (Inst, bool) {
+	raw, ok := a.src.Next()
+	if !ok {
+		return Inst{}, false
+	}
+	out := Inst{Inst: raw, Index: a.idx}
+	a.idx++
+	a.stats.Instructions++
+
+	// Instruction fetch: one hierarchy access per new line. A hardware
+	// instruction prefetcher runs behind the demand stream and covers
+	// upcoming sequential lines.
+	out.ILine = a.h.LineAddr(raw.PC)
+	if !a.haveILine || out.ILine != a.prevILine {
+		if a.h.Access(mem.IFetch, raw.PC) {
+			out.IMiss = true
+			a.stats.IMisses++
+		}
+		if a.ipf != nil {
+			a.ipf.OnAccess(a.h, raw.PC)
+		}
+		a.prevILine = out.ILine
+		a.haveILine = true
+	}
+
+	switch {
+	case raw.Class == isa.Prefetch:
+		out.Line = a.h.LineAddr(raw.EA)
+		a.stats.Prefetches++
+		if a.h.Access(mem.DRead, raw.EA) {
+			out.PMiss = true
+			a.stats.PMisses++
+			a.pendingPrefetch[out.Line] = out.Index
+		}
+	case raw.Class.IsMemRead():
+		out.Line = a.h.LineAddr(raw.EA)
+		if a.h.Access(mem.DRead, raw.EA) {
+			out.DMiss = true
+			a.stats.DMisses++
+			out.VPOutcome = vpred.Observe(a.vp, &raw)
+			a.stats.VP.Add(out.VPOutcome)
+		}
+		if a.dpf != nil && raw.Class == isa.Load {
+			a.dpf.OnLoad(a.h, raw.PC, raw.EA)
+		}
+		a.consumePrefetch(out.Line)
+	case raw.Class == isa.Store:
+		out.Line = a.h.LineAddr(raw.EA)
+		// Stores allocate (write-allocate) but never count toward MLP:
+		// with infinite store buffers their misses are invisible. The
+		// SMiss flag feeds the finite-store-buffer extension.
+		if a.h.Access(mem.DWrite, raw.EA) {
+			out.SMiss = true
+			a.stats.SMisses++
+		}
+		a.consumePrefetch(out.Line)
+	case raw.Class == isa.Branch:
+		a.stats.Branches++
+		if bpred.Mispredicted(a.bp, &raw) {
+			out.Mispred = true
+			a.stats.Mispredicts++
+		}
+	}
+	return out, true
+}
+
+// consumePrefetch marks a pending prefetched line as used.
+func (a *Annotator) consumePrefetch(line uint64) {
+	if len(a.pendingPrefetch) == 0 {
+		return
+	}
+	if _, ok := a.pendingPrefetch[line]; ok {
+		delete(a.pendingPrefetch, line)
+		a.stats.PrefetchUsed++
+	}
+}
+
+// Stats returns the counters accumulated since the last ResetStats.
+func (a *Annotator) Stats() Stats {
+	s := a.stats
+	s.OffChip = s.DMisses + s.PMisses + s.IMisses
+	return s
+}
+
+// Hierarchy exposes the underlying cache hierarchy (for its detailed
+// statistics).
+func (a *Annotator) Hierarchy() *mem.Hierarchy { return a.h }
+
+// ResetStats zeroes the statistics while preserving all training and
+// cache state: call it at the end of the warm-up window.
+func (a *Annotator) ResetStats() {
+	a.stats = Stats{}
+	a.h.ResetStats()
+}
+
+// Warm consumes n instructions (training caches and predictors), then
+// resets statistics. It returns the number actually consumed.
+func (a *Annotator) Warm(n int64) int64 {
+	var i int64
+	for i = 0; i < n; i++ {
+		if _, ok := a.Next(); !ok {
+			break
+		}
+	}
+	a.ResetStats()
+	return i
+}
+
+// Collect drains up to max annotated instructions (the whole stream when
+// max < 0).
+func (a *Annotator) Collect(max int64) []Inst {
+	var out []Inst
+	for max < 0 || int64(len(out)) < max {
+		in, ok := a.Next()
+		if !ok {
+			break
+		}
+		out = append(out, in)
+	}
+	return out
+}

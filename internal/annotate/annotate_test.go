@@ -1,0 +1,287 @@
+package annotate
+
+import (
+	"testing"
+
+	"mlpsim/internal/bpred"
+	"mlpsim/internal/isa"
+	"mlpsim/internal/mem"
+	"mlpsim/internal/prefetch"
+	"mlpsim/internal/trace"
+	"mlpsim/internal/vpred"
+	"mlpsim/internal/workload"
+)
+
+// seq builds a tiny hand-written trace.
+func seq(insts ...isa.Inst) trace.Source { return trace.NewSliceSource(insts) }
+
+func TestColdLoadIsDMiss(t *testing.T) {
+	a := New(seq(
+		isa.Inst{PC: 0x1000, Class: isa.Load, Src1: 1, Src2: isa.NoReg, Dst: 2, EA: 0xabc0000},
+		isa.Inst{PC: 0x1004, Class: isa.Load, Src1: 1, Src2: isa.NoReg, Dst: 3, EA: 0xabc0000},
+	), Config{})
+	first, _ := a.Next()
+	if !first.DMiss {
+		t.Fatal("cold load must be a Dmiss")
+	}
+	second, _ := a.Next()
+	if second.DMiss {
+		t.Fatal("warm load must not be a Dmiss")
+	}
+	s := a.Stats()
+	if s.DMisses != 1 || s.Instructions != 2 {
+		t.Fatalf("stats: %+v", s)
+	}
+}
+
+func TestIMissMarkedOncePerLine(t *testing.T) {
+	// 17 sequential instructions cross one line boundary (64B = 16
+	// instructions); the first instruction of each line gets the access.
+	var insts []isa.Inst
+	for i := 0; i < 17; i++ {
+		insts = append(insts, isa.Inst{PC: 0x40000000 + uint64(i)*4, Class: isa.ALU,
+			Src1: 16, Src2: 17, Dst: 18})
+	}
+	a := New(seq(insts...), Config{})
+	var imisses int
+	var idxs []int64
+	for {
+		in, ok := a.Next()
+		if !ok {
+			break
+		}
+		if in.IMiss {
+			imisses++
+			idxs = append(idxs, in.Index)
+		}
+	}
+	if imisses != 2 {
+		t.Fatalf("imisses = %d (%v), want 2", imisses, idxs)
+	}
+	if idxs[0] != 0 || idxs[1] != 16 {
+		t.Fatalf("imiss indexes = %v, want [0 16]", idxs)
+	}
+}
+
+func TestPrefetchMakesLoadHit(t *testing.T) {
+	a := New(seq(
+		isa.Inst{PC: 0x1000, Class: isa.Prefetch, Src1: 1, Src2: isa.NoReg, Dst: isa.NoReg, EA: 0xdef0000},
+		isa.Inst{PC: 0x1004, Class: isa.ALU, Src1: 16, Src2: 17, Dst: 18},
+		isa.Inst{PC: 0x1008, Class: isa.Load, Src1: 1, Src2: isa.NoReg, Dst: 2, EA: 0xdef0008},
+	), Config{})
+	pf, _ := a.Next()
+	if !pf.PMiss {
+		t.Fatal("cold prefetch must be a Pmiss")
+	}
+	a.Next()
+	ld, _ := a.Next()
+	if ld.DMiss {
+		t.Fatal("prefetched load must hit")
+	}
+	s := a.Stats()
+	if s.PrefetchUsed != 1 || s.Prefetches != 1 {
+		t.Fatalf("prefetch stats: %+v", s)
+	}
+}
+
+func TestStoreMissesDoNotCount(t *testing.T) {
+	a := New(seq(
+		isa.Inst{PC: 0x1000, Class: isa.Store, Src1: 1, Src2: 2, Dst: isa.NoReg, EA: 0xcafe000},
+		isa.Inst{PC: 0x1004, Class: isa.Load, Src1: 1, Src2: isa.NoReg, Dst: 2, EA: 0xcafe000},
+	), Config{})
+	st, _ := a.Next()
+	if st.OffChip() && st.DMiss {
+		t.Fatal("store miss must not be a Dmiss")
+	}
+	ld, _ := a.Next()
+	if ld.DMiss {
+		t.Fatal("load after write-allocating store must hit")
+	}
+	// Only the instruction fetch of the test's first line goes off-chip;
+	// the store's data miss must be invisible.
+	if s := a.Stats(); s.DMisses != 0 || s.PMisses != 0 {
+		t.Fatalf("data off-chip counts = %d/%d, want 0/0 (stores excluded)", s.DMisses, s.PMisses)
+	}
+}
+
+func TestMispredictAnnotation(t *testing.T) {
+	br := isa.Inst{PC: 0x1000, Class: isa.Branch, Src1: 16, Src2: isa.NoReg, Dst: isa.NoReg,
+		Taken: true, Target: 0x1004}
+	a := New(seq(br, br, br), Config{Branch: bpred.AlwaysWrong{}})
+	for i := 0; i < 3; i++ {
+		in, _ := a.Next()
+		if !in.Mispred {
+			t.Fatalf("branch %d not marked mispredicted", i)
+		}
+	}
+	if a.Stats().Mispredicts != 3 || a.Stats().Branches != 3 {
+		t.Fatalf("stats: %+v", a.Stats())
+	}
+
+	a = New(seq(br, br, br), Config{Branch: bpred.Perfect{}})
+	for i := 0; i < 3; i++ {
+		if in, _ := a.Next(); in.Mispred {
+			t.Fatal("perfect predictor marked a mispredict")
+		}
+	}
+}
+
+func TestValuePredictionOnlyForMissingLoads(t *testing.T) {
+	hot := isa.Inst{PC: 0x1000, Class: isa.Load, Src1: 1, Src2: isa.NoReg, Dst: 2,
+		EA: 0x111000, Value: 7}
+	// Four cold loads at the same PC with the same value but distinct
+	// lines: the first three build confidence, the fourth predicts.
+	colds := make([]isa.Inst, 4)
+	for i := range colds {
+		colds[i] = isa.Inst{PC: 0x2000, Class: isa.Load, Src1: 1, Src2: isa.NoReg, Dst: 2,
+			EA: 0x7000000 + uint64(i)*0x100000, Value: 9}
+	}
+	a := New(seq(hot, hot, colds[0], colds[1], colds[2], colds[3]), Config{Value: vpred.NewLastValue(256)})
+	a.Next() // hot: DMiss (cold caches) — consumed below
+	a.Next()
+	c1, _ := a.Next()
+	if c1.VPOutcome != vpred.NoPredict {
+		t.Fatalf("first missing load VP = %v, want NoPredict", c1.VPOutcome)
+	}
+	a.Next()
+	a.Next()
+	c4, _ := a.Next()
+	if c4.VPOutcome != vpred.Correct {
+		t.Fatalf("fourth missing load VP = %v, want Correct (confidence built)", c4.VPOutcome)
+	}
+	// Only the DMiss loads trained the predictor: total == number of
+	// DMisses, not number of loads.
+	vs := a.Stats().VP
+	if total := vs.Total(); total != a.Stats().DMisses {
+		t.Fatalf("VP observations %d != DMisses %d", total, a.Stats().DMisses)
+	}
+}
+
+func TestWarmResetsStatsButKeepsState(t *testing.T) {
+	g := workload.MustNew(workload.Database(23))
+	a := New(g, Config{})
+	if n := a.Warm(50000); n != 50000 {
+		t.Fatalf("warmed %d", n)
+	}
+	if a.Stats().Instructions != 0 {
+		t.Fatal("Warm did not reset stats")
+	}
+	// Measured segment sees a warmed L2: hot lines hit.
+	a.Collect(50000)
+	s := a.Stats()
+	if s.Instructions != 50000 {
+		t.Fatalf("measured %d", s.Instructions)
+	}
+	if s.OffChip == 0 {
+		t.Fatal("database workload must have off-chip accesses")
+	}
+}
+
+func TestDefaultConfigFillsIn(t *testing.T) {
+	a := New(seq(), Config{})
+	if a.Hierarchy().Config().L2.SizeBytes != 2<<20 {
+		t.Fatal("default hierarchy not applied")
+	}
+	if _, ok := a.Next(); ok {
+		t.Fatal("empty source must end immediately")
+	}
+}
+
+func TestSmallerL2RaisesMissRate(t *testing.T) {
+	run := func(l2 int) float64 {
+		g := workload.MustNew(workload.Database(31))
+		a := New(g, Config{Hierarchy: mem.DefaultHierarchy().WithL2Size(l2)})
+		a.Warm(200000)
+		a.Collect(500000)
+		return a.Stats().MissRatePer100()
+	}
+	small := run(1 << 20)
+	big := run(8 << 20)
+	if big >= small {
+		t.Fatalf("8MB L2 miss rate %.3f not below 1MB %.3f", big, small)
+	}
+}
+
+func TestHardwareIPrefetcherCoversSequentialCode(t *testing.T) {
+	// 64 sequential instructions over a cold region: without prefetching
+	// every line (16 instructions) misses; with a depth-4 sequential
+	// prefetcher only the first line does.
+	mk := func() []isa.Inst {
+		var insts []isa.Inst
+		for i := 0; i < 64; i++ {
+			insts = append(insts, isa.Inst{PC: 0x40000000 + uint64(i)*4,
+				Class: isa.ALU, Src1: 16, Src2: 17, Dst: 18})
+		}
+		return insts
+	}
+	plain := New(seq(mk()...), Config{})
+	var baseMisses int
+	for {
+		in, ok := plain.Next()
+		if !ok {
+			break
+		}
+		if in.IMiss {
+			baseMisses++
+		}
+	}
+	if baseMisses != 4 {
+		t.Fatalf("baseline I-misses = %d, want 4", baseMisses)
+	}
+
+	pf := prefetch.NewSequential(4, mem.IFetch)
+	covered := New(seq(mk()...), Config{IPrefetch: pf})
+	var pfMisses int
+	for {
+		in, ok := covered.Next()
+		if !ok {
+			break
+		}
+		if in.IMiss {
+			pfMisses++
+		}
+	}
+	if pfMisses != 1 {
+		t.Fatalf("prefetched I-misses = %d, want 1 (only the first line)", pfMisses)
+	}
+	if pf.Stats().Useful == 0 {
+		t.Fatal("prefetcher reported no useful lines")
+	}
+}
+
+func TestHardwareDPrefetcherCoversStrides(t *testing.T) {
+	// One load PC walking a 256-byte stride over cold data.
+	var insts []isa.Inst
+	for i := 0; i < 32; i++ {
+		insts = append(insts, isa.Inst{PC: 0x1000, Class: isa.Load,
+			Src1: 1, Src2: isa.NoReg, Dst: 2, EA: 0x50000000 + uint64(i)*256})
+	}
+	plain := New(seq(insts...), Config{})
+	var base int
+	for {
+		in, ok := plain.Next()
+		if !ok {
+			break
+		}
+		if in.DMiss {
+			base++
+		}
+	}
+	covered := New(seq(insts...), Config{DPrefetch: prefetch.NewStride(256, 4)})
+	var withPf int
+	for {
+		in, ok := covered.Next()
+		if !ok {
+			break
+		}
+		if in.DMiss {
+			withPf++
+		}
+	}
+	if base != 32 {
+		t.Fatalf("baseline D-misses = %d, want 32", base)
+	}
+	if withPf > base/3 {
+		t.Fatalf("stride prefetcher left %d of %d misses", withPf, base)
+	}
+}

@@ -1,0 +1,190 @@
+// Package bpred models the front-end branch prediction structures from the
+// paper's default configuration (§5.1): a 64K-entry gshare direction
+// predictor, a 16K-entry branch target buffer and a 16-entry return address
+// stack, plus a perfect predictor used by the limit study.
+package bpred
+
+import "mlpsim/internal/isa"
+
+// Predictor predicts branch outcomes. Implementations are trained on every
+// dynamic branch in trace order.
+type Predictor interface {
+	// Predict returns the predicted direction and, for taken predictions,
+	// whether the target was correctly available (BTB hit). A branch is
+	// mispredicted when the direction is wrong or when it is predicted
+	// taken without a target.
+	Predict(in *isa.Inst) (taken bool, targetKnown bool)
+	// Update trains the predictor with the architectural outcome.
+	Update(in *isa.Inst)
+}
+
+// Mispredicted runs one predict+update cycle and reports whether the
+// branch would have been mispredicted. Non-branches are never mispredicted.
+func Mispredicted(p Predictor, in *isa.Inst) bool {
+	if in.Class != isa.Branch {
+		return false
+	}
+	taken, targetKnown := p.Predict(in)
+	p.Update(in)
+	if taken != in.Taken {
+		return true
+	}
+	// Correct taken prediction still misfetches without a target.
+	return in.Taken && !targetKnown
+}
+
+// GshareConfig sizes the gshare predictor and its companion structures.
+type GshareConfig struct {
+	// Entries is the number of 2-bit counters (power of two).
+	Entries int
+	// HistoryBits is the global history length folded into the index.
+	HistoryBits int
+	// BTBEntries is the branch target buffer size (power of two);
+	// 0 disables target modelling (targets always known).
+	BTBEntries int
+	// RASEntries is the return address stack depth. The synthetic traces
+	// do not distinguish calls/returns, so the RAS is modelled as extra
+	// BTB capacity for a subset of branches; it exists for configuration
+	// fidelity.
+	RASEntries int
+}
+
+// DefaultGshare returns the paper's 64K-entry gshare + 16K BTB + 16 RAS.
+func DefaultGshare() GshareConfig {
+	return GshareConfig{Entries: 64 << 10, HistoryBits: 14, BTBEntries: 16 << 10, RASEntries: 16}
+}
+
+// Gshare is the classic gshare predictor: a table of 2-bit saturating
+// counters indexed by PC XOR global history.
+type Gshare struct {
+	cfg      GshareConfig
+	mask     uint64
+	histMask uint64
+	counters []uint8
+	history  uint64
+
+	btbMask uint64
+	btbTags []uint64 // tag+1; 0 = invalid
+	btbTgt  []uint64
+
+	predicts uint64
+	mispred  uint64
+}
+
+// NewGshare builds the predictor. Entries and BTBEntries must be powers of
+// two; the function panics otherwise (configurations are compile-time
+// constants, not user input).
+func NewGshare(cfg GshareConfig) *Gshare {
+	if cfg.Entries <= 0 || cfg.Entries&(cfg.Entries-1) != 0 {
+		panic("bpred: gshare entries must be a positive power of two")
+	}
+	if cfg.BTBEntries < 0 || (cfg.BTBEntries > 0 && cfg.BTBEntries&(cfg.BTBEntries-1) != 0) {
+		panic("bpred: BTB entries must be zero or a power of two")
+	}
+	if cfg.HistoryBits < 0 || cfg.HistoryBits > 32 {
+		panic("bpred: history bits out of range")
+	}
+	g := &Gshare{
+		cfg:      cfg,
+		mask:     uint64(cfg.Entries - 1),
+		histMask: (1 << uint(cfg.HistoryBits)) - 1,
+		counters: make([]uint8, cfg.Entries),
+	}
+	// Initialize counters to weakly taken: commercial codes are
+	// branch-taken biased, and this matches common hardware reset state.
+	for i := range g.counters {
+		g.counters[i] = 2
+	}
+	if cfg.BTBEntries > 0 {
+		g.btbMask = uint64(cfg.BTBEntries - 1)
+		g.btbTags = make([]uint64, cfg.BTBEntries)
+		g.btbTgt = make([]uint64, cfg.BTBEntries)
+	}
+	return g
+}
+
+func (g *Gshare) index(pc uint64) uint64 {
+	return ((pc >> 2) ^ (g.history & g.histMask)) & g.mask
+}
+
+// Predict implements Predictor.
+func (g *Gshare) Predict(in *isa.Inst) (bool, bool) {
+	taken := g.counters[g.index(in.PC)] >= 2
+	targetKnown := true
+	if taken && g.btbTags != nil {
+		slot := (in.PC >> 2) & g.btbMask
+		targetKnown = g.btbTags[slot] == in.PC+1 && g.btbTgt[slot] == in.Target
+	}
+	return taken, targetKnown
+}
+
+// Update implements Predictor.
+func (g *Gshare) Update(in *isa.Inst) {
+	idx := g.index(in.PC)
+	c := g.counters[idx]
+	if in.Taken {
+		if c < 3 {
+			g.counters[idx] = c + 1
+		}
+	} else if c > 0 {
+		g.counters[idx] = c - 1
+	}
+	g.history = (g.history << 1) & g.histMask
+	if in.Taken {
+		g.history |= 1
+	}
+	if in.Taken && g.btbTags != nil {
+		slot := (in.PC >> 2) & g.btbMask
+		g.btbTags[slot] = in.PC + 1
+		g.btbTgt[slot] = in.Target
+	}
+	g.predicts++
+}
+
+// Stats returns (predictions, mispredictions) counted via Observe.
+func (g *Gshare) Stats() (predicts, mispredicts uint64) { return g.predicts, g.mispred }
+
+// Observe is a convenience combining Predict+Update while keeping the
+// predictor's own misprediction statistics.
+func (g *Gshare) Observe(in *isa.Inst) bool {
+	m := Mispredicted(g, in)
+	if m {
+		g.mispred++
+	}
+	return m
+}
+
+// ResetStats zeroes statistics without dropping training state.
+func (g *Gshare) ResetStats() { g.predicts, g.mispred = 0, 0 }
+
+// Perfect is an oracle predictor: never mispredicts. Used by the limit
+// study (perfBP) and by tests.
+type Perfect struct{}
+
+// Predict implements Predictor.
+func (Perfect) Predict(in *isa.Inst) (bool, bool) { return in.Taken, true }
+
+// Update implements Predictor.
+func (Perfect) Update(*isa.Inst) {}
+
+// AlwaysWrong mispredicts every conditional branch; it exists for failure
+// injection in tests (every branch becomes a potential window terminator).
+type AlwaysWrong struct{}
+
+// Predict implements Predictor.
+func (AlwaysWrong) Predict(in *isa.Inst) (bool, bool) { return !in.Taken, true }
+
+// Update implements Predictor.
+func (AlwaysWrong) Update(*isa.Inst) {}
+
+// Static predicts a fixed direction (classic static predictors).
+type Static struct {
+	// Taken is the direction predicted for every branch.
+	Taken bool
+}
+
+// Predict implements Predictor.
+func (s Static) Predict(in *isa.Inst) (bool, bool) { return s.Taken, true }
+
+// Update implements Predictor.
+func (Static) Update(*isa.Inst) {}

@@ -1,0 +1,213 @@
+package bpred
+
+import (
+	"math/rand"
+	"testing"
+
+	"mlpsim/internal/isa"
+)
+
+func branch(pc uint64, taken bool, target uint64) isa.Inst {
+	return isa.Inst{PC: pc, Class: isa.Branch, Taken: taken, Target: target,
+		Src1: isa.NoReg, Src2: isa.NoReg, Dst: isa.NoReg}
+}
+
+func TestGshareLearnsBiasedBranch(t *testing.T) {
+	g := NewGshare(GshareConfig{Entries: 1024, HistoryBits: 8, BTBEntries: 256})
+	in := branch(0x1000, true, 0x2000)
+	var wrong int
+	for i := 0; i < 100; i++ {
+		if g.Observe(&in) {
+			wrong++
+		}
+	}
+	if wrong > 3 {
+		t.Fatalf("always-taken branch mispredicted %d/100 times", wrong)
+	}
+	// Flip direction: it should re-learn within a few updates.
+	in.Taken = false
+	wrong = 0
+	for i := 0; i < 100; i++ {
+		if g.Observe(&in) {
+			wrong++
+		}
+	}
+	// After the flip the global history shifts through ~HistoryBits fresh
+	// counter indexes before settling, so allow one misprediction per
+	// history bit plus saturation slack.
+	if wrong > 12 {
+		t.Fatalf("after flip, mispredicted %d/100 times", wrong)
+	}
+}
+
+func TestGshareLearnsAlternatingPatternViaHistory(t *testing.T) {
+	g := NewGshare(GshareConfig{Entries: 4096, HistoryBits: 8, BTBEntries: 256})
+	in := branch(0x1000, false, 0x2000)
+	var wrongLate int
+	for i := 0; i < 400; i++ {
+		in.Taken = i%2 == 0
+		m := g.Observe(&in)
+		if i >= 200 && m {
+			wrongLate++
+		}
+	}
+	if wrongLate > 10 {
+		t.Fatalf("alternating pattern mispredicted %d/200 after warm-up (history should capture it)", wrongLate)
+	}
+}
+
+func TestGshareRandomBranchMispredictsOften(t *testing.T) {
+	g := NewGshare(DefaultGshare())
+	rng := rand.New(rand.NewSource(1))
+	in := branch(0x1000, false, 0x2000)
+	var wrong int
+	const n = 10000
+	for i := 0; i < n; i++ {
+		in.Taken = rng.Intn(2) == 0
+		if g.Observe(&in) {
+			wrong++
+		}
+	}
+	rate := float64(wrong) / n
+	if rate < 0.30 || rate > 0.70 {
+		t.Fatalf("random branch misprediction rate %.2f, want ~0.5", rate)
+	}
+}
+
+func TestGshareBTBMissCausesMisfetch(t *testing.T) {
+	g := NewGshare(GshareConfig{Entries: 1024, HistoryBits: 0, BTBEntries: 16})
+	in := branch(0x1000, true, 0x2000)
+	// Train direction AND BTB.
+	for i := 0; i < 10; i++ {
+		g.Observe(&in)
+	}
+	if Mispredicted(g, &in) {
+		t.Fatal("trained branch should predict correctly")
+	}
+	// Same counter index but different PC slot in the BTB: the direction
+	// may predict taken while the BTB has no target -> misfetch.
+	coldPC := in.PC + uint64(16*4) // different BTB slot (16 entries, word indexed)
+	cold := branch(coldPC, true, 0x9999)
+	taken, known := g.Predict(&cold)
+	if taken && known {
+		t.Fatal("BTB should not know a never-seen target")
+	}
+	// After one update the target is installed.
+	g.Update(&cold)
+	if m := Mispredicted(g, &cold); m {
+		t.Fatal("after training, the target must be known")
+	}
+}
+
+func TestGshareBTBDetectsTargetChange(t *testing.T) {
+	g := NewGshare(GshareConfig{Entries: 1024, HistoryBits: 0, BTBEntries: 64})
+	in := branch(0x1000, true, 0x2000)
+	for i := 0; i < 8; i++ {
+		g.Observe(&in)
+	}
+	// Same PC, new target (indirect-branch behaviour): must misfetch once.
+	in.Target = 0x7777
+	if !Mispredicted(g, &in) {
+		t.Fatal("changed target must mispredict")
+	}
+	if Mispredicted(g, &in) {
+		t.Fatal("retrained target must predict")
+	}
+}
+
+func TestMispredictedIgnoresNonBranches(t *testing.T) {
+	g := NewGshare(DefaultGshare())
+	load := isa.Inst{PC: 0x1000, Class: isa.Load, Src1: 1, Src2: isa.NoReg, Dst: 2}
+	if Mispredicted(g, &load) {
+		t.Fatal("non-branch cannot mispredict")
+	}
+}
+
+func TestPerfectNeverMispredicts(t *testing.T) {
+	p := Perfect{}
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 1000; i++ {
+		in := branch(uint64(rng.Intn(1<<20))*4, rng.Intn(2) == 0, uint64(rng.Intn(1<<20))*4)
+		if Mispredicted(p, &in) {
+			t.Fatal("perfect predictor mispredicted")
+		}
+	}
+}
+
+func TestAlwaysWrongAlwaysMispredicts(t *testing.T) {
+	p := AlwaysWrong{}
+	for _, taken := range []bool{true, false} {
+		in := branch(0x1000, taken, 0x2000)
+		if !Mispredicted(p, &in) {
+			t.Fatal("AlwaysWrong predicted correctly")
+		}
+	}
+}
+
+func TestStaticPredictor(t *testing.T) {
+	in := branch(0x1000, true, 0x2000)
+	if Mispredicted(Static{Taken: true}, &in) {
+		t.Fatal("static-taken should predict a taken branch")
+	}
+	if !Mispredicted(Static{Taken: false}, &in) {
+		t.Fatal("static-not-taken should mispredict a taken branch")
+	}
+}
+
+func TestGshareStats(t *testing.T) {
+	g := NewGshare(GshareConfig{Entries: 256, HistoryBits: 4, BTBEntries: 64})
+	in := branch(0x1000, true, 0x2000)
+	for i := 0; i < 50; i++ {
+		g.Observe(&in)
+	}
+	pred, mis := g.Stats()
+	if pred != 50 {
+		t.Fatalf("predicts = %d, want 50", pred)
+	}
+	if mis > 2 {
+		t.Fatalf("mispredicts = %d for a monotone branch", mis)
+	}
+	g.ResetStats()
+	if p, m := g.Stats(); p != 0 || m != 0 {
+		t.Fatal("ResetStats failed")
+	}
+}
+
+func TestNewGsharePanicsOnBadConfig(t *testing.T) {
+	cases := []GshareConfig{
+		{Entries: 0},
+		{Entries: 100},
+		{Entries: 256, BTBEntries: 100},
+		{Entries: 256, HistoryBits: 64},
+	}
+	for i, cfg := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("config %d did not panic: %+v", i, cfg)
+				}
+			}()
+			NewGshare(cfg)
+		}()
+	}
+}
+
+func TestGshareDistinctBranchesDoNotDestructivelyAlias(t *testing.T) {
+	// With enough entries, two opposite-biased branches at different PCs
+	// must both be predictable.
+	g := NewGshare(GshareConfig{Entries: 64 << 10, HistoryBits: 0, BTBEntries: 1024})
+	a := branch(0x1000, true, 0x2000)
+	b := branch(0x5000, false, 0)
+	var wrong int
+	for i := 0; i < 200; i++ {
+		if g.Observe(&a) && i > 4 {
+			wrong++
+		}
+		if g.Observe(&b) && i > 4 {
+			wrong++
+		}
+	}
+	if wrong > 0 {
+		t.Fatalf("aliasing caused %d mispredictions", wrong)
+	}
+}

@@ -1,0 +1,240 @@
+// Package core implements the paper's primary contribution: the epoch
+// model of memory-level parallelism and MLPsim, the trace-driven simulator
+// built on it (§3, §4.1).
+//
+// The engine partitions an annotated dynamic instruction stream into epoch
+// sets by tracking register and memory dependences and applying the window
+// termination conditions implied by a microarchitecture configuration:
+// issue window and reorder buffer occupancy, serializing instructions,
+// instruction-fetch misses and unresolvable branch mispredictions. MLP is
+// the ratio of useful off-chip accesses to epochs.
+package core
+
+import "fmt"
+
+// IssueConfig is one of the paper's five issue-constraint configurations
+// (Table 2), ordered from most to least constrained.
+type IssueConfig uint8
+
+const (
+	// ConfigA: loads issue in order w.r.t. other loads and stores,
+	// branches in order, serializing instructions drain the pipeline.
+	ConfigA IssueConfig = iota
+	// ConfigB: loads issue out of order but wait for earlier store
+	// addresses to resolve; branches in order; serializing.
+	ConfigB
+	// ConfigC: loads speculate past earlier stores; branches in order;
+	// serializing. This is the paper's default configuration.
+	ConfigC
+	// ConfigD: loads speculate; branches issue out of order; serializing.
+	ConfigD
+	// ConfigE: loads speculate; branches out of order; serializing
+	// instructions do not drain the pipeline.
+	ConfigE
+
+	numConfigs = int(ConfigE) + 1
+)
+
+// String returns the paper's single-letter name.
+func (c IssueConfig) String() string {
+	if int(c) < numConfigs {
+		return string(rune('A' + c))
+	}
+	return fmt.Sprintf("IssueConfig(%d)", uint8(c))
+}
+
+// ParseIssueConfig converts "A".."E" (case insensitive) to an IssueConfig.
+func ParseIssueConfig(s string) (IssueConfig, error) {
+	if len(s) == 1 {
+		switch s[0] {
+		case 'A', 'a':
+			return ConfigA, nil
+		case 'B', 'b':
+			return ConfigB, nil
+		case 'C', 'c':
+			return ConfigC, nil
+		case 'D', 'd':
+			return ConfigD, nil
+		case 'E', 'e':
+			return ConfigE, nil
+		}
+	}
+	return ConfigA, fmt.Errorf("core: unknown issue configuration %q", s)
+}
+
+// LoadsInOrder reports whether loads must issue in order w.r.t. other
+// loads and stores (configuration A).
+func (c IssueConfig) LoadsInOrder() bool { return c == ConfigA }
+
+// LoadsWaitStoreAddr reports whether loads wait for earlier store
+// addresses to resolve (configurations A and B).
+func (c IssueConfig) LoadsWaitStoreAddr() bool { return c <= ConfigB }
+
+// BranchesInOrder reports whether branches issue in order w.r.t. other
+// branches (configurations A, B, C).
+func (c IssueConfig) BranchesInOrder() bool { return c <= ConfigC }
+
+// Serializing reports whether serializing instructions drain the pipeline
+// (configurations A through D).
+func (c IssueConfig) Serializing() bool { return c <= ConfigD }
+
+// WindowMode selects the instruction-windowing discipline (§3.3).
+type WindowMode uint8
+
+const (
+	// OutOfOrder is the standard out-of-order issue processor.
+	OutOfOrder WindowMode = iota
+	// InOrderStallOnMiss stalls instruction issue when a load misses.
+	InOrderStallOnMiss
+	// InOrderStallOnUse stalls instruction issue when a missing load's
+	// data is used by a subsequent instruction.
+	InOrderStallOnUse
+)
+
+// String names the mode.
+func (m WindowMode) String() string {
+	switch m {
+	case OutOfOrder:
+		return "out-of-order"
+	case InOrderStallOnMiss:
+		return "in-order stall-on-miss"
+	case InOrderStallOnUse:
+		return "in-order stall-on-use"
+	}
+	return fmt.Sprintf("WindowMode(%d)", uint8(m))
+}
+
+// Config is one MLPsim processor configuration.
+type Config struct {
+	// IssueWindow is the issue-window (reservation station) entry count.
+	IssueWindow int
+	// ROB is the reorder buffer entry count. The paper's §5.3.2 decouples
+	// it from the issue window; most experiments set them equal.
+	ROB int
+	// FetchBuffer is the fetch-buffer depth: after a Maxwin termination,
+	// fetch may run this many instructions further and an I-miss found
+	// there still overlaps with the epoch. The paper's default is 32.
+	FetchBuffer int
+	// Issue selects the Table 2 issue-constraint configuration.
+	Issue IssueConfig
+	// Mode selects out-of-order or one of the in-order disciplines.
+	Mode WindowMode
+	// Runahead enables runahead execution (§3.5): on a missing-load
+	// trigger the processor checkpoints and speculates up to MaxRunahead
+	// instructions with all window termination conditions removed except
+	// I-misses and unresolvable mispredictions.
+	Runahead bool
+	// MaxRunahead is the maximum runahead distance in instructions
+	// (paper: 2048).
+	MaxRunahead int
+	// ValuePredict consumes the annotator's missing-load value-prediction
+	// outcomes (§3.6): a correct prediction cuts the dependence on the
+	// missing load; a wrong one costs a recovery flush in conventional
+	// mode and is harmless in runahead mode.
+	ValuePredict bool
+	// PerfectVP treats every missing load as correctly value-predicted
+	// (limit study, §5.6).
+	PerfectVP bool
+	// PerfectBP ignores branch mispredictions (limit study).
+	PerfectBP bool
+	// PerfectIFetch treats instruction fetches as always on-chip (perfect
+	// instruction prefetching; limit study).
+	PerfectIFetch bool
+	// MSHRs bounds the number of off-chip accesses outstanding at once
+	// (miss-status holding registers); 0 models the paper's unlimited
+	// baseline. A full MSHR file blocks further misses until the epoch's
+	// accesses complete.
+	MSHRs int
+	// StoreBuffer bounds the number of off-chip store misses outstanding
+	// at once; 0 models the paper's infinite store buffer (§3). A full
+	// store buffer blocks further stores — and, through them, the window —
+	// the paper's §7 store-MLP future work.
+	StoreBuffer int
+	// MaxInstructions bounds the run (0 = until the stream ends).
+	MaxInstructions int64
+	// OnEpoch, when non-nil, receives every completed epoch; tests use it
+	// to check epoch sets against the paper's worked examples.
+	OnEpoch func(Epoch)
+}
+
+// Default returns the paper's default processor configuration (§5.1):
+// 32-entry fetch buffer, 64-entry issue window and ROB, configuration C.
+func Default() Config {
+	return Config{
+		IssueWindow: 64,
+		ROB:         64,
+		FetchBuffer: 32,
+		Issue:       ConfigC,
+		Mode:        OutOfOrder,
+		MaxRunahead: 2048,
+	}
+}
+
+// WithIssue returns a copy with the issue configuration replaced.
+func (c Config) WithIssue(ic IssueConfig) Config { c.Issue = ic; return c }
+
+// WithWindow returns a copy with both the issue window and ROB set to n.
+func (c Config) WithWindow(n int) Config { c.IssueWindow, c.ROB = n, n; return c }
+
+// WithROB returns a copy with only the ROB size replaced (decoupled
+// reorder buffer, §5.3.2).
+func (c Config) WithROB(n int) Config { c.ROB = n; return c }
+
+// WithRunahead returns a copy with runahead execution enabled.
+func (c Config) WithRunahead() Config { c.Runahead = true; return c }
+
+// Validate reports configuration errors.
+func (c *Config) Validate() error {
+	if c.Mode == OutOfOrder {
+		if c.IssueWindow <= 0 {
+			return fmt.Errorf("core: issue window %d must be positive", c.IssueWindow)
+		}
+		if c.ROB < c.IssueWindow {
+			return fmt.Errorf("core: ROB %d smaller than issue window %d", c.ROB, c.IssueWindow)
+		}
+	}
+	if c.FetchBuffer < 0 {
+		return fmt.Errorf("core: fetch buffer %d negative", c.FetchBuffer)
+	}
+	if c.Runahead && c.MaxRunahead <= 0 {
+		return fmt.Errorf("core: runahead enabled with MaxRunahead %d", c.MaxRunahead)
+	}
+	if int(c.Issue) >= numConfigs {
+		return fmt.Errorf("core: invalid issue configuration %d", c.Issue)
+	}
+	if c.MSHRs < 0 || c.StoreBuffer < 0 {
+		return fmt.Errorf("core: negative MSHR (%d) or store buffer (%d) size", c.MSHRs, c.StoreBuffer)
+	}
+	return nil
+}
+
+// Name renders the paper's shorthand, e.g. "64C", "64D/256",
+// "RAE", "64D+VP".
+func (c Config) Name() string {
+	switch c.Mode {
+	case InOrderStallOnMiss:
+		return "in-order stall-on-miss"
+	case InOrderStallOnUse:
+		return "in-order stall-on-use"
+	}
+	s := fmt.Sprintf("%d%s", c.IssueWindow, c.Issue)
+	if c.ROB != c.IssueWindow {
+		s += fmt.Sprintf("/%d", c.ROB)
+	}
+	if c.Runahead {
+		s += "+RAE"
+	}
+	if c.ValuePredict {
+		s += "+VP"
+	}
+	if c.PerfectVP {
+		s += ".perfVP"
+	}
+	if c.PerfectBP {
+		s += ".perfBP"
+	}
+	if c.PerfectIFetch {
+		s += ".perfI"
+	}
+	return s
+}

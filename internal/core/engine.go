@@ -1,0 +1,356 @@
+package core
+
+import (
+	"fmt"
+
+	"mlpsim/internal/annotate"
+	"mlpsim/internal/isa"
+	"mlpsim/internal/vpred"
+)
+
+// AnnotatedSource yields annotated instructions (see internal/annotate).
+type AnnotatedSource interface {
+	Next() (annotate.Inst, bool)
+}
+
+// slot is one in-flight dynamic instruction.
+type slot struct {
+	ai annotate.Inst
+
+	executed bool
+	// avail is the epoch from which the slot's result can be consumed
+	// (valid once executed). On-chip results are available in their
+	// execution epoch; missing loads deliver data one epoch later — unless
+	// their value was correctly predicted (vpCut).
+	avail int64
+	// complete is the epoch from which the slot can retire. A missing
+	// load completes one epoch after issue even when value-predicted: the
+	// prediction frees its consumers, not its reorder-buffer entry.
+	complete int64
+	// counted marks that the slot's off-chip access has been recorded.
+	counted bool
+	// countedS marks that the slot's off-chip *store* access has been
+	// recorded (store-MLP extension).
+	countedS bool
+	// imissDone marks that the slot's instruction-fetch miss has been
+	// issued (the line arrives at the end of that epoch).
+	imissDone bool
+	// vpCut marks a missing load whose value was correctly predicted:
+	// dependents need not wait for the data.
+	vpCut bool
+	// vpWrong marks a missing load with a wrong value prediction
+	// (conventional mode pays a recovery flush at its first consumer).
+	vpWrong bool
+	// vpHandled marks that the wrong prediction's flush already happened.
+	vpHandled bool
+
+	// Producer links, bound at fetch time (register renaming).
+	prod1, prod2 int64
+	// memProd is the most recent earlier store to the same address.
+	memProd int64
+	// prevMem / prevStore / prevBranch chain same-class predecessors for
+	// the issue-ordering policies.
+	prevMem, prevStore, prevBranch int64
+}
+
+// Engine is the MLPsim epoch-model engine.
+type Engine struct {
+	cfg Config
+	src AnnotatedSource
+
+	buf  []slot
+	base int64 // absolute index of buf[0]
+	// fetchEnd is one past the last fetched instruction.
+	fetchEnd int64
+	// retire is the commit frontier: every slot below it has executed and
+	// its result is available in the current epoch.
+	retire int64
+	// unexec counts fetched-but-unexecuted slots (issue-window occupancy).
+	unexec int
+	eof    bool
+
+	producers                               [isa.NumRegs]int64
+	lastStore                               map[uint64]int64
+	prevMemIdx, prevStoreIdx, prevBranchIdx int64
+
+	// pending holds instructions pulled from the source by the fetch
+	// buffer scan but not yet dispatched into the window.
+	pending   []annotate.Inst
+	srcPulled int64
+
+	epoch int64
+	res   Result
+}
+
+// pullSource reads one instruction from the underlying source, honouring
+// MaxInstructions and applying the perfect-feature rewrites.
+func (e *Engine) pullSource() (annotate.Inst, bool) {
+	if e.cfg.MaxInstructions > 0 && e.srcPulled >= e.cfg.MaxInstructions {
+		return annotate.Inst{}, false
+	}
+	ai, ok := e.src.Next()
+	if !ok {
+		return annotate.Inst{}, false
+	}
+	e.srcPulled++
+	if e.cfg.PerfectIFetch {
+		ai.IMiss = false
+	}
+	if e.cfg.PerfectBP {
+		ai.Mispred = false
+	}
+	return ai, true
+}
+
+// NewEngine builds an engine; it panics on invalid configurations
+// (configurations are produced by code, not end users).
+func NewEngine(src AnnotatedSource, cfg Config) *Engine {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	e := &Engine{
+		cfg:       cfg,
+		src:       src,
+		lastStore: make(map[uint64]int64),
+	}
+	for i := range e.producers {
+		e.producers[i] = -1
+	}
+	e.prevMemIdx, e.prevStoreIdx, e.prevBranchIdx = -1, -1, -1
+	return e
+}
+
+// Run processes the stream to completion (or cfg.MaxInstructions) and
+// returns the result.
+func (e *Engine) Run() Result {
+	for e.step() {
+	}
+	e.res.Config = e.cfg
+	e.res.Instructions = e.fetchEnd
+	return e.res
+}
+
+// step runs one epoch; it returns false when the stream is exhausted and
+// no work remains.
+func (e *Engine) step() bool {
+	if e.eof && e.retire >= e.fetchEnd {
+		return false
+	}
+	e.epoch++
+	before := e.fetchEnd
+	executedBefore := e.unexec
+	var ep epochState
+	ep.firstUnresolvedStore = -1
+	ep.blockIdx = -1
+
+	if e.cfg.Mode == OutOfOrder {
+		e.runEpochOoO(&ep)
+	} else {
+		e.runEpochInOrder(&ep)
+	}
+
+	if ep.sAccesses > 0 {
+		e.res.StoreEpochs++
+		e.res.SAccesses += uint64(ep.sAccesses)
+	}
+	if ep.accesses > 0 {
+		e.res.Epochs++
+		e.res.Accesses += uint64(ep.accesses)
+		e.res.DAccesses += uint64(ep.dAccesses)
+		e.res.PAccesses += uint64(ep.pAccesses)
+		e.res.IAccesses += uint64(ep.iAccesses)
+		lim := ep.limiter
+		if ep.blockIdx >= 0 && ep.blockIdx <= ep.termIdx {
+			lim = ep.blockLim
+		}
+		e.res.Limiters[lim]++
+		if e.cfg.OnEpoch != nil {
+			ep.epoch.Seq = e.res.Epochs - 1
+			ep.epoch.Accesses = ep.accesses
+			ep.epoch.DAccesses = ep.dAccesses
+			ep.epoch.PAccesses = ep.pAccesses
+			ep.epoch.IAccesses = ep.iAccesses
+			ep.epoch.Limiter = lim
+			e.cfg.OnEpoch(ep.epoch)
+		}
+	}
+
+	// Progress guard: an epoch must fetch, execute or access something.
+	if e.fetchEnd == before && e.unexec == executedBefore && ep.accesses == 0 && !e.eof {
+		panic(fmt.Sprintf("core: epoch %d made no progress at instruction %d", e.epoch, e.fetchEnd))
+	}
+	return true
+}
+
+// epochState accumulates one epoch's events.
+type epochState struct {
+	accesses             int
+	dAccesses            int
+	pAccesses            int
+	iAccesses            int
+	trigger              int64
+	sAccesses            int
+	limiter              Limiter
+	termIdx              int64 // index where the window terminated
+	blockIdx             int64 // earliest Fig-5 blocking event (config A/B load blocks)
+	blockLim             Limiter
+	firstUnresolvedStore int64
+	epoch                Epoch
+}
+
+// at returns the slot at absolute index j.
+func (e *Engine) at(j int64) *slot {
+	if j < e.base {
+		panic(fmt.Sprintf("core: slot %d below window base %d", j, e.base))
+	}
+	return &e.buf[j-e.base]
+}
+
+// fetchNext pulls the next instruction into the window, binding its
+// producer links. It returns nil at (or beyond) end of stream.
+func (e *Engine) fetchNext() *slot {
+	if e.eof {
+		return nil
+	}
+	var ai annotate.Inst
+	if len(e.pending) > 0 {
+		ai = e.pending[0]
+		e.pending = e.pending[1:]
+	} else {
+		var ok bool
+		ai, ok = e.pullSource()
+		if !ok {
+			e.eof = true
+			return nil
+		}
+	}
+	s := slot{ai: ai, prod1: -1, prod2: -1, memProd: -1, prevMem: -1, prevStore: -1, prevBranch: -1}
+	j := e.fetchEnd
+
+	if ai.DMiss {
+		switch {
+		case e.cfg.PerfectVP:
+			s.vpCut = true
+		case e.cfg.ValuePredict && ai.VPOutcome == vpred.Correct:
+			s.vpCut = true
+		case e.cfg.ValuePredict && ai.VPOutcome == vpred.Wrong:
+			s.vpWrong = true
+		}
+	}
+
+	// Bind register producers in program order.
+	if ai.Src1 != isa.NoReg && ai.Src1 != isa.RegZero {
+		s.prod1 = e.producers[ai.Src1]
+	}
+	if ai.Src2 != isa.NoReg && ai.Src2 != isa.RegZero {
+		s.prod2 = e.producers[ai.Src2]
+	}
+	cls := ai.Class
+	if cls.IsMemRead() && cls != isa.Prefetch {
+		if p, ok := e.lastStore[ai.EA>>3]; ok {
+			s.memProd = p
+		}
+	}
+	if cls == isa.Load || cls == isa.Store || cls == isa.CASA || cls == isa.LDSTUB {
+		s.prevMem = e.prevMemIdx
+		e.prevMemIdx = j
+	}
+	if cls.IsMemWrite() {
+		s.prevStore = e.prevStoreIdx
+		e.prevStoreIdx = j
+		e.lastStore[ai.EA>>3] = j
+		if len(e.lastStore) > 1<<16 {
+			// Bound the table; stale producers resolve as retired.
+			e.lastStore = make(map[uint64]int64)
+		}
+	}
+	if cls == isa.Branch {
+		s.prevBranch = e.prevBranchIdx
+		e.prevBranchIdx = j
+	}
+	if ai.HasDst() {
+		e.producers[ai.Dst] = j
+	}
+
+	e.buf = append(e.buf, s)
+	e.fetchEnd++
+	e.unexec++
+	return &e.buf[len(e.buf)-1]
+}
+
+// advanceRetire moves the commit frontier past completed work and
+// compacts the window buffer.
+func (e *Engine) advanceRetire() {
+	for e.retire < e.fetchEnd {
+		s := e.at(e.retire)
+		if !s.executed || s.complete > e.epoch {
+			break
+		}
+		e.retire++
+	}
+	// Compact when at least half the buffer (and a meaningful amount) is
+	// dead.
+	drop := e.retire - e.base
+	if drop > 4096 && drop >= int64(len(e.buf))/2 {
+		n := copy(e.buf, e.buf[drop:])
+		e.buf = e.buf[:n]
+		e.base = e.retire
+	}
+}
+
+// resultReady reports whether producer p's result can be consumed in the
+// current epoch.
+func (e *Engine) resultReady(p int64) bool {
+	if p < 0 || p < e.retire {
+		return true
+	}
+	s := e.at(p)
+	return s.executed && s.avail <= e.epoch
+}
+
+// srcsReady reports whether all register sources of slot s are available.
+func (e *Engine) srcsReady(s *slot) bool {
+	return e.resultReady(s.prod1) && e.resultReady(s.prod2)
+}
+
+// producerExecuted reports whether slot p has executed (issued).
+func (e *Engine) producerExecuted(p int64) bool {
+	if p < 0 || p < e.retire {
+		return true
+	}
+	return e.at(p).executed
+}
+
+// execute marks slot j executed in the current epoch, counting its
+// off-chip access if it has one.
+func (e *Engine) execute(j int64, s *slot, ep *epochState) {
+	s.executed = true
+	e.unexec--
+	s.avail = e.epoch
+	s.complete = e.epoch
+	if (s.ai.DMiss || s.ai.PMiss) && !s.counted {
+		s.counted = true
+		kind := accD
+		if s.ai.PMiss {
+			kind = accP
+		}
+		ep.record(e, j, kind)
+	}
+	if s.ai.SMiss && !s.countedS {
+		s.countedS = true
+		ep.sAccesses++
+	}
+	if s.ai.DMiss {
+		// Data returns at the end of this epoch. A correctly predicted
+		// value (vpCut) lets consumers proceed immediately, but the load
+		// itself still occupies its reorder-buffer entry until the data
+		// returns.
+		s.complete = e.epoch + 1
+		if !s.vpCut {
+			s.avail = e.epoch + 1
+		}
+	}
+	if e.cfg.OnEpoch != nil {
+		ep.epoch.Executed = append(ep.epoch.Executed, j)
+	}
+}

@@ -1,0 +1,86 @@
+package core
+
+import "mlpsim/internal/isa"
+
+// runEpochInOrder runs one epoch of the in-order models (§3.3).
+//
+// In-order issue admits at most one stalled instruction: the window tail.
+// Stall-on-miss terminates the window at a missing load itself (after
+// issuing its access); stall-on-use terminates at the first instruction
+// whose operands depend on an outstanding miss. Missing prefetches and an
+// in-flight missing load may overlap in both disciplines; serializing
+// instructions and I-misses terminate windows exactly as out of order.
+func (e *Engine) runEpochInOrder(ep *epochState) {
+	e.advanceRetire()
+	for {
+		var (
+			s *slot
+			j int64
+		)
+		// Revisit the stalled tail instruction, if any; otherwise fetch.
+		if e.fetchEnd > e.base && e.fetchEnd > 0 && e.retire < e.fetchEnd && !e.at(e.fetchEnd-1).executed {
+			j = e.fetchEnd - 1
+			s = e.at(j)
+		} else {
+			j = e.fetchEnd
+			s = e.fetchNext()
+			if s == nil {
+				ep.terminate(j, LimEnd)
+				return
+			}
+		}
+		if s.ai.IMiss && !s.imissDone {
+			if e.cfg.MSHRs > 0 && ep.accesses >= e.cfg.MSHRs {
+				ep.terminate(j, LimMSHR)
+				return
+			}
+			s.imissDone = true
+			lim := LimImissEnd
+			if ep.accesses == 0 {
+				lim = LimImissStart
+			}
+			ep.record(e, j, accI)
+			ep.terminate(j, lim)
+			return
+		}
+
+		// Operand or forwarding stall: only outstanding misses can cause
+		// one in order, so this is the stall-on-use window termination.
+		if !e.srcsReady(s) || (s.memProd >= 0 && !e.producerExecuted(s.memProd)) {
+			lim := LimMissingLoad
+			if s.ai.Class == isa.Branch && s.ai.Mispred {
+				lim = LimMispredBr
+			}
+			ep.terminate(j, lim)
+			return
+		}
+
+		if e.cfg.MSHRs > 0 && (s.ai.DMiss || s.ai.PMiss) && !s.counted &&
+			ep.accesses >= e.cfg.MSHRs {
+			ep.terminate(j, LimMSHR)
+			return
+		}
+		if e.cfg.StoreBuffer > 0 && s.ai.SMiss && !s.countedS &&
+			ep.sAccesses >= e.cfg.StoreBuffer {
+			ep.terminate(j, LimStoreBuf)
+			return
+		}
+
+		if s.ai.Class.IsSerializing() {
+			e.advanceRetire()
+			if ep.accesses > 0 || e.retire < j {
+				ep.terminate(j, LimSerialize)
+				return
+			}
+		}
+
+		e.execute(j, s, ep)
+		e.advanceRetire()
+
+		if s.ai.DMiss && e.cfg.Mode == InOrderStallOnMiss {
+			// Issue stalls as soon as the miss is detected.
+			ep.terminate(j, LimMissingLoad)
+			return
+		}
+	}
+}

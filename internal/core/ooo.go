@@ -1,0 +1,315 @@
+package core
+
+import (
+	"mlpsim/internal/annotate"
+	"mlpsim/internal/isa"
+)
+
+// accessKind classifies one off-chip access.
+type accessKind uint8
+
+const (
+	accD accessKind = iota // missing load / atomic
+	accP                   // missing prefetch
+	accI                   // missing instruction fetch
+)
+
+func (ep *epochState) record(e *Engine, j int64, kind accessKind) {
+	if ep.accesses == 0 {
+		ep.trigger = j
+		ep.epoch.Trigger = j
+	}
+	ep.accesses++
+	switch kind {
+	case accD:
+		ep.dAccesses++
+	case accP:
+		ep.pAccesses++
+	case accI:
+		ep.iAccesses++
+	}
+	if e.cfg.OnEpoch != nil {
+		ep.epoch.AccessIdx = append(ep.epoch.AccessIdx, j)
+	}
+}
+
+// terminate records the window termination point and cause.
+func (ep *epochState) terminate(idx int64, lim Limiter) {
+	ep.termIdx = idx
+	ep.limiter = lim
+}
+
+// block records the earliest Figure-5 blocking event (a missing load held
+// back by the load-ordering or store-address policy).
+func (ep *epochState) block(idx int64, lim Limiter) {
+	if ep.blockIdx < 0 {
+		ep.blockIdx = idx
+		ep.blockLim = lim
+	}
+}
+
+// execResult is the outcome of one execution attempt.
+type execResult uint8
+
+const (
+	execOK execResult = iota
+	execBlocked
+	execVPFlush
+)
+
+// tryExecute attempts to execute slot j in the current epoch under the
+// engine's issue policies. rae relaxes the conventional constraints
+// (runahead execution, §3.5).
+func (e *Engine) tryExecute(j int64, s *slot, ep *epochState, rae bool) execResult {
+	cls := s.ai.Class
+
+	// A slot whose instruction fetch is still pending (possible only when
+	// a full MSHR file deferred the I-access at fetch time) must issue
+	// its fetch before it can execute; the line arrives at the end of the
+	// epoch that issues it.
+	if s.ai.IMiss && !s.imissDone {
+		if e.cfg.MSHRs > 0 && ep.accesses >= e.cfg.MSHRs {
+			ep.block(j, LimMSHR)
+			return execBlocked
+		}
+		s.imissDone = true
+		ep.record(e, j, accI)
+		return execBlocked
+	}
+
+	// Serializing instructions drain the pipeline in configurations A–D;
+	// runahead is purely speculative and ignores them.
+	if !rae && e.cfg.Issue.Serializing() && cls.IsSerializing() {
+		e.advanceRetire()
+		if e.retire != j {
+			return execBlocked
+		}
+		e.execute(j, s, ep)
+		return execOK
+	}
+
+	// Finite MSHRs: a new off-chip access cannot issue while all miss
+	// registers are occupied by this epoch's outstanding accesses.
+	if e.cfg.MSHRs > 0 && (s.ai.DMiss || s.ai.PMiss) && !s.counted &&
+		ep.accesses >= e.cfg.MSHRs {
+		ep.block(j, LimMSHR)
+		return execBlocked
+	}
+	// Finite store buffer (conventional mode; runahead stores do not
+	// update state and bypass it).
+	if !rae && e.cfg.StoreBuffer > 0 && s.ai.SMiss && !s.countedS &&
+		ep.sAccesses >= e.cfg.StoreBuffer {
+		ep.block(j, LimStoreBuf)
+		return execBlocked
+	}
+
+	if !e.srcsReady(s) {
+		// A consumer of a wrongly value-predicted missing load costs a
+		// recovery flush in conventional mode.
+		if !rae && e.cfg.ValuePredict && !e.cfg.PerfectVP {
+			if p := e.vpWrongProducer(s); p >= 0 {
+				e.at(p).vpHandled = true
+				return execVPFlush
+			}
+		}
+		return execBlocked
+	}
+
+	// True memory dependence: a load must wait for the latest earlier
+	// same-address store to execute (forwarding). Runahead stores do not
+	// update state, so runahead ignores this.
+	isLoadLike := cls.IsMemRead() && cls != isa.Prefetch
+	if !rae && isLoadLike && s.memProd >= 0 && !e.producerExecuted(s.memProd) {
+		return execBlocked
+	}
+
+	if !rae && cls == isa.Branch && e.cfg.Issue.BranchesInOrder() &&
+		!e.producerExecuted(s.prevBranch) {
+		return execBlocked
+	}
+
+	if !rae && isLoadLike {
+		if e.cfg.Issue.LoadsInOrder() && !e.producerExecuted(s.prevMem) {
+			if s.ai.DMiss {
+				if ep.firstUnresolvedStore >= 0 && ep.firstUnresolvedStore < j {
+					ep.block(j, LimDepStore)
+				} else {
+					ep.block(j, LimMissingLoad)
+				}
+			}
+			return execBlocked
+		}
+		if e.cfg.Issue.LoadsWaitStoreAddr() &&
+			ep.firstUnresolvedStore >= 0 && ep.firstUnresolvedStore < j {
+			if s.ai.DMiss {
+				ep.block(j, LimDepStore)
+			}
+			return execBlocked
+		}
+	}
+
+	// Stores execute once address and data are ready (checked via
+	// srcsReady above).
+	e.execute(j, s, ep)
+	return execOK
+}
+
+// vpWrongProducer returns the index of an outstanding wrongly-predicted
+// producer of s, or -1.
+func (e *Engine) vpWrongProducer(s *slot) int64 {
+	for _, p := range [2]int64{s.prod1, s.prod2} {
+		if p < 0 || p < e.retire {
+			continue
+		}
+		ps := e.at(p)
+		if ps.executed && ps.avail > e.epoch && ps.vpWrong && !ps.vpHandled {
+			return p
+		}
+	}
+	return -1
+}
+
+// noteUnresolvedStore records the first store in scan order whose address
+// is not yet resolved (configurations A and B block later loads on it).
+func (e *Engine) noteUnresolvedStore(j int64, s *slot, ep *epochState) {
+	if !s.ai.Class.IsMemWrite() || s.executed {
+		return
+	}
+	if ep.firstUnresolvedStore >= 0 {
+		return
+	}
+	if !e.resultReady(s.prod1) {
+		ep.firstUnresolvedStore = j
+	}
+}
+
+// runEpochOoO runs one epoch of the out-of-order (or runahead) model.
+func (e *Engine) runEpochOoO(ep *epochState) {
+	rae := e.cfg.Runahead
+	e.advanceRetire()
+
+	// Phase 1: revisit deferred instructions in program order. Earlier
+	// epochs' misses have completed, so dependence chains resolve here.
+	for j := e.retire; j < e.fetchEnd; j++ {
+		s := e.at(j)
+		if !s.executed {
+			e.tryExecute(j, s, ep, rae)
+			e.noteUnresolvedStore(j, s, ep)
+		}
+	}
+	e.advanceRetire()
+
+	// An unexecuted fetch blocker at the window tail stalls fetch for the
+	// whole epoch: the front end sits on a wrong path (unresolvable
+	// mispredicted branch) or a drained pipeline (serializing
+	// instruction).
+	if e.fetchEnd > e.retire {
+		t := e.at(e.fetchEnd - 1)
+		if !t.executed {
+			if t.ai.Class == isa.Branch && t.ai.Mispred {
+				ep.terminate(e.fetchEnd-1, LimMispredBr)
+				return
+			}
+			if !rae && e.cfg.Issue.Serializing() && t.ai.Class.IsSerializing() {
+				ep.terminate(e.fetchEnd-1, LimSerialize)
+				return
+			}
+		}
+	}
+
+	// Phase 2: fetch and execute until a window termination condition.
+	for {
+		j := e.fetchEnd
+
+		if rae {
+			// The runahead distance is anchored at the oldest incomplete
+			// instruction (the checkpointed trigger in hardware terms): a
+			// missing-load trigger blocks retirement, so the window
+			// extends MaxRunahead beyond it; fire-and-forget prefetch
+			// triggers do not stall and impose no bound.
+			e.advanceRetire()
+			if j-e.retire >= int64(e.cfg.MaxRunahead) {
+				ep.terminate(j, LimRunahead)
+				return
+			}
+		} else {
+			e.advanceRetire()
+			if j-e.retire >= int64(e.cfg.ROB) || e.unexec >= e.cfg.IssueWindow {
+				ep.terminate(j, LimMaxwin)
+				e.fetchBufferScan(ep)
+				return
+			}
+		}
+
+		s := e.fetchNext()
+		if s == nil {
+			ep.terminate(j, LimEnd)
+			return
+		}
+
+		// A missing instruction fetch blocks the front end; the access
+		// itself overlaps with this epoch — unless the MSHR file is full,
+		// in which case the fetch must wait for the next epoch.
+		if s.ai.IMiss && !s.imissDone {
+			if e.cfg.MSHRs > 0 && ep.accesses >= e.cfg.MSHRs {
+				ep.terminate(j, LimMSHR)
+				return
+			}
+			s.imissDone = true
+			lim := LimImissEnd
+			if ep.accesses == 0 {
+				lim = LimImissStart
+			}
+			ep.record(e, j, accI)
+			ep.terminate(j, lim)
+			return
+		}
+
+		switch e.tryExecute(j, s, ep, rae) {
+		case execVPFlush:
+			ep.terminate(j, LimVPMisp)
+			return
+		case execBlocked:
+			if s.ai.Class == isa.Branch && s.ai.Mispred {
+				ep.terminate(j, LimMispredBr)
+				return
+			}
+			if !rae && e.cfg.Issue.Serializing() && s.ai.Class.IsSerializing() {
+				ep.terminate(j, LimSerialize)
+				return
+			}
+			e.noteUnresolvedStore(j, s, ep)
+		}
+	}
+}
+
+// fetchBufferScan models the fetch buffer: after a Maxwin termination the
+// front end keeps fetching up to FetchBuffer instructions; an I-miss found
+// there is issued in (and overlaps with) the current epoch. The scan stops
+// at a mispredicted branch — beyond it the front end is on the wrong path.
+func (e *Engine) fetchBufferScan(ep *epochState) {
+	for k := 0; k < e.cfg.FetchBuffer; k++ {
+		var ai *annotate.Inst
+		if k < len(e.pending) {
+			ai = &e.pending[k]
+		} else {
+			next, ok := e.pullSource()
+			if !ok {
+				return
+			}
+			e.pending = append(e.pending, next)
+			ai = &e.pending[len(e.pending)-1]
+		}
+		if ai.Class == isa.Branch && ai.Mispred && !e.cfg.PerfectBP {
+			return
+		}
+		if ai.IMiss && !e.cfg.PerfectIFetch {
+			if e.cfg.MSHRs > 0 && ep.accesses >= e.cfg.MSHRs {
+				return
+			}
+			ep.record(e, ai.Index, accI)
+			ai.IMiss = false // fetch satisfied; arrives with this epoch
+			return
+		}
+	}
+}

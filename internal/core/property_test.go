@@ -1,0 +1,288 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"mlpsim/internal/annotate"
+	"mlpsim/internal/isa"
+)
+
+// randomStream builds a random but well-formed annotated stream: register
+// producers are arbitrary, miss/mispredict/imiss flags are sprinkled at
+// the given rates. It stresses the engine far outside the calibrated
+// workloads.
+func randomStream(rng *rand.Rand, n int, missP, imissP, mispredP, serialP float64) []annotate.Inst {
+	insts := make([]annotate.Inst, n)
+	for i := range insts {
+		var in annotate.Inst
+		in.Index = int64(i)
+		in.PC = 0x1000 + uint64(i)*4
+		switch x := rng.Float64(); {
+		case x < 0.18:
+			in.Class = isa.Load
+			in.Src1 = isa.Reg(rng.Intn(isa.NumRegs))
+			in.Src2 = isa.NoReg
+			in.Dst = isa.Reg(1 + rng.Intn(isa.NumRegs-1))
+			in.EA = uint64(rng.Intn(1 << 28))
+			in.DMiss = rng.Float64() < missP
+		case x < 0.26:
+			in.Class = isa.Store
+			in.Src1 = isa.Reg(rng.Intn(isa.NumRegs))
+			in.Src2 = isa.Reg(rng.Intn(isa.NumRegs))
+			in.Dst = isa.NoReg
+			in.EA = uint64(rng.Intn(1 << 28))
+		case x < 0.30:
+			in.Class = isa.Prefetch
+			in.Src1 = isa.Reg(rng.Intn(isa.NumRegs))
+			in.Src2, in.Dst = isa.NoReg, isa.NoReg
+			in.EA = uint64(rng.Intn(1 << 28))
+			in.PMiss = rng.Float64() < missP
+		case x < 0.42:
+			in.Class = isa.Branch
+			in.Src1 = isa.Reg(rng.Intn(isa.NumRegs))
+			in.Src2, in.Dst = isa.NoReg, isa.NoReg
+			in.Mispred = rng.Float64() < mispredP
+		case x < 0.42+serialP:
+			if rng.Intn(2) == 0 {
+				in.Class = isa.MemBar
+				in.Src1, in.Src2, in.Dst = isa.NoReg, isa.NoReg, isa.NoReg
+			} else {
+				in.Class = isa.CASA
+				in.Src1 = isa.Reg(rng.Intn(isa.NumRegs))
+				in.Src2 = isa.Reg(rng.Intn(isa.NumRegs))
+				in.Dst = isa.Reg(1 + rng.Intn(isa.NumRegs-1))
+				in.EA = uint64(rng.Intn(1 << 20))
+				in.DMiss = rng.Float64() < missP/4
+			}
+		default:
+			in.Class = isa.ALU
+			in.Src1 = isa.Reg(rng.Intn(isa.NumRegs))
+			in.Src2 = isa.Reg(rng.Intn(isa.NumRegs))
+			in.Dst = isa.Reg(1 + rng.Intn(isa.NumRegs-1))
+		}
+		if rng.Float64() < imissP {
+			in.IMiss = true
+		}
+		insts[i] = in
+	}
+	return insts
+}
+
+// expectedAccesses counts the off-chip accesses a stream carries.
+func expectedAccesses(insts []annotate.Inst) uint64 {
+	var n uint64
+	for i := range insts {
+		if insts[i].DMiss || insts[i].PMiss {
+			n++
+		}
+		if insts[i].IMiss {
+			n++
+		}
+	}
+	return n
+}
+
+// Property: for arbitrary random streams and arbitrary configurations the
+// engine terminates, conserves accesses exactly, produces MLP >= 1 when
+// any access exists, and its limiter counts sum to the epoch count.
+func TestEngineConservationProperty(t *testing.T) {
+	f := func(seed int64, sizeSel, cfgSel uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		insts := randomStream(rng, 2000, 0.05, 0.01, 0.05, 0.02)
+		want := expectedAccesses(insts)
+
+		cfg := Default()
+		cfg.FetchBuffer = int(sizeSel) % 40
+		switch cfgSel % 8 {
+		case 0:
+			cfg.Mode = InOrderStallOnMiss
+		case 1:
+			cfg.Mode = InOrderStallOnUse
+		case 2:
+			cfg = cfg.WithWindow(4)
+		case 3:
+			cfg = cfg.WithWindow(16).WithIssue(ConfigA)
+		case 4:
+			cfg = cfg.WithWindow(64).WithIssue(ConfigB)
+		case 5:
+			cfg = cfg.WithIssue(ConfigD).WithRunahead()
+		case 6:
+			cfg = cfg.WithWindow(32).WithROB(256).WithIssue(ConfigE)
+		default:
+			cfg = cfg.WithIssue(ConfigD)
+			cfg.PerfectBP = true
+		}
+		res := NewEngine(&aiSource{insts: insts}, cfg).Run()
+
+		if cfg.PerfectBP || cfg.PerfectIFetch {
+			// Rewrites change the expected count; skip conservation.
+		} else if res.Accesses != want {
+			t.Logf("seed %d cfg %d: accesses %d, want %d", seed, cfgSel%8, res.Accesses, want)
+			return false
+		}
+		if res.Accesses > 0 && res.MLP() < 1 {
+			t.Logf("MLP %f < 1", res.MLP())
+			return false
+		}
+		var sum uint64
+		for _, n := range res.Limiters {
+			sum += n
+		}
+		if sum != res.Epochs {
+			t.Logf("limiters sum %d != epochs %d", sum, res.Epochs)
+			return false
+		}
+		return res.Instructions == int64(len(insts))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: for the same random stream, MLP never decreases when the
+// window grows (same issue configuration).
+func TestEngineWindowMonotonicityProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		insts := randomStream(rng, 3000, 0.06, 0.005, 0.03, 0.01)
+		prev := -1.0
+		for _, size := range []int{4, 16, 64, 256} {
+			res := NewEngine(&aiSource{insts: append([]annotate.Inst(nil), insts...)},
+				cfgWindow(size, ConfigC)).Run()
+			mlp := res.MLP()
+			if mlp < prev-1e-9 {
+				t.Logf("seed %d: MLP fell %f -> %f at window %d", seed, prev, mlp, size)
+				return false
+			}
+			prev = mlp
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: relaxing issue constraints A->E never lowers MLP on the same
+// stream.
+func TestEngineIssueMonotonicityProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		insts := randomStream(rng, 3000, 0.06, 0.005, 0.03, 0.02)
+		prev := -1.0
+		for _, ic := range []IssueConfig{ConfigA, ConfigB, ConfigC, ConfigD, ConfigE} {
+			res := NewEngine(&aiSource{insts: append([]annotate.Inst(nil), insts...)},
+				cfgWindow(64, ic)).Run()
+			if res.MLP() < prev-1e-9 {
+				t.Logf("seed %d: MLP fell %f -> %f at %v", seed, prev, res.MLP(), ic)
+				return false
+			}
+			prev = res.MLP()
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Failure injection: extreme streams must not wedge or panic.
+func TestEngineExtremeStreams(t *testing.T) {
+	cases := map[string][]annotate.Inst{
+		"empty": nil,
+		"single-miss": {
+			{Inst: isa.Inst{Class: isa.Load, Src1: 1, Src2: isa.NoReg, Dst: 2}, DMiss: true},
+		},
+		"all-imiss": func() []annotate.Inst {
+			var out []annotate.Inst
+			for i := 0; i < 200; i++ {
+				in := add(9, 9, 9)
+				in.IMiss = true
+				out = append(out, in)
+			}
+			return out
+		}(),
+		"all-serializing": func() []annotate.Inst {
+			var out []annotate.Inst
+			for i := 0; i < 200; i++ {
+				if i%2 == 0 {
+					out = append(out, ld(2, 1, true))
+				} else {
+					out = append(out, membar())
+				}
+			}
+			return out
+		}(),
+		"all-mispredicted": func() []annotate.Inst {
+			var out []annotate.Inst
+			for i := 0; i < 200; i++ {
+				out = append(out, ld(2, 1, true), br(2, true))
+			}
+			return out
+		}(),
+		"dependence-chain": func() []annotate.Inst {
+			var out []annotate.Inst
+			for i := 0; i < 300; i++ {
+				out = append(out, ld(2, 2, true)) // each depends on the last
+			}
+			return out
+		}(),
+	}
+	configs := []Config{
+		cfgWindow(4, ConfigA),
+		cfgWindow(64, ConfigC),
+		cfgWindow(64, ConfigD).WithRunahead(),
+		{Mode: InOrderStallOnMiss},
+		{Mode: InOrderStallOnUse},
+	}
+	for name, insts := range cases {
+		for _, cfg := range configs {
+			src := &aiSource{insts: append([]annotate.Inst(nil), insts...)}
+			for i := range src.insts {
+				src.insts[i].Index = int64(i)
+			}
+			res := NewEngine(src, cfg).Run()
+			if res.Instructions != int64(len(insts)) {
+				t.Errorf("%s/%s: consumed %d of %d", name, cfg.Name(), res.Instructions, len(insts))
+			}
+			if want := expectedAccesses(insts); res.Accesses != want {
+				t.Errorf("%s/%s: accesses %d, want %d", name, cfg.Name(), res.Accesses, want)
+			}
+		}
+	}
+}
+
+// The all-dependent chain must produce MLP exactly 1 in every
+// configuration, including runahead: dependences are the model's floor.
+func TestDependentChainMLPFloor(t *testing.T) {
+	var insts []annotate.Inst
+	for i := 0; i < 300; i++ {
+		insts = append(insts, ld(2, 2, true))
+	}
+	for _, cfg := range []Config{
+		cfgWindow(64, ConfigE),
+		cfgWindow(64, ConfigD).WithRunahead(),
+		{Mode: InOrderStallOnUse},
+	} {
+		src := &aiSource{insts: append([]annotate.Inst(nil), insts...)}
+		res := NewEngine(src, cfg).Run()
+		if res.MLP() != 1 {
+			t.Errorf("%s: dependent chain MLP = %v, want exactly 1", cfg.Name(), res.MLP())
+		}
+	}
+}
+
+// Determinism: the whole pipeline (generation, annotation, epoch engine)
+// is bit-reproducible for a fixed seed.
+func TestEngineEndToEndDeterminism(t *testing.T) {
+	run := func() Result {
+		src := &aiSource{insts: randomStream(rand.New(rand.NewSource(77)), 5000, 0.05, 0.01, 0.04, 0.02)}
+		return NewEngine(src, Default().WithIssue(ConfigD).WithRunahead()).Run()
+	}
+	a, b := run(), run()
+	if a.Accesses != b.Accesses || a.Epochs != b.Epochs || a.Limiters != b.Limiters {
+		t.Fatalf("non-deterministic results: %+v vs %+v", a, b)
+	}
+}

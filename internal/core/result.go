@@ -1,0 +1,147 @@
+package core
+
+import "fmt"
+
+// Limiter is the condition that prevented more MLP from being uncovered in
+// an epoch (Figure 5's categories, plus value-misprediction recovery).
+type Limiter uint8
+
+const (
+	// LimImissStart: the epoch trigger was a missing instruction fetch;
+	// fetch is blocking so nothing can overlap.
+	LimImissStart Limiter = iota
+	// LimMaxwin: the issue window or reorder buffer filled.
+	LimMaxwin
+	// LimMispredBr: a mispredicted branch dependent on an outstanding
+	// miss could not resolve.
+	LimMispredBr
+	// LimImissEnd: an instruction fetch miss ended a window begun by a
+	// data access.
+	LimImissEnd
+	// LimMissingLoad: an earlier missing load blocked later loads
+	// (configuration A only).
+	LimMissingLoad
+	// LimDepStore: a store with an unresolved (miss-dependent) address
+	// blocked later loads (configurations A and B).
+	LimDepStore
+	// LimSerialize: a serializing instruction required a pipeline drain.
+	LimSerialize
+	// LimVPMisp: a wrong value prediction forced a recovery flush
+	// (conventional mode with value prediction only).
+	LimVPMisp
+	// LimRunahead: the maximum runahead distance was reached.
+	LimRunahead
+	// LimMSHR: all miss-status holding registers were occupied, so no
+	// further off-chip access could issue (finite-MSHR extension).
+	LimMSHR
+	// LimStoreBuf: the finite store buffer filled with outstanding store
+	// misses (store-MLP extension, the paper's §7 future work).
+	LimStoreBuf
+	// LimEnd: the instruction stream ended.
+	LimEnd
+
+	// NumLimiters is the number of limiter categories.
+	NumLimiters = int(LimEnd) + 1
+)
+
+var limiterNames = [NumLimiters]string{
+	"Imiss start", "Maxwin", "Mispred br", "Imiss end",
+	"Missing load", "Dep store", "Serialize", "VP misp", "Runahead limit",
+	"MSHR full", "Store buffer", "End of trace",
+}
+
+// String returns the Figure 5 label.
+func (l Limiter) String() string {
+	if int(l) < NumLimiters {
+		return limiterNames[l]
+	}
+	return fmt.Sprintf("Limiter(%d)", uint8(l))
+}
+
+// Epoch describes one completed epoch (delivered via Config.OnEpoch).
+type Epoch struct {
+	// Seq is the 0-based epoch number.
+	Seq uint64
+	// Trigger is the dynamic index of the instruction that initiated the
+	// epoch's first off-chip access.
+	Trigger int64
+	// Accesses is the number of useful off-chip accesses issued.
+	Accesses int
+	// DAccesses, PAccesses, IAccesses split Accesses by kind.
+	DAccesses, PAccesses, IAccesses int
+	// Limiter is the condition that ended the epoch.
+	Limiter Limiter
+	// Executed lists the dynamic indices of instructions executed in this
+	// epoch, in program order (only populated when OnEpoch is set).
+	Executed []int64
+	// AccessIdx lists the dynamic indices whose off-chip accesses issued
+	// in this epoch.
+	AccessIdx []int64
+}
+
+// Result summarizes one MLPsim run.
+type Result struct {
+	// Config echoes the configuration that produced the result.
+	Config Config
+	// Instructions is the number of dynamic instructions consumed.
+	Instructions int64
+	// Epochs is the number of epochs containing at least one access.
+	Epochs uint64
+	// Accesses is the number of useful off-chip accesses.
+	Accesses uint64
+	// DAccesses, PAccesses, IAccesses split Accesses by kind.
+	DAccesses, PAccesses, IAccesses uint64
+	// SAccesses counts off-chip store misses (excluded from Accesses and
+	// MLP, per the paper's definition) and StoreEpochs the epochs
+	// containing at least one: together they give the store-MLP extension
+	// metric.
+	SAccesses   uint64
+	StoreEpochs uint64
+	// Limiters counts epochs by their limiting condition.
+	Limiters [NumLimiters]uint64
+}
+
+// StoreMLP is the average number of store misses per epoch that has one —
+// the §7 "store MLP" future-work metric, measured like MLP but over store
+// write-allocate traffic.
+func (r *Result) StoreMLP() float64 {
+	if r.StoreEpochs == 0 {
+		return 0
+	}
+	return float64(r.SAccesses) / float64(r.StoreEpochs)
+}
+
+// MLP is average memory-level parallelism: useful off-chip accesses per
+// epoch (§2.1). It is 0 when no access was observed.
+func (r *Result) MLP() float64 {
+	if r.Epochs == 0 {
+		return 0
+	}
+	return float64(r.Accesses) / float64(r.Epochs)
+}
+
+// MissRatePer100 is useful off-chip accesses per 100 instructions.
+func (r *Result) MissRatePer100() float64 {
+	if r.Instructions == 0 {
+		return 0
+	}
+	return 100 * float64(r.Accesses) / float64(r.Instructions)
+}
+
+// LimiterFracs returns each limiter's share of all epochs.
+func (r *Result) LimiterFracs() [NumLimiters]float64 {
+	var out [NumLimiters]float64
+	if r.Epochs == 0 {
+		return out
+	}
+	for i, n := range r.Limiters {
+		out[i] = float64(n) / float64(r.Epochs)
+	}
+	return out
+}
+
+// String renders a one-line summary.
+func (r *Result) String() string {
+	return fmt.Sprintf("%s: MLP=%.3f (accesses=%d epochs=%d over %d insts)",
+		r.Config.Name(), r.MLP(), r.Accesses, r.Epochs, r.Instructions)
+}

@@ -1,0 +1,78 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Timeline renders epochs in the style of the paper's Figures 1 and 3:
+// each epoch is a period of on-chip computation (light, '.') followed by
+// its overlapped off-chip accesses (dark, '#'), with the access count and
+// the terminating condition annotated. The X axis is dynamic instructions
+// (the epoch model has no cycle axis); the memory segment is drawn at a
+// fixed width since all of an epoch's accesses complete together.
+//
+// Attach Timeline.OnEpoch to Config.OnEpoch and render with String after
+// the run.
+type Timeline struct {
+	// MaxEpochs bounds how many epochs are kept (default 32).
+	MaxEpochs int
+	// ComputeScale is instructions per '.' cell (default 16).
+	ComputeScale int
+
+	epochs  []Epoch
+	prevEnd int64
+}
+
+// OnEpoch records one epoch (use as Config.OnEpoch).
+func (t *Timeline) OnEpoch(ep Epoch) {
+	max := t.MaxEpochs
+	if max == 0 {
+		max = 32
+	}
+	if len(t.epochs) < max {
+		t.epochs = append(t.epochs, ep)
+	}
+}
+
+// String renders the recorded epochs.
+func (t *Timeline) String() string {
+	scale := t.ComputeScale
+	if scale == 0 {
+		scale = 16
+	}
+	var b strings.Builder
+	b.WriteString("epoch timeline ('.' = on-chip compute, '#' = overlapped off-chip accesses)\n")
+	b.WriteString(fmt.Sprintf("x axis: dynamic instructions, %d per compute cell\n\n", scale))
+	prevEnd := int64(0)
+	for i, ep := range t.epochs {
+		start := ep.Trigger
+		compute := int((start - prevEnd) / int64(scale))
+		if compute < 0 {
+			compute = 0
+		}
+		if compute > 60 {
+			compute = 60
+		}
+		lastIdx := start
+		if n := len(ep.AccessIdx); n > 0 {
+			lastIdx = ep.AccessIdx[n-1]
+		}
+		prevEnd = lastIdx + 1
+
+		b.WriteString(fmt.Sprintf("%4d @%-9d %s", i, start, strings.Repeat(".", compute)))
+		// One '#' bar row summary: the access count as stacked bars.
+		bars := ep.Accesses
+		if bars > 12 {
+			bars = 12
+		}
+		b.WriteString("[")
+		b.WriteString(strings.Repeat("#", bars))
+		b.WriteString("]")
+		b.WriteString(fmt.Sprintf(" %d access(es), ends: %s\n", ep.Accesses, ep.Limiter))
+	}
+	if len(t.epochs) == 0 {
+		b.WriteString("(no epochs)\n")
+	}
+	return b.String()
+}

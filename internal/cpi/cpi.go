@@ -1,0 +1,67 @@
+// Package cpi implements the paper's CPI decomposition (§2.2):
+//
+//	CPI = CPI_perf · (1 − Overlap_CM) + MissRate · MissPenalty / MLP
+//
+// The first term is the on-chip CPI; the second is the off-chip CPI. The
+// model links MLPsim's timing-free MLP numbers back to overall
+// performance (Tables 1 and 4, Figures 9 and 11).
+package cpi
+
+// Params carries the workload characterization needed by the model.
+type Params struct {
+	// CPIPerf is the CPI with a perfect furthest on-chip cache, measured
+	// by a cycle simulator run with PerfectL2.
+	CPIPerf float64
+	// OverlapCM is the fractional overlap of compute cycles with off-chip
+	// cycles (0..1).
+	OverlapCM float64
+	// MissRatePer100 is off-chip accesses per 100 instructions.
+	MissRatePer100 float64
+	// MissPenalty is the off-chip access latency in cycles.
+	MissPenalty float64
+}
+
+// OnChip returns the on-chip CPI component: CPI_perf · (1 − Overlap_CM).
+func (p Params) OnChip() float64 {
+	return p.CPIPerf * (1 - p.OverlapCM)
+}
+
+// OffChip returns the off-chip CPI component for the given MLP.
+func (p Params) OffChip(mlp float64) float64 {
+	if mlp <= 0 {
+		return 0
+	}
+	return p.MissRatePer100 / 100 * p.MissPenalty / mlp
+}
+
+// Estimate returns the modelled overall CPI for the given MLP.
+func (p Params) Estimate(mlp float64) float64 {
+	return p.OnChip() + p.OffChip(mlp)
+}
+
+// DeriveOverlap solves the model for Overlap_CM given a measured overall
+// CPI and MLP: the paper derives Overlap_CM this way from two cycle-
+// simulator runs. The result is clamped to [0, 1].
+func DeriveOverlap(measuredCPI, cpiPerf, missRatePer100, missPenalty, mlp float64) float64 {
+	if cpiPerf <= 0 || mlp <= 0 {
+		return 0
+	}
+	offChip := missRatePer100 / 100 * missPenalty / mlp
+	overlap := 1 - (measuredCPI-offChip)/cpiPerf
+	if overlap < 0 {
+		return 0
+	}
+	if overlap > 1 {
+		return 1
+	}
+	return overlap
+}
+
+// Improvement returns the percentage performance improvement of newCPI
+// over baseCPI (positive = faster).
+func Improvement(baseCPI, newCPI float64) float64 {
+	if newCPI <= 0 {
+		return 0
+	}
+	return 100 * (baseCPI/newCPI - 1)
+}

@@ -1,0 +1,96 @@
+package cpi
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func close(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestPaperFigure1Worked(t *testing.T) {
+	// The Figure 1 example: Cycles=570, Cycles_perf=200, NumMiss=3,
+	// MissPenalty=200, Overlap_CM=0.2, MLP=1.463. In per-instruction
+	// terms the identity must hold for any instruction count; use 100.
+	p := Params{
+		CPIPerf:        2.0, // 200 cycles / 100 instructions
+		OverlapCM:      0.2,
+		MissRatePer100: 3,
+		MissPenalty:    200,
+	}
+	got := p.Estimate(1.463)
+	want := 2.0*0.8 + 0.03*200/1.463 // 1.6 + 4.1011... = 5.7011
+	if !close(got, want) {
+		t.Fatalf("Estimate = %v, want %v", got, want)
+	}
+	// 570 cycles / 100 instructions = 5.70 CPI.
+	if math.Abs(got-5.70) > 0.01 {
+		t.Fatalf("Estimate = %v, want ≈ 5.70 (the paper's worked example)", got)
+	}
+}
+
+func TestComponents(t *testing.T) {
+	p := Params{CPIPerf: 1.47, OverlapCM: 0.18, MissRatePer100: 0.84, MissPenalty: 1000}
+	if !close(p.OnChip(), 1.47*0.82) {
+		t.Fatalf("OnChip = %v", p.OnChip())
+	}
+	if !close(p.OffChip(1.38), 0.0084*1000/1.38) {
+		t.Fatalf("OffChip = %v", p.OffChip(1.38))
+	}
+	// Table 1's database row at 1000 cycles: CPI ≈ 7.28.
+	if got := p.Estimate(1.38); math.Abs(got-7.29) > 0.1 {
+		t.Fatalf("database CPI estimate = %v, want ≈ 7.28", got)
+	}
+	if p.OffChip(0) != 0 {
+		t.Fatal("OffChip with zero MLP must be 0")
+	}
+}
+
+func TestDeriveOverlapRoundTrip(t *testing.T) {
+	f := func(rawOverlap, rawMLP float64) bool {
+		overlap := math.Mod(math.Abs(rawOverlap), 1)
+		mlp := 1 + math.Mod(math.Abs(rawMLP), 4)
+		p := Params{CPIPerf: 1.5, OverlapCM: overlap, MissRatePer100: 0.5, MissPenalty: 1000}
+		cpi := p.Estimate(mlp)
+		got := DeriveOverlap(cpi, p.CPIPerf, p.MissRatePer100, p.MissPenalty, mlp)
+		return math.Abs(got-overlap) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeriveOverlapClamps(t *testing.T) {
+	if got := DeriveOverlap(0.1, 1.5, 0.5, 1000, 1.5); got != 1 {
+		t.Fatalf("overlap should clamp to 1, got %v", got)
+	}
+	if got := DeriveOverlap(100, 1.5, 0.5, 1000, 1.5); got != 0 {
+		t.Fatalf("overlap should clamp to 0, got %v", got)
+	}
+	if got := DeriveOverlap(1, 0, 0.5, 1000, 1.5); got != 0 {
+		t.Fatal("zero CPIPerf must return 0")
+	}
+}
+
+func TestImprovement(t *testing.T) {
+	if got := Improvement(2, 1); !close(got, 100) {
+		t.Fatalf("halving CPI = %v%%, want 100%%", got)
+	}
+	if got := Improvement(1, 2); !close(got, -50) {
+		t.Fatalf("doubling CPI = %v%%, want -50%%", got)
+	}
+	if got := Improvement(1, 0); got != 0 {
+		t.Fatal("zero CPI must return 0")
+	}
+}
+
+// Doubling MLP halves the off-chip component (the paper's motivating
+// lever).
+func TestMLPLeverage(t *testing.T) {
+	p := Params{CPIPerf: 1.0, OverlapCM: 0, MissRatePer100: 1, MissPenalty: 1000}
+	base := p.Estimate(1)   // 1 + 10 = 11
+	double := p.Estimate(2) // 1 + 5 = 6
+	if !close(base, 11) || !close(double, 6) {
+		t.Fatalf("estimates = %v, %v", base, double)
+	}
+}

@@ -1,0 +1,574 @@
+// Package cyclesim is the cycle-level out-of-order processor simulator
+// used to validate MLPsim, standing in for the paper's proprietary
+// cycle-accurate SPARC simulator (§5.2, Tables 1, 3 and 4).
+//
+// It models a conventional pipeline — fetch through a fetch buffer,
+// rename/dispatch into an issue window and reorder buffer, oldest-first
+// issue with the Table 2 constraint configurations A–C, latency-accurate
+// execution, and in-order retirement — while measuring MLP(t) every cycle
+// exactly as §2.1 prescribes: the number of useful off-chip accesses
+// outstanding, averaged over the cycles where at least one is outstanding.
+//
+// Unlike MLPsim it is fully timing-aware: off-chip accesses issue and
+// complete at their real cycles, so overlap is emergent rather than
+// assumed. Agreement between the two (within a few percent at long
+// off-chip latencies) is the paper's central validation result.
+package cyclesim
+
+import (
+	"container/heap"
+	"fmt"
+
+	"mlpsim/internal/annotate"
+	"mlpsim/internal/core"
+	"mlpsim/internal/isa"
+)
+
+// Config parameterizes one cycle-simulator run.
+type Config struct {
+	// IssueWindow, ROB and FetchBuffer mirror the MLPsim structures.
+	IssueWindow int
+	ROB         int
+	FetchBuffer int
+	// Issue must be one of configurations A, B or C — like the paper's
+	// cycle-accurate simulator, out-of-order branch issue is not
+	// supported (§5.2).
+	Issue core.IssueConfig
+	// Widths of the pipeline stages (instructions per cycle).
+	FetchWidth, DispatchWidth, IssueWidth, RetireWidth int
+	// MissPenalty is the off-chip access latency in cycles (200-1000).
+	MissPenalty int
+	// L1Latency and L2Latency are the on-chip load-use latencies.
+	L1Latency, L2Latency int
+	// MispredictPenalty is the front-end refill delay after a mispredicted
+	// branch resolves.
+	MispredictPenalty int
+	// MSHRs bounds the number of off-chip accesses outstanding at once;
+	// 0 models the paper's unlimited baseline.
+	MSHRs int
+	// PerfectL2 treats every off-chip access as an L2 hit: the run
+	// measures CPI_perf for the CPI decomposition of §2.2.
+	PerfectL2 bool
+	// MaxInstructions bounds the run (0 = entire stream).
+	MaxInstructions int64
+}
+
+// Default returns the default pipeline matching MLPsim's default
+// configuration (§5.1) at the given off-chip latency.
+func Default(missPenalty int) Config {
+	return Config{
+		IssueWindow:       64,
+		ROB:               64,
+		FetchBuffer:       32,
+		Issue:             core.ConfigC,
+		FetchWidth:        4,
+		DispatchWidth:     4,
+		IssueWidth:        4,
+		RetireWidth:       4,
+		MissPenalty:       missPenalty,
+		L1Latency:         2,
+		L2Latency:         12,
+		MispredictPenalty: 8,
+	}
+}
+
+// Validate reports configuration errors.
+func (c *Config) Validate() error {
+	switch {
+	case c.IssueWindow <= 0 || c.ROB < c.IssueWindow:
+		return fmt.Errorf("cyclesim: bad window sizes IW=%d ROB=%d", c.IssueWindow, c.ROB)
+	case c.Issue > core.ConfigC:
+		return fmt.Errorf("cyclesim: issue configuration %v not supported (A-C only)", c.Issue)
+	case c.FetchWidth <= 0 || c.DispatchWidth <= 0 || c.IssueWidth <= 0 || c.RetireWidth <= 0:
+		return fmt.Errorf("cyclesim: stage widths must be positive")
+	case c.MissPenalty <= 0:
+		return fmt.Errorf("cyclesim: miss penalty %d must be positive", c.MissPenalty)
+	case c.L1Latency <= 0 || c.L2Latency < c.L1Latency:
+		return fmt.Errorf("cyclesim: bad cache latencies L1=%d L2=%d", c.L1Latency, c.L2Latency)
+	case c.FetchBuffer <= 0:
+		return fmt.Errorf("cyclesim: fetch buffer must be positive")
+	case c.MSHRs < 0:
+		return fmt.Errorf("cyclesim: negative MSHR count %d", c.MSHRs)
+	}
+	return nil
+}
+
+// Result summarizes one run.
+type Result struct {
+	Config       Config
+	Instructions int64
+	Cycles       int64
+	// MLP is the measured average memory-level parallelism: useful
+	// off-chip accesses outstanding averaged over non-zero cycles.
+	MLP float64
+	// MLPCycles is the number of cycles with at least one useful off-chip
+	// access outstanding.
+	MLPCycles int64
+	// Accesses counts useful off-chip accesses issued.
+	Accesses uint64
+}
+
+// CPI is cycles per instruction.
+func (r *Result) CPI() float64 {
+	if r.Instructions == 0 {
+		return 0
+	}
+	return float64(r.Cycles) / float64(r.Instructions)
+}
+
+// MissRatePer100 is off-chip accesses per 100 instructions.
+func (r *Result) MissRatePer100() float64 {
+	if r.Instructions == 0 {
+		return 0
+	}
+	return 100 * float64(r.Accesses) / float64(r.Instructions)
+}
+
+// robEntry is one in-flight instruction.
+type robEntry struct {
+	ai      annotate.Inst
+	issued  bool
+	doneAt  int64 // cycle the result becomes available (valid once issued)
+	prod1   int64 // producer instruction indices (absolute)
+	prod2   int64
+	memProd int64
+}
+
+// eventHeap is a min-heap of completion cycles.
+type eventHeap []int64
+
+func (h eventHeap) Len() int            { return len(h) }
+func (h eventHeap) Less(i, j int) bool  { return h[i] < h[j] }
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(int64)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// Sim is one cycle-level simulation.
+type Sim struct {
+	cfg Config
+	src core.AnnotatedSource
+
+	cycle int64
+	// rob holds in-flight instructions; robBase is the absolute index of
+	// rob[0]. Entries retire from the front.
+	rob      []robEntry
+	robBase  int64
+	robHead  int // offset of the oldest entry within rob (amortized queue)
+	nextIdx  int64
+	unissued int
+
+	fetchQ     []annotate.Inst
+	fetchHead  int
+	fetchStall int64
+	// awaitBranch, when >= 0, is the absolute index of a fetched
+	// mispredicted branch; fetch resumes after it resolves.
+	awaitBranch int64
+	// pendingIMiss holds an instruction whose fetch is waiting for an
+	// off-chip line.
+	pendingIMiss   *annotate.Inst
+	pendingIMissAt int64
+	srcDone        bool
+	fetched        int64
+
+	producers [isa.NumRegs]int64
+	lastStore map[uint64]int64
+
+	outstanding int
+	completions eventHeap
+	mlpSum      int64
+	mlpCycles   int64
+	accesses    uint64
+	retired     int64
+}
+
+// New builds a simulation over the annotated source. It panics on invalid
+// configurations.
+func New(src core.AnnotatedSource, cfg Config) *Sim {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	s := &Sim{cfg: cfg, src: src, lastStore: make(map[uint64]int64), awaitBranch: -1}
+	for i := range s.producers {
+		s.producers[i] = -1
+	}
+	return s
+}
+
+func (s *Sim) robLen() int { return len(s.rob) - s.robHead }
+
+func (s *Sim) robAt(i int) *robEntry { return &s.rob[s.robHead+i] }
+
+func (s *Sim) fetchQLen() int { return len(s.fetchQ) - s.fetchHead }
+
+// Run simulates to completion and returns the result.
+func (s *Sim) Run() Result {
+	for !s.finished() {
+		s.cycle++
+		s.doCompletions()
+		progress := s.retire()
+		progress += s.issue()
+		progress += s.dispatch()
+		progress += s.fetch()
+		if s.outstanding > 0 {
+			s.mlpSum += int64(s.outstanding)
+			s.mlpCycles++
+		}
+		if progress == 0 {
+			s.leap()
+		}
+	}
+	res := Result{
+		Config:       s.cfg,
+		Instructions: s.retired,
+		Cycles:       s.cycle,
+		MLPCycles:    s.mlpCycles,
+		Accesses:     s.accesses,
+	}
+	if s.mlpCycles > 0 {
+		res.MLP = float64(s.mlpSum) / float64(s.mlpCycles)
+	}
+	return res
+}
+
+func (s *Sim) finished() bool {
+	return s.srcDone && s.robLen() == 0 && s.fetchQLen() == 0 && s.pendingIMiss == nil
+}
+
+// entryDone reports whether an issued entry's result is available.
+func (s *Sim) entryDone(e *robEntry) bool {
+	return e.issued && e.doneAt <= s.cycle
+}
+
+// latency returns the result latency for a data access.
+func (s *Sim) latency(offChip bool) int64 {
+	if offChip && !s.cfg.PerfectL2 {
+		return int64(s.cfg.MissPenalty)
+	}
+	if offChip {
+		return int64(s.cfg.L2Latency)
+	}
+	return int64(s.cfg.L1Latency)
+}
+
+// noteAccess registers one useful off-chip access outstanding for lat
+// cycles.
+func (s *Sim) noteAccess(lat int64) {
+	s.outstanding++
+	s.accesses++
+	heap.Push(&s.completions, s.cycle+lat)
+}
+
+func (s *Sim) doCompletions() {
+	for len(s.completions) > 0 && s.completions[0] <= s.cycle {
+		heap.Pop(&s.completions)
+		s.outstanding--
+	}
+}
+
+func (s *Sim) retire() int {
+	n := 0
+	for n < s.cfg.RetireWidth && s.robLen() > 0 {
+		e := s.robAt(0)
+		if !s.entryDone(e) {
+			break
+		}
+		s.robHead++
+		s.robBase++
+		s.retired++
+		n++
+	}
+	// Compact the queue storage occasionally.
+	if s.robHead > 4096 && s.robHead >= len(s.rob)/2 {
+		s.rob = append(s.rob[:0], s.rob[s.robHead:]...)
+		s.robHead = 0
+	}
+	return n
+}
+
+// opReady reports whether the producer at absolute index p has produced
+// its value.
+func (s *Sim) opReady(p int64) bool {
+	if p < s.robBase {
+		return true
+	}
+	i := p - s.robBase
+	if i >= int64(s.robLen()) {
+		return true
+	}
+	return s.entryDone(s.robAt(int(i)))
+}
+
+// issue picks ready, constraint-satisfying instructions oldest first. It
+// returns the number issued.
+func (s *Sim) issue() int {
+	issued := 0
+	var firstUnresolvedStore, unissuedMem, unissuedBranch, unissuedSerial int64 = -1, -1, -1, -1
+	for i := 0; i < s.robLen() && issued < s.cfg.IssueWidth; i++ {
+		e := s.robAt(i)
+		abs := s.robBase + int64(i)
+		if e.issued {
+			continue
+		}
+		if s.tryIssue(abs, e, firstUnresolvedStore, unissuedMem, unissuedBranch, unissuedSerial) {
+			issued++
+		}
+		if !e.issued {
+			cls := e.ai.Class
+			if cls.IsMemWrite() && firstUnresolvedStore < 0 && !s.opReady(e.prod1) {
+				firstUnresolvedStore = abs
+			}
+			if (cls == isa.Load || cls.IsMemWrite()) && unissuedMem < 0 {
+				unissuedMem = abs
+			}
+			if cls == isa.Branch && unissuedBranch < 0 {
+				unissuedBranch = abs
+			}
+			if cls.IsSerializing() && unissuedSerial < 0 {
+				unissuedSerial = abs
+			}
+		}
+	}
+	return issued
+}
+
+// tryIssue attempts to issue one entry under the configuration's
+// constraints; it returns true if the entry issued this cycle.
+func (s *Sim) tryIssue(abs int64, e *robEntry, firstUnresolvedStore, unissuedMem, unissuedBranch, unissuedSerial int64) bool {
+	cls := e.ai.Class
+
+	// A pending serializing instruction drains the pipeline: nothing
+	// younger issues, and the serializing instruction itself issues only
+	// from the ROB head.
+	if unissuedSerial >= 0 && unissuedSerial < abs {
+		return false
+	}
+	if cls.IsSerializing() && abs != s.robBase {
+		return false
+	}
+	if !s.opReady(e.prod1) || !s.opReady(e.prod2) {
+		return false
+	}
+	isLoadLike := cls.IsMemRead() && cls != isa.Prefetch
+	if isLoadLike && e.memProd >= 0 && !s.opReady(e.memProd) {
+		return false
+	}
+	if cls == isa.Branch && s.cfg.Issue.BranchesInOrder() &&
+		unissuedBranch >= 0 && unissuedBranch < abs {
+		return false
+	}
+	if isLoadLike {
+		if s.cfg.Issue.LoadsInOrder() && unissuedMem >= 0 && unissuedMem < abs {
+			return false
+		}
+		if s.cfg.Issue.LoadsWaitStoreAddr() && firstUnresolvedStore >= 0 && firstUnresolvedStore < abs {
+			return false
+		}
+	}
+
+	// Finite MSHRs: a new off-chip access waits for a free register.
+	needsMSHR := !s.cfg.PerfectL2 &&
+		((cls == isa.Prefetch && e.ai.PMiss) || (isLoadLike && e.ai.DMiss))
+	if needsMSHR && s.cfg.MSHRs > 0 && s.outstanding >= s.cfg.MSHRs {
+		return false
+	}
+
+	e.issued = true
+	s.unissued--
+	switch {
+	case cls == isa.Prefetch:
+		if e.ai.PMiss && !s.cfg.PerfectL2 {
+			s.noteAccess(int64(s.cfg.MissPenalty))
+		}
+		e.doneAt = s.cycle + 1 // fire and forget
+	case isLoadLike:
+		lat := s.latency(e.ai.DMiss)
+		if e.ai.DMiss && !s.cfg.PerfectL2 {
+			s.noteAccess(lat)
+		}
+		e.doneAt = s.cycle + lat
+	case cls == isa.Store:
+		e.doneAt = s.cycle + 1 // commits from the store buffer
+	case cls == isa.Branch:
+		e.doneAt = s.cycle + 1
+		if s.awaitBranch == abs {
+			// Resolution redirects the front end.
+			s.fetchStall = maxI64(s.fetchStall, e.doneAt+int64(s.cfg.MispredictPenalty))
+			s.awaitBranch = -1
+		}
+	default:
+		e.doneAt = s.cycle + 1
+	}
+	return true
+}
+
+func (s *Sim) dispatch() int {
+	n := 0
+	for n < s.cfg.DispatchWidth && s.fetchQLen() > 0 {
+		if s.robLen() >= s.cfg.ROB || s.unissued >= s.cfg.IssueWindow {
+			break
+		}
+		ai := s.fetchQ[s.fetchHead]
+		s.fetchHead++
+		e := robEntry{ai: ai, prod1: -1, prod2: -1, memProd: -1}
+		j := s.nextIdx
+		if ai.Src1 != isa.NoReg && ai.Src1 != isa.RegZero {
+			e.prod1 = s.producers[ai.Src1]
+		}
+		if ai.Src2 != isa.NoReg && ai.Src2 != isa.RegZero {
+			e.prod2 = s.producers[ai.Src2]
+		}
+		cls := ai.Class
+		if cls.IsMemRead() && cls != isa.Prefetch {
+			if p, ok := s.lastStore[ai.EA>>3]; ok {
+				e.memProd = p
+			}
+		}
+		if cls.IsMemWrite() {
+			s.lastStore[ai.EA>>3] = j
+			if len(s.lastStore) > 1<<16 {
+				s.lastStore = make(map[uint64]int64)
+			}
+		}
+		if ai.HasDst() {
+			s.producers[ai.Dst] = j
+		}
+		s.rob = append(s.rob, e)
+		s.nextIdx++
+		s.unissued++
+		n++
+	}
+	if s.fetchHead > 4096 && s.fetchHead >= len(s.fetchQ)/2 {
+		s.fetchQ = append(s.fetchQ[:0], s.fetchQ[s.fetchHead:]...)
+		s.fetchHead = 0
+	}
+	return n
+}
+
+func (s *Sim) fetch() int {
+	// An off-chip instruction fetch in flight delivers its instruction
+	// when the line arrives. A fetch still waiting for a free MSHR issues
+	// its access as soon as one drains.
+	if s.pendingIMiss != nil {
+		if s.pendingIMiss.IMiss {
+			if s.cfg.MSHRs > 0 && s.outstanding >= s.cfg.MSHRs {
+				return 0
+			}
+			s.noteAccess(int64(s.cfg.MissPenalty))
+			s.pendingIMiss.IMiss = false
+			s.pendingIMissAt = s.cycle + int64(s.cfg.MissPenalty)
+			return 1
+		}
+		if s.cycle < s.pendingIMissAt {
+			return 0
+		}
+		s.fetchQ = append(s.fetchQ, *s.pendingIMiss)
+		s.pendingIMiss = nil
+		return 1
+	}
+	if s.cycle < s.fetchStall || s.awaitBranch >= 0 {
+		return 0
+	}
+	n := 0
+	for n < s.cfg.FetchWidth && s.fetchQLen() < s.cfg.FetchBuffer {
+		if s.srcDone {
+			break
+		}
+		if s.cfg.MaxInstructions > 0 && s.fetched >= s.cfg.MaxInstructions {
+			s.srcDone = true
+			break
+		}
+		ai, ok := s.src.Next()
+		if !ok {
+			s.srcDone = true
+			break
+		}
+		s.fetched++
+		if ai.IMiss && !s.cfg.PerfectL2 && s.cfg.MSHRs > 0 && s.outstanding >= s.cfg.MSHRs {
+			// No MSHR free: the fetch waits (IMiss stays set; the pending
+			// branch above issues the access when a register drains).
+			s.pendingIMiss = &ai
+			return n
+		}
+		if ai.IMiss && !s.cfg.PerfectL2 {
+			// Fetch blocks until the line returns; the access overlaps
+			// with whatever else is outstanding. In the CPI_perf run the
+			// line comes from the (perfect) L2 instead.
+			s.noteAccess(int64(s.cfg.MissPenalty))
+			s.pendingIMissAt = s.cycle + int64(s.cfg.MissPenalty)
+			ai.IMiss = false
+			s.pendingIMiss = &ai
+			return n + 1
+		}
+		if ai.IMiss {
+			// Perfect L2: a short front-end bubble.
+			s.fetchStall = s.cycle + int64(s.cfg.L2Latency)
+			ai.IMiss = false
+			s.fetchQ = append(s.fetchQ, ai)
+			n++
+			break
+		}
+		s.fetchQ = append(s.fetchQ, ai)
+		n++
+		if ai.Class == isa.Branch && ai.Mispred {
+			// Fetch proceeds down the wrong path until resolution; the
+			// trace holds only correct-path instructions, so fetch waits
+			// for the branch to resolve and redirect.
+			s.awaitBranch = s.robBase + int64(s.robLen()) + int64(s.fetchQLen()) - 1
+			break
+		}
+	}
+	return n
+}
+
+// leap advances time to the next event when a cycle made no progress:
+// everything in flight waits on a completion, an arriving I-line, or a
+// front-end redirect.
+func (s *Sim) leap() {
+	next := int64(1 << 62)
+	for i := 0; i < s.robLen(); i++ {
+		e := s.robAt(i)
+		if e.issued && e.doneAt > s.cycle && e.doneAt < next {
+			next = e.doneAt
+		}
+	}
+	if s.pendingIMiss != nil && !s.pendingIMiss.IMiss && s.pendingIMissAt < next {
+		next = s.pendingIMissAt
+	}
+	if len(s.completions) > 0 && s.completions[0] > s.cycle && s.completions[0] < next {
+		next = s.completions[0]
+	}
+	if s.fetchStall > s.cycle && s.fetchStall < next {
+		next = s.fetchStall
+	}
+	if next >= 1<<62 {
+		// No timed event: either we are finished, or the machine is
+		// deadlocked (a bug).
+		if !s.finished() {
+			panic(fmt.Sprintf("cyclesim: deadlock at cycle %d (rob=%d fetchQ=%d)",
+				s.cycle, s.robLen(), s.fetchQLen()))
+		}
+		return
+	}
+	if next <= s.cycle+1 {
+		return
+	}
+	gap := next - s.cycle - 1
+	if s.outstanding > 0 {
+		s.mlpSum += int64(s.outstanding) * gap
+		s.mlpCycles += gap
+	}
+	s.cycle += gap
+}
+
+func maxI64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

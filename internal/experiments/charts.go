@@ -1,0 +1,154 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"mlpsim/internal/plot"
+)
+
+// Chart renders the Figure 2 clustering curves as ASCII line charts (one
+// per workload, observed vs uniform, log-spaced X).
+func (f Figure2) Chart() string {
+	var b strings.Builder
+	for _, se := range f.Series {
+		xs := make([]float64, len(se.Points))
+		for i, p := range se.Points {
+			xs[i] = float64(i) // log-spaced points rendered uniformly
+			_ = p
+		}
+		b.WriteString(plot.Line(
+			fmt.Sprintf("Figure 2 — %s: P(next miss within 2^x instructions)", se.Workload),
+			xs,
+			[]plot.Series{
+				{Name: "observed", Y: se.Observed},
+				{Name: "uniform", Y: se.Uniform},
+			}, 60, 12))
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// Chart renders the Figure 4 sweep as one line chart per workload: MLP vs
+// window size, one line per issue configuration.
+func (f Figure4) Chart() string {
+	var b strings.Builder
+	seen := map[string]bool{}
+	var order []string
+	for _, c := range f.Cells {
+		if !seen[c.Workload] {
+			seen[c.Workload] = true
+			order = append(order, c.Workload)
+		}
+	}
+	xs := make([]float64, len(Figure4Sizes))
+	for i, s := range Figure4Sizes {
+		xs[i] = float64(i) // log-spaced sizes rendered uniformly
+		_ = s
+	}
+	for _, w := range order {
+		var series []plot.Series
+		for _, ic := range Figure4Configs {
+			ys := make([]float64, len(Figure4Sizes))
+			for i, size := range Figure4Sizes {
+				if c := f.Lookup(w, size, ic); c != nil {
+					ys[i] = c.MLP
+				}
+			}
+			series = append(series, plot.Series{Name: "config " + ic.String(), Y: ys})
+		}
+		b.WriteString(plot.Line(
+			fmt.Sprintf("Figure 4 — %s: MLP vs ROB/issue-window size (x: 16,32,64,128,256)", w),
+			xs, series, 60, 12))
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// Chart renders Figure 7 as one line per workload.
+func (f Figure7) Chart() string {
+	seen := map[string]bool{}
+	var order []string
+	for _, c := range f.Cells {
+		if !seen[c.Workload] {
+			seen[c.Workload] = true
+			order = append(order, c.Workload)
+		}
+	}
+	xs := make([]float64, len(Figure7L2Sizes))
+	for i := range Figure7L2Sizes {
+		xs[i] = float64(i)
+	}
+	var series []plot.Series
+	for _, w := range order {
+		var ys []float64
+		for _, l2 := range Figure7L2Sizes {
+			for _, c := range f.Cells {
+				if c.Workload == w && c.L2Bytes == l2 {
+					ys = append(ys, c.MLP)
+				}
+			}
+		}
+		series = append(series, plot.Series{Name: w, Y: ys})
+	}
+	return plot.Line("Figure 7 — MLP vs L2 size (x: 1MB, 2MB, 4MB, 8MB)", xs, series, 60, 12)
+}
+
+// Chart renders Figure 8 as grouped bars.
+func (f Figure8) Chart() string {
+	var labels []string
+	var values []float64
+	for _, r := range f.Rows {
+		labels = append(labels, r.Workload+" 64D/64", r.Workload+" 64D/256", r.Workload+" RAE")
+		values = append(values, r.Conv64, r.Conv256, r.RAE)
+	}
+	return plot.Bar("Figure 8 — MLP with runahead execution", labels, values, 44)
+}
+
+// Chart renders Figure 10 as bars per workload/baseline.
+func (f Figure10) Chart() string {
+	var b strings.Builder
+	for _, r := range f.Rows {
+		b.WriteString(plot.Bar(
+			fmt.Sprintf("Figure 10 — %s (%s baseline)", r.Workload, r.Baseline),
+			[]string{"base", ".perfI", ".perfVP", ".perfBP", ".perfVP.perfBP"},
+			[]float64{r.Base, r.PerfI, r.PerfVP, r.PerfBP, r.PerfVPBP}, 44))
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// Chart renders Figure 11 as bars of % improvement per workload.
+func (f Figure11) Chart() string {
+	var b strings.Builder
+	seen := map[string]bool{}
+	var order []string
+	for _, r := range f.Rows {
+		if !seen[r.Workload] {
+			seen[r.Workload] = true
+			order = append(order, r.Workload)
+		}
+	}
+	for _, w := range order {
+		var labels []string
+		var values []float64
+		for _, r := range f.Rows {
+			if r.Workload != w || r.Config == "64D" {
+				continue
+			}
+			labels = append(labels, r.Config)
+			// Bars cannot show negatives; clamp at zero like the paper's
+			// baseline-relative chart.
+			v := r.GainPct
+			if v < 0 {
+				v = 0
+			}
+			values = append(values, v)
+		}
+		b.WriteString(plot.Bar(
+			fmt.Sprintf("Figure 11 — %s: %% performance improvement over 64D", w),
+			labels, values, 44))
+		b.WriteString("\n")
+	}
+	return b.String()
+}

@@ -1,0 +1,111 @@
+package experiments
+
+import (
+	"mlpsim/internal/annotate"
+	"mlpsim/internal/core"
+	"mlpsim/internal/vpred"
+	"mlpsim/internal/workload"
+)
+
+// CompareRow is one paper-vs-measured headline number.
+type CompareRow struct {
+	Workload string
+	Metric   string
+	Paper    float64
+	Measured float64
+}
+
+// Compare runs the headline configurations and prints them next to the
+// paper's published values — the quick fidelity check the other exhibits
+// expand on.
+type Compare struct {
+	Rows []CompareRow
+}
+
+// RunCompare executes the comparison.
+func RunCompare(s Setup) Compare {
+	type measured struct {
+		mlp64C, som, sou, conv64D, rae float64
+		vp                             [3]float64
+		missRate                       float64
+	}
+	per := make([]measured, len(s.Workloads))
+	type job struct{ wi, which int }
+	var jobs []job
+	for wi := range s.Workloads {
+		for which := 0; which < 6; which++ {
+			jobs = append(jobs, job{wi, which})
+		}
+	}
+	s.forEach(len(jobs), func(i int) {
+		j := jobs[i]
+		w := s.Workloads[j.wi]
+		m := &per[j.wi]
+		switch j.which {
+		case 0:
+			res := s.RunMLPsim(w, core.Default(), annotate.Config{})
+			m.mlp64C = res.MLP()
+			m.missRate = res.MissRatePer100()
+		case 1:
+			res := s.RunMLPsim(w, core.Config{Mode: core.InOrderStallOnMiss}, annotate.Config{})
+			m.som = res.MLP()
+		case 2:
+			res := s.RunMLPsim(w, core.Config{Mode: core.InOrderStallOnUse}, annotate.Config{})
+			m.sou = res.MLP()
+		case 3:
+			res := s.RunMLPsim(w, core.Default().WithIssue(core.ConfigD), annotate.Config{})
+			m.conv64D = res.MLP()
+		case 4:
+			res := s.RunMLPsim(w, core.Default().WithIssue(core.ConfigD).WithRunahead(), annotate.Config{})
+			m.rae = res.MLP()
+		case 5:
+			g := workload.MustNew(w)
+			a := annotate.New(g, annotate.Config{Value: vpred.NewLastValue(vpred.DefaultEntries)})
+			a.Warm(s.Warmup)
+			for n := int64(0); n < s.Measure; n++ {
+				if _, ok := a.Next(); !ok {
+					break
+				}
+			}
+			st := a.Stats().VP
+			m.vp[0], m.vp[1], m.vp[2] = st.Fractions()
+		}
+	})
+
+	var rows []CompareRow
+	for wi, w := range s.Workloads {
+		m := per[wi]
+		name := w.Name
+		rows = append(rows,
+			CompareRow{name, "L2 miss rate (/100)", paperT1(name, "miss"), m.missRate},
+			CompareRow{name, "MLP 64C (Table 3)", PaperTable3MLPsim[name]["64C"], m.mlp64C},
+			CompareRow{name, "MLP in-order stall-on-miss", PaperTable5[name][0], m.som},
+			CompareRow{name, "MLP in-order stall-on-use", PaperTable5[name][1], m.sou},
+			CompareRow{name, "RAE MLP gain vs 64D", PaperFigure8Gains[name][0], m.rae/m.conv64D - 1},
+			CompareRow{name, "VP correct fraction", PaperTable6[name][0], m.vp[0]},
+			CompareRow{name, "VP no-predict fraction", PaperTable6[name][2], m.vp[2]},
+		)
+	}
+	return Compare{Rows: rows}
+}
+
+func paperT1(workload, metric string) float64 {
+	for _, r := range PaperTable1 {
+		if r.Workload == workload && r.Penalty == 1000 {
+			if metric == "miss" {
+				return r.MissRatePer100
+			}
+		}
+	}
+	return 0
+}
+
+// String renders the comparison.
+func (c Compare) String() string {
+	tb := newTable("Paper vs Measured: headline numbers")
+	tb.row("Workload", "Metric", "Paper", "Measured")
+	for _, r := range c.Rows {
+		tb.rowf("%s\t%s\t%s\t%s", r.Workload, r.Metric, f2(r.Paper), f2(r.Measured))
+	}
+	return tb.String()
+}

@@ -1,0 +1,245 @@
+package experiments
+
+// Extension experiments beyond the paper's published evaluation: the
+// ablations DESIGN.md calls out and the future-work directions §7 names
+// (finite MSHRs, hardware prefetching, store MLP). Each is registered in
+// the exhibit registry with an "ext-" prefix.
+
+import (
+	"mlpsim/internal/annotate"
+	"mlpsim/internal/core"
+	"mlpsim/internal/mem"
+	"mlpsim/internal/prefetch"
+	"mlpsim/internal/workload"
+)
+
+// --- finite MSHRs -----------------------------------------------------------
+
+// ExtMSHRCell is the MLP of one workload/config at one MSHR count.
+type ExtMSHRCell struct {
+	Workload string
+	Config   string
+	MSHRs    int // 0 = unlimited
+	MLP      float64
+}
+
+// ExtMSHR sweeps the miss-status-holding-register count: MLP is clamped
+// at the MSHR count, so the sweep shows how much buffering each workload
+// actually needs — and that runahead demands far more than a conventional
+// window exploits.
+type ExtMSHR struct {
+	Cells []ExtMSHRCell
+}
+
+// ExtMSHRCounts is the swept axis (0 = unlimited).
+var ExtMSHRCounts = []int{1, 2, 4, 8, 16, 0}
+
+// RunExtMSHR executes the sweep.
+func RunExtMSHR(s Setup) ExtMSHR {
+	configs := []struct {
+		name string
+		cfg  core.Config
+	}{
+		{"64C", core.Default()},
+		{"RAE", core.Default().WithIssue(core.ConfigD).WithRunahead()},
+	}
+	type job struct{ wi, ci, mi int }
+	var jobs []job
+	for wi := range s.Workloads {
+		for ci := range configs {
+			for mi := range ExtMSHRCounts {
+				jobs = append(jobs, job{wi, ci, mi})
+			}
+		}
+	}
+	cells := make([]ExtMSHRCell, len(jobs))
+	s.forEach(len(jobs), func(i int) {
+		j := jobs[i]
+		cfg := configs[j.ci].cfg
+		cfg.MSHRs = ExtMSHRCounts[j.mi]
+		res := s.RunMLPsim(s.Workloads[j.wi], cfg, annotate.Config{})
+		cells[i] = ExtMSHRCell{
+			Workload: s.Workloads[j.wi].Name,
+			Config:   configs[j.ci].name,
+			MSHRs:    ExtMSHRCounts[j.mi],
+			MLP:      res.MLP(),
+		}
+	})
+	return ExtMSHR{Cells: cells}
+}
+
+// String renders the sweep.
+func (e ExtMSHR) String() string {
+	tb := newTable("Extension: MLP vs MSHR count (miss buffering ablation)")
+	header := []string{"Workload", "Config"}
+	for _, m := range ExtMSHRCounts {
+		if m == 0 {
+			header = append(header, "inf")
+		} else {
+			header = append(header, itoa(m))
+		}
+	}
+	tb.row(header...)
+	for i := 0; i < len(e.Cells); i += len(ExtMSHRCounts) {
+		c := e.Cells[i]
+		cells := []string{c.Workload, c.Config}
+		for k := 0; k < len(ExtMSHRCounts); k++ {
+			cells = append(cells, f2(e.Cells[i+k].MLP))
+		}
+		tb.row(cells...)
+	}
+	return tb.String()
+}
+
+// --- hardware prefetching ---------------------------------------------------
+
+// ExtPrefetchRow is one workload's MLP and miss profile under each
+// hardware-prefetch configuration.
+type ExtPrefetchRow struct {
+	Workload  string
+	Variant   string // "none", "I-seq", "D-stride", "both"
+	MLP       float64
+	MissRate  float64 // off-chip accesses per 100 instructions
+	IAccesses uint64
+	Accuracy  float64 // prefetcher accuracy where applicable
+}
+
+// ExtPrefetch evaluates the §5.6 direction: a sequential hardware
+// instruction prefetcher recovers much of the perfect-I-prefetch
+// headroom; a stride data prefetcher helps regular scans and does nothing
+// for pointer-dependent misses.
+type ExtPrefetch struct {
+	Rows []ExtPrefetchRow
+}
+
+// RunExtPrefetch executes the experiment on the paper workloads plus the
+// strided micro-workload.
+func RunExtPrefetch(s Setup) ExtPrefetch {
+	wls := append([]workload.Config{}, s.Workloads...)
+	wls = append(wls, workload.Strided(s.Seed))
+	variants := []string{"none", "I-seq", "D-stride", "both"}
+
+	type job struct{ wi, vi int }
+	var jobs []job
+	for wi := range wls {
+		for vi := range variants {
+			jobs = append(jobs, job{wi, vi})
+		}
+	}
+	rows := make([]ExtPrefetchRow, len(jobs))
+	s.forEach(len(jobs), func(i int) {
+		j := jobs[i]
+		acfg := annotate.Config{}
+		var ipf *prefetch.Sequential
+		var dpf *prefetch.Stride
+		if variants[j.vi] == "I-seq" || variants[j.vi] == "both" {
+			ipf = prefetch.NewSequential(4, mem.IFetch)
+			acfg.IPrefetch = ipf
+		}
+		if variants[j.vi] == "D-stride" || variants[j.vi] == "both" {
+			dpf = prefetch.NewStride(1024, 4)
+			acfg.DPrefetch = dpf
+		}
+		res := s.RunMLPsim(wls[j.wi], core.Default().WithIssue(core.ConfigD).WithRunahead(), acfg)
+		row := ExtPrefetchRow{
+			Workload:  wls[j.wi].Name,
+			Variant:   variants[j.vi],
+			MLP:       res.MLP(),
+			MissRate:  res.MissRatePer100(),
+			IAccesses: res.IAccesses,
+		}
+		switch {
+		case ipf != nil && dpf != nil:
+			st := ipf.Stats()
+			dt := dpf.Stats()
+			row.Accuracy = prefetch.Stats{Issued: st.Issued + dt.Issued, Useful: st.Useful + dt.Useful}.Accuracy()
+		case ipf != nil:
+			row.Accuracy = ipf.Stats().Accuracy()
+		case dpf != nil:
+			row.Accuracy = dpf.Stats().Accuracy()
+		}
+		rows[i] = row
+	})
+	return ExtPrefetch{Rows: rows}
+}
+
+// String renders the experiment.
+func (e ExtPrefetch) String() string {
+	tb := newTable("Extension: Hardware Prefetching under Runahead (the §5.6 direction)")
+	tb.row("Workload", "Prefetcher", "MLP", "Miss rate (/100)", "I-accesses", "Pf accuracy")
+	for _, r := range e.Rows {
+		tb.rowf("%s\t%s\t%s\t%s\t%d\t%s",
+			r.Workload, r.Variant, f2(r.MLP), f2(r.MissRate), r.IAccesses, pct(r.Accuracy))
+	}
+	return tb.String()
+}
+
+// --- store MLP ---------------------------------------------------------------
+
+// ExtStoreRow is one (workload, store-buffer size) measurement.
+type ExtStoreRow struct {
+	Workload string
+	SB       int // 0 = infinite
+	MLP      float64
+	StoreMLP float64
+	// SBLimitedFrac is the fraction of epochs terminated by a full store
+	// buffer.
+	SBLimitedFrac float64
+}
+
+// ExtStoreMLP explores the §7 store-MLP future work: with write-allocate
+// caches a store-heavy workload generates off-chip store misses that an
+// infinite store buffer hides completely but a finite one exposes as
+// window terminations.
+type ExtStoreMLP struct {
+	Rows []ExtStoreRow
+}
+
+// ExtStoreSBs is the swept store-buffer axis (0 = infinite).
+var ExtStoreSBs = []int{1, 2, 4, 8, 0}
+
+// RunExtStoreMLP executes the sweep on the database workload and the
+// store-heavy micro-workload.
+func RunExtStoreMLP(s Setup) ExtStoreMLP {
+	wls := []workload.Config{workload.StoreHeavy(s.Seed)}
+	if len(s.Workloads) > 0 {
+		wls = append(wls, s.Workloads[0])
+	}
+	type job struct{ wi, bi int }
+	var jobs []job
+	for wi := range wls {
+		for bi := range ExtStoreSBs {
+			jobs = append(jobs, job{wi, bi})
+		}
+	}
+	rows := make([]ExtStoreRow, len(jobs))
+	s.forEach(len(jobs), func(i int) {
+		j := jobs[i]
+		cfg := core.Default()
+		cfg.StoreBuffer = ExtStoreSBs[j.bi]
+		res := s.RunMLPsim(wls[j.wi], cfg, annotate.Config{})
+		fr := res.LimiterFracs()
+		rows[i] = ExtStoreRow{
+			Workload:      wls[j.wi].Name,
+			SB:            ExtStoreSBs[j.bi],
+			MLP:           res.MLP(),
+			StoreMLP:      res.StoreMLP(),
+			SBLimitedFrac: fr[core.LimStoreBuf],
+		}
+	})
+	return ExtStoreMLP{Rows: rows}
+}
+
+// String renders the sweep.
+func (e ExtStoreMLP) String() string {
+	tb := newTable("Extension: Store MLP and Finite Store Buffers (§7 future work)")
+	tb.row("Workload", "Store buffer", "MLP", "Store MLP", "SB-limited epochs")
+	for _, r := range e.Rows {
+		sb := "inf"
+		if r.SB > 0 {
+			sb = itoa(r.SB)
+		}
+		tb.rowf("%s\t%s\t%s\t%s\t%s", r.Workload, sb, f2(r.MLP), f2(r.StoreMLP), pct(r.SBLimitedFrac))
+	}
+	return tb.String()
+}

@@ -1,0 +1,145 @@
+package experiments
+
+import (
+	"fmt"
+
+	"mlpsim/internal/annotate"
+	"mlpsim/internal/core"
+	"mlpsim/internal/queueing"
+	"mlpsim/internal/smt"
+	"mlpsim/internal/workload"
+)
+
+// --- multithreaded MLP (§7 future work) -------------------------------------
+
+// ExtSMTRow summarizes one thread-count point.
+type ExtSMTRow struct {
+	Threads        int
+	PerThreadMLP   []float64
+	CombinedLower  float64
+	CombinedUpper  float64
+	MissRateDeltas []float64 // shared minus solo, per thread
+}
+
+// ExtSMT sweeps hardware thread counts running database workload copies:
+// per-thread MLP barely moves (and cache contention pushes miss rates
+// up), but the machine-level MLP bound scales with thread count — the
+// multithreading headroom §7 points at.
+type ExtSMT struct {
+	Rows []ExtSMTRow
+}
+
+// RunExtSMT executes the sweep.
+func RunExtSMT(s Setup) ExtSMT {
+	base := workload.Database(s.Seed)
+	if len(s.Workloads) > 0 {
+		base = s.Workloads[0]
+	}
+	counts := []int{1, 2, 4}
+	rows := make([]ExtSMTRow, len(counts))
+	s.forEach(len(counts), func(i int) {
+		k := counts[i]
+		threads := make([]workload.Config, k)
+		for t := range threads {
+			threads[t] = base.WithSeed(s.Seed + int64(t)*101)
+		}
+		res := smt.Run(smt.Config{
+			Threads:   threads,
+			Processor: core.Default(),
+			Warmup:    s.Warmup / int64(k),
+			Measure:   s.Measure / int64(k),
+		})
+		row := ExtSMTRow{
+			Threads:       k,
+			CombinedLower: res.CombinedLower,
+			CombinedUpper: res.CombinedUpper,
+		}
+		for t := 0; t < k; t++ {
+			row.PerThreadMLP = append(row.PerThreadMLP, res.PerThread[t].MLP())
+			row.MissRateDeltas = append(row.MissRateDeltas, res.SharedMissRate[t]-res.SoloMissRate[t])
+		}
+		rows[i] = row
+	})
+	return ExtSMT{Rows: rows}
+}
+
+// String renders the sweep.
+func (e ExtSMT) String() string {
+	tb := newTable("Extension: Multithreaded MLP (§7 future work; database workload copies)")
+	tb.row("Threads", "Per-thread MLP", "Combined (no overlap)", "Combined (full overlap)", "Miss-rate delta")
+	for _, r := range e.Rows {
+		per, deltas := "", ""
+		for i := range r.PerThreadMLP {
+			if i > 0 {
+				per += " "
+				deltas += " "
+			}
+			per += f2(r.PerThreadMLP[i])
+			deltas += fmt.Sprintf("%+.2f", r.MissRateDeltas[i])
+		}
+		tb.rowf("%d\t%s\t%s\t%s\t%s", r.Threads, per, f2(r.CombinedLower), f2(r.CombinedUpper), deltas)
+	}
+	return tb.String()
+}
+
+// --- finite memory bandwidth (§4.1 queueing-model use case) -----------------
+
+// ExtBandwidthRow is one (workload, channels) point.
+type ExtBandwidthRow struct {
+	Workload string
+	Channels int
+	// OffChipCPI is the off-chip CPI component under the C-channel
+	// memory model; Inflation is the mean epoch memory time relative to
+	// unlimited bandwidth.
+	OffChipCPI float64
+	Inflation  float64
+}
+
+// ExtBandwidth feeds each workload's epoch burst-size distribution (from
+// a runahead run, which has the largest bursts) into the queueing model:
+// high MLP is only as good as the bandwidth behind it.
+type ExtBandwidth struct {
+	Rows []ExtBandwidthRow
+}
+
+// ExtBandwidthChannels is the swept axis.
+var ExtBandwidthChannels = []int{1, 2, 4, 8}
+
+// RunExtBandwidth executes the experiment.
+func RunExtBandwidth(s Setup) ExtBandwidth {
+	type result struct {
+		collector *queueing.Collector
+		insts     int64
+	}
+	per := make([]result, len(s.Workloads))
+	s.forEach(len(s.Workloads), func(wi int) {
+		c := queueing.NewCollector(64)
+		cfg := core.Default().WithIssue(core.ConfigD).WithRunahead()
+		cfg.OnEpoch = c.OnEpoch
+		res := s.RunMLPsim(s.Workloads[wi], cfg, annotate.Config{})
+		per[wi] = result{collector: c, insts: res.Instructions}
+	})
+	var rows []ExtBandwidthRow
+	for wi, w := range s.Workloads {
+		for _, ch := range ExtBandwidthChannels {
+			m := queueing.Model{Channels: ch, ServiceCycles: 120, LeadCycles: 880}
+			rows = append(rows, ExtBandwidthRow{
+				Workload:   w.Name,
+				Channels:   ch,
+				OffChipCPI: per[wi].collector.OffChipCPI(m, per[wi].insts),
+				Inflation:  per[wi].collector.EffectivePenaltyInflation(m),
+			})
+		}
+	}
+	return ExtBandwidth{Rows: rows}
+}
+
+// String renders the experiment.
+func (e ExtBandwidth) String() string {
+	tb := newTable("Extension: Finite Memory Bandwidth under Runahead (queueing model, 880+120-cycle lines)")
+	tb.row("Workload", "Channels", "Off-chip CPI", "Epoch-time inflation")
+	for _, r := range e.Rows {
+		tb.rowf("%s\t%d\t%s\t%sx", r.Workload, r.Channels, f2(r.OffChipCPI), f2(r.Inflation))
+	}
+	return tb.String()
+}

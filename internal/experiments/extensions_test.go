@@ -1,0 +1,281 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"mlpsim/internal/workload"
+)
+
+func TestExtMSHRClampsMLP(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep")
+	}
+	res := RunExtMSHR(tiny(31, workload.Database(31)))
+	byKey := map[string]map[int]float64{}
+	for _, c := range res.Cells {
+		if byKey[c.Config] == nil {
+			byKey[c.Config] = map[int]float64{}
+		}
+		byKey[c.Config][c.MSHRs] = c.MLP
+	}
+	for cfg, m := range byKey {
+		// MLP can never exceed the MSHR count, and one MSHR serializes
+		// everything.
+		for mshrs, mlp := range m {
+			if mshrs > 0 && mlp > float64(mshrs)+1e-9 {
+				t.Errorf("%s: MLP %.3f exceeds %d MSHRs", cfg, mlp, mshrs)
+			}
+		}
+		if m[1] > 1.0001 {
+			t.Errorf("%s: 1-MSHR MLP = %.3f, want 1", cfg, m[1])
+		}
+		// Monotone in MSHR count, unlimited at the top.
+		if m[2] > m[4]+0.02 || m[4] > m[8]+0.02 || m[8] > m[0]+0.02 {
+			t.Errorf("%s: MLP not monotone in MSHRs: %v", cfg, m)
+		}
+	}
+	// Runahead needs more MSHRs than the conventional window: its
+	// unlimited MLP is higher, so the gap between 4 and unlimited is
+	// bigger.
+	conv, rae := byKey["64C"], byKey["RAE"]
+	if rae[0] <= conv[0] {
+		t.Fatalf("RAE unlimited MLP %.3f not above 64C %.3f", rae[0], conv[0])
+	}
+	if !strings.Contains(res.String(), "MSHR") {
+		t.Fatal("rendering broken")
+	}
+}
+
+func TestExtPrefetchDirections(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep")
+	}
+	s := tiny(33, workload.Database(33))
+	res := RunExtPrefetch(s)
+	get := func(wl, variant string) *ExtPrefetchRow {
+		for i := range res.Rows {
+			if res.Rows[i].Workload == wl && res.Rows[i].Variant == variant {
+				return &res.Rows[i]
+			}
+		}
+		t.Fatalf("missing row %s/%s", wl, variant)
+		return nil
+	}
+	// The sequential I-prefetcher removes most database I-misses...
+	dbNone, dbI := get("Database", "none"), get("Database", "I-seq")
+	if dbI.IAccesses >= dbNone.IAccesses {
+		t.Fatalf("I-prefetch did not reduce I-misses: %d -> %d", dbNone.IAccesses, dbI.IAccesses)
+	}
+	if float64(dbI.IAccesses) > 0.5*float64(dbNone.IAccesses) {
+		t.Fatalf("I-prefetch coverage too weak: %d -> %d", dbNone.IAccesses, dbI.IAccesses)
+	}
+	// ...with high accuracy on straight-line cold code.
+	if dbI.Accuracy < 0.5 {
+		t.Fatalf("I-prefetch accuracy %.2f too low", dbI.Accuracy)
+	}
+	// The stride prefetcher slashes the strided scan's miss rate but
+	// cannot touch the database's pointer-dependent misses.
+	stNone, stD := get("Strided", "none"), get("Strided", "D-stride")
+	if stD.MissRate > 0.5*stNone.MissRate {
+		t.Fatalf("stride prefetcher ineffective on strided scan: %.3f -> %.3f",
+			stNone.MissRate, stD.MissRate)
+	}
+	dbD := get("Database", "D-stride")
+	if dbD.MissRate < 0.85*dbNone.MissRate {
+		t.Fatalf("stride prefetcher implausibly effective on random-address database: %.3f -> %.3f",
+			dbNone.MissRate, dbD.MissRate)
+	}
+}
+
+func TestExtStoreMLP(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep")
+	}
+	res := RunExtStoreMLP(tiny(35, workload.Database(35)))
+	var heavyInf, heavy1 *ExtStoreRow
+	for i := range res.Rows {
+		r := &res.Rows[i]
+		if r.Workload != "StoreHeavy" {
+			continue
+		}
+		switch r.SB {
+		case 0:
+			heavyInf = r
+		case 1:
+			heavy1 = r
+		}
+	}
+	if heavyInf == nil || heavy1 == nil {
+		t.Fatal("missing store-heavy rows")
+	}
+	// Infinite store buffer: no SB terminations, store MLP above 1
+	// (clustered store misses drain together).
+	if heavyInf.SBLimitedFrac != 0 {
+		t.Fatalf("infinite SB shows %.2f SB-limited epochs", heavyInf.SBLimitedFrac)
+	}
+	if heavyInf.StoreMLP <= 1.05 {
+		t.Fatalf("store-heavy workload store MLP = %.3f, want > 1", heavyInf.StoreMLP)
+	}
+	// A one-entry buffer serializes store misses and terminates windows.
+	if heavy1.StoreMLP > 1.0001 {
+		t.Fatalf("1-entry SB store MLP = %.3f, want 1", heavy1.StoreMLP)
+	}
+	if heavy1.SBLimitedFrac <= 0 {
+		t.Fatal("1-entry SB never limited an epoch")
+	}
+	if heavy1.MLP > heavyInf.MLP+1e-9 {
+		t.Fatalf("shrinking the SB raised MLP: %.3f -> %.3f", heavyInf.MLP, heavy1.MLP)
+	}
+}
+
+func TestExtSMTScaling(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-thread passes")
+	}
+	s := tiny(37, workload.Database(37))
+	s.Measure = 400_000
+	res := RunExtSMT(s)
+	if len(res.Rows) != 3 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	one, four := res.Rows[0], res.Rows[2]
+	if four.CombinedUpper < 2*one.CombinedUpper {
+		t.Fatalf("4-thread combined bound %.3f not scaling over %.3f",
+			four.CombinedUpper, one.CombinedUpper)
+	}
+}
+
+func TestExtBandwidth(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep")
+	}
+	res := RunExtBandwidth(tiny(39, workload.Database(39)))
+	prev := 1e18
+	for _, r := range res.Rows {
+		if r.OffChipCPI > prev+1e-12 {
+			t.Fatalf("off-chip CPI rose with channels: %v", res.Rows)
+		}
+		prev = r.OffChipCPI
+		if r.Inflation < 1-1e-9 {
+			t.Fatalf("inflation below 1: %+v", r)
+		}
+	}
+	// One channel must hurt a runahead-boosted clustered workload.
+	if res.Rows[0].Inflation < 1.1 {
+		t.Fatalf("1-channel inflation %.3f too small", res.Rows[0].Inflation)
+	}
+}
+
+func TestRegistryIncludesExtensions(t *testing.T) {
+	for _, id := range []string{"ext-mshr", "ext-prefetch", "ext-storemlp", "ext-smt", "ext-bandwidth"} {
+		if Find(id) == nil {
+			t.Errorf("missing exhibit %q", id)
+		}
+	}
+}
+
+func TestStabilityErrorBars(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-seed sweep")
+	}
+	s := tiny(41, workload.Database(41))
+	s.Measure = 400_000
+	res := RunStability(s)
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	for _, r := range res.Rows {
+		if r.MLP.N != StabilitySeeds {
+			t.Fatalf("%s/%s: %d seeds", r.Workload, r.Config, r.MLP.N)
+		}
+		if r.MLP.Mean < 1 {
+			t.Fatalf("%s/%s: mean MLP %.3f < 1", r.Workload, r.Config, r.MLP.Mean)
+		}
+		// Seeds must agree within 15% — the workloads are stationary.
+		if r.MLP.RelCI95() > 0.15 {
+			t.Fatalf("%s/%s: MLP CI %.1f%% too wide", r.Workload, r.Config, 100*r.MLP.RelCI95())
+		}
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	res := Table5{Rows: []Table5Row{
+		{Workload: "Database", StallOnMiss: 1.02, StallOnUse: 1.06},
+		{Workload: "SPECweb99", StallOnMiss: 1.10, StallOnUse: 1.13},
+	}}
+	var b strings.Builder
+	if err := WriteCSV(&b, res); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.HasPrefix(out, "Workload,StallOnMiss,StallOnUse\n") {
+		t.Fatalf("header wrong:\n%s", out)
+	}
+	if !strings.Contains(out, "Database,1.0200,1.0600") {
+		t.Fatalf("row wrong:\n%s", out)
+	}
+	// Nested slices flatten.
+	smtRes := ExtSMT{Rows: []ExtSMTRow{{Threads: 2, PerThreadMLP: []float64{1.5, 1.25}}}}
+	b.Reset()
+	if err := WriteCSV(&b, smtRes); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "1.5000;1.2500") {
+		t.Fatalf("nested slice not flattened:\n%s", b.String())
+	}
+	// Non-exhibit values error cleanly.
+	if err := WriteCSV(&b, 42); err == nil {
+		t.Fatal("non-struct accepted")
+	}
+	type odd struct{ X int }
+	if err := WriteCSV(&b, odd{}); err == nil {
+		t.Fatal("struct without rows accepted")
+	}
+	// Empty rows produce no output and no error.
+	b.Reset()
+	if err := WriteCSV(&b, Table5{}); err != nil || b.Len() != 0 {
+		t.Fatalf("empty exhibit: err=%v out=%q", err, b.String())
+	}
+}
+
+func TestCompareHeadlines(t *testing.T) {
+	if testing.Short() {
+		t.Skip("headline runs")
+	}
+	s := tiny(43)
+	s.Measure = 500_000
+	res := RunCompare(s)
+	if len(res.Rows) != 3*7 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	for _, r := range res.Rows {
+		if r.Paper <= 0 && r.Metric != "MLP in-order stall-on-miss" {
+			t.Errorf("%s/%s: missing paper value", r.Workload, r.Metric)
+		}
+		if r.Measured < 0 {
+			t.Errorf("%s/%s: negative measurement", r.Workload, r.Metric)
+		}
+		// Shape check: measured within 2.5x of the paper either way for
+		// ratio-like metrics (generous; exact bands live in the dedicated
+		// tests).
+		if r.Paper > 0 {
+			lo, hi := 0.3, 3.0
+			if strings.HasPrefix(r.Metric, "VP ") {
+				// The confidence-gated value predictor trains slowly on
+				// the sparse-miss workloads; at this test's short run
+				// length its correct fraction undershoots. The dedicated
+				// calibration test checks the full-length bands.
+				lo = 0.08
+			}
+			ratio := r.Measured / r.Paper
+			if ratio < lo || ratio > hi {
+				t.Errorf("%s/%s: measured %.3f vs paper %.3f — out of shape",
+					r.Workload, r.Metric, r.Measured, r.Paper)
+			}
+		}
+	}
+	if !strings.Contains(res.String(), "Paper vs Measured") {
+		t.Fatal("rendering broken")
+	}
+}

@@ -1,0 +1,86 @@
+package experiments
+
+import (
+	"mlpsim/internal/annotate"
+	"mlpsim/internal/core"
+)
+
+// Figure10Row holds the limit-study MLPs for one workload on one baseline
+// (§5.6): perfect instruction prefetching, perfect value prediction,
+// perfect branch prediction, and perfect VP+BP together.
+type Figure10Row struct {
+	Workload string
+	Baseline string // "RAE" or "64D/256" (no RAE)
+	Base     float64
+	PerfI    float64
+	PerfVP   float64
+	PerfBP   float64
+	PerfVPBP float64
+}
+
+// Figure10 reproduces Figure 10: the limit study.
+type Figure10 struct {
+	Rows []Figure10Row
+}
+
+// RunFigure10 executes the experiment.
+func RunFigure10(s Setup) Figure10 {
+	baselines := []struct {
+		name string
+		cfg  core.Config
+	}{
+		{"RAE", core.Default().WithIssue(core.ConfigD).WithRunahead()},
+		{"64D/256", core.Default().WithIssue(core.ConfigD).WithROB(256)},
+	}
+	variants := []func(*core.Config){
+		func(*core.Config) {},
+		func(c *core.Config) { c.PerfectIFetch = true },
+		func(c *core.Config) { c.PerfectVP = true },
+		func(c *core.Config) { c.PerfectBP = true },
+		func(c *core.Config) { c.PerfectVP = true; c.PerfectBP = true },
+	}
+
+	type job struct{ wi, bi, vi int }
+	var jobs []job
+	for wi := range s.Workloads {
+		for bi := range baselines {
+			for vi := range variants {
+				jobs = append(jobs, job{wi, bi, vi})
+			}
+		}
+	}
+	mlps := make([]float64, len(jobs))
+	s.forEach(len(jobs), func(i int) {
+		j := jobs[i]
+		cfg := baselines[j.bi].cfg
+		variants[j.vi](&cfg)
+		res := s.RunMLPsim(s.Workloads[j.wi], cfg, annotate.Config{})
+		mlps[i] = res.MLP()
+	})
+
+	var rows []Figure10Row
+	for i := 0; i < len(jobs); i += len(variants) {
+		j := jobs[i]
+		rows = append(rows, Figure10Row{
+			Workload: s.Workloads[j.wi].Name,
+			Baseline: baselines[j.bi].name,
+			Base:     mlps[i],
+			PerfI:    mlps[i+1],
+			PerfVP:   mlps[i+2],
+			PerfBP:   mlps[i+3],
+			PerfVPBP: mlps[i+4],
+		})
+	}
+	return Figure10{Rows: rows}
+}
+
+// String renders the limit study.
+func (f Figure10) String() string {
+	tb := newTable("Figure 10: Limit Study — Perfect I-Fetch / Value Prediction / Branch Prediction (MLP)")
+	tb.row("Workload", "Baseline", "base", ".perfI", ".perfVP", ".perfBP", ".perfVP.perfBP")
+	for _, r := range f.Rows {
+		tb.rowf("%s\t%s\t%s\t%s\t%s\t%s\t%s",
+			r.Workload, r.Baseline, f2(r.Base), f2(r.PerfI), f2(r.PerfVP), f2(r.PerfBP), f2(r.PerfVPBP))
+	}
+	return tb.String() + "\n" + f.Chart()
+}

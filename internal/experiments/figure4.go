@@ -1,0 +1,101 @@
+package experiments
+
+import (
+	"mlpsim/internal/annotate"
+	"mlpsim/internal/core"
+)
+
+// Figure4Sizes and Figure4Configs are the sweep axes of Figures 4 and 5.
+var (
+	Figure4Sizes   = []int{16, 32, 64, 128, 256}
+	Figure4Configs = []core.IssueConfig{core.ConfigA, core.ConfigB, core.ConfigC, core.ConfigD, core.ConfigE}
+)
+
+// Figure4Cell is one point of the ROB-size × issue-configuration sweep.
+type Figure4Cell struct {
+	Workload string
+	Window   int
+	Issue    core.IssueConfig
+	MLP      float64
+	Result   core.Result
+}
+
+// Figure4 reproduces Figure 4 (MLP vs ROB/issue-window size and issue
+// constraints); its raw results also carry the Figure 5 limiter
+// statistics.
+type Figure4 struct {
+	Cells []Figure4Cell
+}
+
+// RunFigure4 executes the sweep.
+func RunFigure4(s Setup) Figure4 {
+	type job struct {
+		wi, si, ci int
+	}
+	var jobs []job
+	for wi := range s.Workloads {
+		for si := range Figure4Sizes {
+			for ci := range Figure4Configs {
+				jobs = append(jobs, job{wi, si, ci})
+			}
+		}
+	}
+	cells := make([]Figure4Cell, len(jobs))
+	s.forEach(len(jobs), func(i int) {
+		j := jobs[i]
+		w := s.Workloads[j.wi]
+		cfg := core.Default().WithWindow(Figure4Sizes[j.si]).WithIssue(Figure4Configs[j.ci])
+		res := s.RunMLPsim(w, cfg, annotate.Config{})
+		cells[i] = Figure4Cell{
+			Workload: w.Name,
+			Window:   Figure4Sizes[j.si],
+			Issue:    Figure4Configs[j.ci],
+			MLP:      res.MLP(),
+			Result:   res,
+		}
+	})
+	return Figure4{Cells: cells}
+}
+
+// Lookup returns the cell for (workload, window, config), or nil.
+func (f *Figure4) Lookup(workload string, window int, ic core.IssueConfig) *Figure4Cell {
+	for i := range f.Cells {
+		c := &f.Cells[i]
+		if c.Workload == workload && c.Window == window && c.Issue == ic {
+			return c
+		}
+	}
+	return nil
+}
+
+// String renders one MLP matrix per workload.
+func (f Figure4) String() string {
+	tb := newTable("Figure 4: Impact of ROB Size and Issuing Constraints (MLP)")
+	header := []string{"Workload", "ROB/IW"}
+	for _, ic := range Figure4Configs {
+		header = append(header, ic.String())
+	}
+	tb.row(header...)
+	seen := map[string]bool{}
+	var order []string
+	for _, c := range f.Cells {
+		if !seen[c.Workload] {
+			seen[c.Workload] = true
+			order = append(order, c.Workload)
+		}
+	}
+	for _, wname := range order {
+		for _, size := range Figure4Sizes {
+			cells := []string{wname, itoa(size)}
+			for _, ic := range Figure4Configs {
+				if c := f.Lookup(wname, size, ic); c != nil {
+					cells = append(cells, f2(c.MLP))
+				} else {
+					cells = append(cells, "-")
+				}
+			}
+			tb.row(cells...)
+		}
+	}
+	return tb.String() + "\n" + f.Chart()
+}

@@ -1,0 +1,116 @@
+package experiments
+
+import (
+	"mlpsim/internal/annotate"
+	"mlpsim/internal/core"
+)
+
+// Figure6Cell is one bar segment: issue window IW, issue configuration,
+// and a decoupled ROB size.
+type Figure6Cell struct {
+	Workload string
+	IW       int
+	Issue    core.IssueConfig
+	ROB      int
+	MLP      float64
+}
+
+// Figure6 reproduces Figure 6: decoupling the issue window and ROB.
+type Figure6 struct {
+	Cells []Figure6Cell
+	// INF holds the infinite-window reference (IW = ROB = 2048, config E)
+	// per workload.
+	INF map[string]float64
+}
+
+// Figure 6 sweep axes: the paper draws bars for issue windows 16-128 with
+// ROB multiples 1X/2X/4X/8X plus a fixed 2048-entry ROB, and an "INF" bar.
+var (
+	Figure6IWs     = []int{16, 32, 64, 128}
+	Figure6Mults   = []int{1, 2, 4, 8}
+	Figure6Configs = []core.IssueConfig{core.ConfigC, core.ConfigD, core.ConfigE}
+	figure6BigROB  = 2048
+)
+
+// RunFigure6 executes the sweep.
+func RunFigure6(s Setup) Figure6 {
+	type job struct {
+		wi, iwi, ci int
+		rob         int
+	}
+	var jobs []job
+	for wi := range s.Workloads {
+		for _, iw := range Figure6IWs {
+			for ci := range Figure6Configs {
+				for _, m := range Figure6Mults {
+					jobs = append(jobs, job{wi, iw, ci, iw * m})
+				}
+				jobs = append(jobs, job{wi, iw, ci, figure6BigROB})
+			}
+		}
+	}
+	cells := make([]Figure6Cell, len(jobs))
+	s.forEach(len(jobs), func(i int) {
+		j := jobs[i]
+		w := s.Workloads[j.wi]
+		cfg := core.Default().WithIssue(Figure6Configs[j.ci])
+		cfg.IssueWindow = j.iwi
+		cfg.ROB = j.rob
+		res := s.RunMLPsim(w, cfg, annotate.Config{})
+		cells[i] = Figure6Cell{
+			Workload: w.Name, IW: j.iwi, Issue: Figure6Configs[j.ci], ROB: j.rob,
+			MLP: res.MLP(),
+		}
+	})
+
+	inf := make(map[string]float64, len(s.Workloads))
+	infMLP := make([]float64, len(s.Workloads))
+	s.forEach(len(s.Workloads), func(wi int) {
+		res := s.RunMLPsim(s.Workloads[wi],
+			core.Default().WithWindow(figure6BigROB).WithIssue(core.ConfigE), annotate.Config{})
+		infMLP[wi] = res.MLP()
+	})
+	for wi, w := range s.Workloads {
+		inf[w.Name] = infMLP[wi]
+	}
+	return Figure6{Cells: cells, INF: inf}
+}
+
+// Lookup returns the MLP for a bar segment, or -1 when absent.
+func (f *Figure6) Lookup(workload string, iw int, ic core.IssueConfig, rob int) float64 {
+	for i := range f.Cells {
+		c := &f.Cells[i]
+		if c.Workload == workload && c.IW == iw && c.Issue == ic && c.ROB == rob {
+			return c.MLP
+		}
+	}
+	return -1
+}
+
+// String renders the bars.
+func (f Figure6) String() string {
+	tb := newTable("Figure 6: Impact of Decoupling Issue Window and ROB Sizes (MLP)")
+	tb.row("Workload", "IW+Config", "ROB=1X", "2X", "4X", "8X", "ROB=2048")
+	seen := map[string]bool{}
+	var order []string
+	for _, c := range f.Cells {
+		if !seen[c.Workload] {
+			seen[c.Workload] = true
+			order = append(order, c.Workload)
+		}
+	}
+	for _, wname := range order {
+		for _, iw := range Figure6IWs {
+			for _, ic := range Figure6Configs {
+				cells := []string{wname, itoa(iw) + ic.String()}
+				for _, m := range Figure6Mults {
+					cells = append(cells, f2(f.Lookup(wname, iw, ic, iw*m)))
+				}
+				cells = append(cells, f2(f.Lookup(wname, iw, ic, figure6BigROB)))
+				tb.row(cells...)
+			}
+		}
+		tb.rowf("%s\tINF (2048E)\t%s", wname, f2(f.INF[wname]))
+	}
+	return tb.String()
+}

@@ -1,0 +1,58 @@
+package experiments
+
+import (
+	"mlpsim/internal/annotate"
+	"mlpsim/internal/core"
+	"mlpsim/internal/mem"
+)
+
+// Figure7Cell is the MLP of one workload at one L2 capacity.
+type Figure7Cell struct {
+	Workload string
+	L2Bytes  int
+	MLP      float64
+	MissRate float64 // off-chip accesses per 100 instructions
+}
+
+// Figure7 reproduces Figure 7: impact of L2 cache size on MLP.
+type Figure7 struct {
+	Cells []Figure7Cell
+}
+
+// Figure7L2Sizes is the swept capacity axis.
+var Figure7L2Sizes = []int{1 << 20, 2 << 20, 4 << 20, 8 << 20}
+
+// RunFigure7 executes the sweep with the default 64C processor.
+func RunFigure7(s Setup) Figure7 {
+	type job struct{ wi, li int }
+	var jobs []job
+	for wi := range s.Workloads {
+		for li := range Figure7L2Sizes {
+			jobs = append(jobs, job{wi, li})
+		}
+	}
+	cells := make([]Figure7Cell, len(jobs))
+	s.forEach(len(jobs), func(i int) {
+		j := jobs[i]
+		w := s.Workloads[j.wi]
+		acfg := annotate.Config{Hierarchy: mem.DefaultHierarchy().WithL2Size(Figure7L2Sizes[j.li])}
+		res := s.RunMLPsim(w, core.Default(), acfg)
+		cells[i] = Figure7Cell{
+			Workload: w.Name,
+			L2Bytes:  Figure7L2Sizes[j.li],
+			MLP:      res.MLP(),
+			MissRate: res.MissRatePer100(),
+		}
+	})
+	return Figure7{Cells: cells}
+}
+
+// String renders the sweep.
+func (f Figure7) String() string {
+	tb := newTable("Figure 7: Impact of L2 Cache Size (default 64C processor)")
+	tb.row("Workload", "L2 size", "MLP", "Miss rate (/100)")
+	for _, c := range f.Cells {
+		tb.rowf("%s\t%dMB\t%s\t%s", c.Workload, c.L2Bytes>>20, f2(c.MLP), f2(c.MissRate))
+	}
+	return tb.String() + "\n" + f.Chart()
+}

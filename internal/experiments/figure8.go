@@ -1,0 +1,66 @@
+package experiments
+
+import (
+	"mlpsim/internal/annotate"
+	"mlpsim/internal/core"
+)
+
+// Figure8Row compares runahead execution against two conventional
+// configurations for one workload (§5.4.1).
+type Figure8Row struct {
+	Workload string
+	// Conv64 is the 64-entry IW / 64-entry ROB configuration D.
+	Conv64 float64
+	// Conv256 is the 64-entry IW / 256-entry ROB configuration D.
+	Conv256 float64
+	// RAE is runahead execution (max distance 2048).
+	RAE float64
+}
+
+// Figure8 reproduces Figure 8: impact of runahead execution on MLP.
+type Figure8 struct {
+	Rows []Figure8Row
+}
+
+// RunFigure8 executes the experiment.
+func RunFigure8(s Setup) Figure8 {
+	rows := make([]Figure8Row, len(s.Workloads))
+	for i, w := range s.Workloads {
+		rows[i].Workload = w.Name
+	}
+	s.forEach(len(s.Workloads)*3, func(i int) {
+		wi, which := i/3, i%3
+		var cfg core.Config
+		switch which {
+		case 0:
+			cfg = core.Default().WithIssue(core.ConfigD)
+		case 1:
+			cfg = core.Default().WithIssue(core.ConfigD).WithROB(256)
+		default:
+			cfg = core.Default().WithIssue(core.ConfigD).WithRunahead()
+		}
+		res := s.RunMLPsim(s.Workloads[wi], cfg, annotate.Config{})
+		switch which {
+		case 0:
+			rows[wi].Conv64 = res.MLP()
+		case 1:
+			rows[wi].Conv256 = res.MLP()
+		default:
+			rows[wi].RAE = res.MLP()
+		}
+	})
+	return Figure8{Rows: rows}
+}
+
+// String renders the comparison with the paper's improvement
+// percentages.
+func (f Figure8) String() string {
+	tb := newTable("Figure 8: Impact of Runahead Execution (MLP)")
+	tb.row("Workload", "64D/64", "64D/256", "RAE", "RAE vs 64D/64", "RAE vs 64D/256")
+	for _, r := range f.Rows {
+		tb.rowf("%s\t%s\t%s\t%s\t+%s\t+%s",
+			r.Workload, f2(r.Conv64), f2(r.Conv256), f2(r.RAE),
+			pct(r.RAE/r.Conv64-1), pct(r.RAE/r.Conv256-1))
+	}
+	return tb.String() + "\n" + f.Chart()
+}

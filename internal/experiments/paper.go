@@ -1,0 +1,86 @@
+package experiments
+
+// The paper's published numbers, transcribed as data. Tests and the
+// "compare" exhibit use them to show paper-vs-measured side by side; the
+// reproduction targets the *shape* (orderings, ratios, crossovers), not
+// the absolute values, which depend on Sun's proprietary traces.
+
+// PaperTable1Row mirrors Table 1.
+type PaperTable1Row struct {
+	Workload       string
+	Penalty        int
+	CPI            float64
+	CPIOnChip      float64
+	CPIOffChip     float64
+	MissRatePer100 float64
+	MLP            float64
+	OverlapCM      float64
+}
+
+// PaperTable1 is Table 1 of the paper.
+var PaperTable1 = []PaperTable1Row{
+	{"Database", 200, 2.44, 1.47, 0.97, 0.84, 1.33, 0.20},
+	{"Database", 1000, 7.28, 1.47, 5.81, 0.84, 1.38, 0.18},
+	{"SPECjbb2000", 200, 1.45, 1.16, 0.29, 0.19, 1.13, 0.04},
+	{"SPECjbb2000", 1000, 2.80, 1.16, 1.64, 0.19, 1.14, 0.04},
+	{"SPECweb99", 200, 1.73, 1.62, 0.11, 0.09, 1.25, 0.02},
+	{"SPECweb99", 1000, 2.30, 1.62, 0.68, 0.09, 1.29, 0.00},
+}
+
+// PaperTable3MLPsim holds Table 3's MLPsim column: workload -> "32A"
+// style key -> MLP.
+var PaperTable3MLPsim = map[string]map[string]float64{
+	"Database": {
+		"32A": 1.21, "32B": 1.23, "32C": 1.27,
+		"64A": 1.25, "64B": 1.28, "64C": 1.38,
+		"128A": 1.28, "128B": 1.32, "128C": 1.47,
+	},
+	"SPECjbb2000": {
+		"32A": 1.10, "32B": 1.10, "32C": 1.11,
+		"64A": 1.10, "64B": 1.13, "64C": 1.13,
+		"128A": 1.15, "128B": 1.19, "128C": 1.19,
+	},
+	"SPECweb99": {
+		"32A": 1.20, "32B": 1.20, "32C": 1.22,
+		"64A": 1.23, "64B": 1.24, "64C": 1.28,
+		"128A": 1.25, "128B": 1.25, "128C": 1.31,
+	},
+}
+
+// PaperTable5 holds the in-order MLPs (stall-on-miss, stall-on-use).
+var PaperTable5 = map[string][2]float64{
+	"Database":    {1.02, 1.06},
+	"SPECjbb2000": {1.00, 1.01},
+	"SPECweb99":   {1.10, 1.13},
+}
+
+// PaperTable6 holds the value-predictor fractions (correct, wrong,
+// no-predict).
+var PaperTable6 = map[string][3]float64{
+	"Database":    {0.42, 0.07, 0.51},
+	"SPECjbb2000": {0.20, 0.03, 0.77},
+	"SPECweb99":   {0.25, 0.05, 0.70},
+}
+
+// PaperFigure8Gains holds runahead's MLP improvements over the 64-entry
+// and 256-entry-ROB conventional configurations (§5.4.1).
+var PaperFigure8Gains = map[string][2]float64{
+	"Database":    {0.82, 0.56},
+	"SPECjbb2000": {1.02, 0.81},
+	"SPECweb99":   {0.49, 0.46},
+}
+
+// PaperFigure11RAEGain holds runahead's overall performance improvement
+// over 64D at a 1000-cycle latency (§5.7), as fractions.
+var PaperFigure11RAEGain = map[string]float64{
+	"Database":    0.60,
+	"SPECjbb2000": 0.44,
+	"SPECweb99":   0.11,
+}
+
+// PaperFigure11LimitGain holds RAE.perfVP.perfBP's overall improvement.
+var PaperFigure11LimitGain = map[string]float64{
+	"Database":    1.74,
+	"SPECjbb2000": 1.03,
+	"SPECweb99":   0.21,
+}

@@ -1,0 +1,72 @@
+package experiments
+
+import "fmt"
+
+// Runner describes one reproducible exhibit.
+type Runner struct {
+	// ID is the paper label, e.g. "table3" or "figure8".
+	ID string
+	// Title is the exhibit caption.
+	Title string
+	// Run executes the experiment and returns its printable result.
+	Run func(Setup) fmt.Stringer
+}
+
+// All returns every exhibit runner in paper order.
+func All() []Runner {
+	return []Runner{
+		{"table1", "Measurements of on-chip and off-chip components of CPI",
+			func(s Setup) fmt.Stringer { return RunTable1(s) }},
+		{"figure2", "Clustering of misses",
+			func(s Setup) fmt.Stringer { return RunFigure2(s) }},
+		{"table3", "MLPsim vs cycle-accurate simulator",
+			func(s Setup) fmt.Stringer { return RunTable3(s) }},
+		{"table4", "Estimated vs measured CPI",
+			func(s Setup) fmt.Stringer { return RunTable4(s) }},
+		{"table5", "MLP of in-order issue",
+			func(s Setup) fmt.Stringer { return RunTable5(s) }},
+		{"figure4", "Impact of ROB size and issuing constraints",
+			func(s Setup) fmt.Stringer { return RunFigure4(s) }},
+		{"figure5", "Factors inhibiting further MLP",
+			func(s Setup) fmt.Stringer { return RunFigure5(s) }},
+		{"figure6", "Impact of decoupling issue window and ROB sizes",
+			func(s Setup) fmt.Stringer { return RunFigure6(s) }},
+		{"figure7", "Impact of L2 cache size",
+			func(s Setup) fmt.Stringer { return RunFigure7(s) }},
+		{"figure8", "Impact of runahead execution",
+			func(s Setup) fmt.Stringer { return RunFigure8(s) }},
+		{"table6", "Value predictor statistics",
+			func(s Setup) fmt.Stringer { return RunTable6(s) }},
+		{"figure9", "Impact of value prediction",
+			func(s Setup) fmt.Stringer { return RunFigure9(s) }},
+		{"figure10", "Limit study",
+			func(s Setup) fmt.Stringer { return RunFigure10(s) }},
+		{"figure11", "Overall performance improvement",
+			func(s Setup) fmt.Stringer { return RunFigure11(s) }},
+		{"ext-mshr", "Extension: MLP vs MSHR count",
+			func(s Setup) fmt.Stringer { return RunExtMSHR(s) }},
+		{"ext-prefetch", "Extension: hardware prefetching (§5.6 direction)",
+			func(s Setup) fmt.Stringer { return RunExtPrefetch(s) }},
+		{"ext-storemlp", "Extension: store MLP / finite store buffers (§7)",
+			func(s Setup) fmt.Stringer { return RunExtStoreMLP(s) }},
+		{"ext-smt", "Extension: multithreaded MLP (§7)",
+			func(s Setup) fmt.Stringer { return RunExtSMT(s) }},
+		{"ext-bandwidth", "Extension: finite memory bandwidth (queueing model, §4.1)",
+			func(s Setup) fmt.Stringer { return RunExtBandwidth(s) }},
+		{"stability", "Multi-seed stability (error bars for every exhibit)",
+			func(s Setup) fmt.Stringer { return RunStability(s) }},
+		{"compare", "Paper vs measured: headline numbers side by side",
+			func(s Setup) fmt.Stringer { return RunCompare(s) }},
+	}
+}
+
+// Find returns the runner with the given ID, or nil.
+func Find(id string) *Runner {
+	all := All()
+	for i := range all {
+		if all[i].ID == id {
+			return &all[i]
+		}
+	}
+	return nil
+}

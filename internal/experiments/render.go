@@ -1,0 +1,41 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"text/tabwriter"
+)
+
+// table accumulates rows and renders an aligned text table.
+type table struct {
+	b  strings.Builder
+	tw *tabwriter.Writer
+}
+
+func newTable(title string) *table {
+	t := &table{}
+	t.b.WriteString(title)
+	t.b.WriteString("\n")
+	t.b.WriteString(strings.Repeat("=", len(title)))
+	t.b.WriteString("\n")
+	t.tw = tabwriter.NewWriter(&t.b, 2, 4, 2, ' ', 0)
+	return t
+}
+
+func (t *table) row(cells ...string) {
+	fmt.Fprintln(t.tw, strings.Join(cells, "\t"))
+}
+
+func (t *table) rowf(format string, args ...interface{}) {
+	fmt.Fprintf(t.tw, format+"\n", args...)
+}
+
+func (t *table) String() string {
+	t.tw.Flush()
+	return t.b.String()
+}
+
+func f2(x float64) string  { return fmt.Sprintf("%.2f", x) }
+func f3(x float64) string  { return fmt.Sprintf("%.3f", x) }
+func pct(x float64) string { return fmt.Sprintf("%.0f%%", 100*x) }
+func itoa(x int) string    { return fmt.Sprintf("%d", x) }

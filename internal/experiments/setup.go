@@ -1,0 +1,113 @@
+// Package experiments reproduces every table and figure of the paper's
+// evaluation (§2.2, §2.3, §5): one runner per exhibit, each returning
+// typed rows plus a textual rendering in the paper's layout.
+//
+// All runners are deterministic for a fixed Setup: every simulator run
+// regenerates and re-annotates the workload from its seed, so MLPsim and
+// the cycle simulator always see identical miss and misprediction streams.
+package experiments
+
+import (
+	"runtime"
+	"sync"
+
+	"mlpsim/internal/annotate"
+	"mlpsim/internal/core"
+	"mlpsim/internal/cyclesim"
+	"mlpsim/internal/workload"
+)
+
+// Setup fixes the workloads and run lengths for a batch of experiments.
+type Setup struct {
+	// Seed drives workload generation.
+	Seed int64
+	// Warmup instructions train caches and predictors before measurement.
+	Warmup int64
+	// Measure instructions are simulated for statistics.
+	Measure int64
+	// Workloads are the traced applications, in the paper's order
+	// (database, SPECjbb2000, SPECweb99).
+	Workloads []workload.Config
+	// Parallelism bounds concurrent simulator runs (0 = GOMAXPROCS).
+	Parallelism int
+}
+
+// Default returns the full-size setup used by cmd/experiments: the paper
+// uses 50M warm-up + 100M measured instructions; the synthetic workloads
+// are stationary by construction, so 2M + 8M reproduces the same
+// statistics (see the stability test).
+func Default(seed int64) Setup {
+	return Setup{
+		Seed:      seed,
+		Warmup:    2_000_000,
+		Measure:   8_000_000,
+		Workloads: workload.Presets(seed),
+	}
+}
+
+// Quick returns a reduced setup for tests and benchmarks.
+func Quick(seed int64) Setup {
+	return Setup{
+		Seed:      seed,
+		Warmup:    300_000,
+		Measure:   1_000_000,
+		Workloads: workload.Presets(seed),
+	}
+}
+
+// RunMLPsim generates, annotates and runs one MLPsim configuration.
+func (s Setup) RunMLPsim(w workload.Config, cfg core.Config, acfg annotate.Config) core.Result {
+	g := workload.MustNew(w)
+	a := annotate.New(g, acfg)
+	a.Warm(s.Warmup)
+	cfg.MaxInstructions = s.Measure
+	return core.NewEngine(a, cfg).Run()
+}
+
+// RunCycleSim generates, annotates and runs one cycle-simulator
+// configuration.
+func (s Setup) RunCycleSim(w workload.Config, cfg cyclesim.Config, acfg annotate.Config) cyclesim.Result {
+	g := workload.MustNew(w)
+	a := annotate.New(g, acfg)
+	a.Warm(s.Warmup)
+	cfg.MaxInstructions = s.Measure
+	return cyclesim.New(a, cfg).Run()
+}
+
+// parallelism resolves the worker count.
+func (s Setup) parallelism() int {
+	if s.Parallelism > 0 {
+		return s.Parallelism
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// forEach runs fn(i) for i in [0, n) with bounded parallelism.
+func (s Setup) forEach(n int, fn func(i int)) {
+	workers := s.parallelism()
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+}

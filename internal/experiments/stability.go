@@ -1,0 +1,83 @@
+package experiments
+
+import (
+	"mlpsim/internal/annotate"
+	"mlpsim/internal/core"
+	"mlpsim/internal/stats"
+)
+
+// StabilityRow reports multi-seed statistics for one workload and
+// configuration: the confidence that a single-seed number in the other
+// exhibits is representative.
+type StabilityRow struct {
+	Workload string
+	Config   string
+	MLP      stats.Summary
+	MissRate stats.Summary
+}
+
+// Stability re-runs the key configurations over several workload seeds
+// and reports mean ± 95% CI — the reproduction's error bars.
+type Stability struct {
+	Seeds int
+	Rows  []StabilityRow
+}
+
+// StabilitySeeds is the number of independent seeds measured.
+const StabilitySeeds = 5
+
+// RunStability executes the experiment.
+func RunStability(s Setup) Stability {
+	configs := []struct {
+		name string
+		cfg  core.Config
+	}{
+		{"64C", core.Default()},
+		{"RAE", core.Default().WithIssue(core.ConfigD).WithRunahead()},
+	}
+	type job struct{ wi, ci, si int }
+	var jobs []job
+	for wi := range s.Workloads {
+		for ci := range configs {
+			for si := 0; si < StabilitySeeds; si++ {
+				jobs = append(jobs, job{wi, ci, si})
+			}
+		}
+	}
+	mlps := make([]float64, len(jobs))
+	rates := make([]float64, len(jobs))
+	s.forEach(len(jobs), func(i int) {
+		j := jobs[i]
+		w := s.Workloads[j.wi].WithSeed(s.Seed + int64(j.si)*7919)
+		res := s.RunMLPsim(w, configs[j.ci].cfg, annotate.Config{})
+		mlps[i] = res.MLP()
+		rates[i] = res.MissRatePer100()
+	})
+
+	var rows []StabilityRow
+	i := 0
+	for wi := range s.Workloads {
+		for ci := range configs {
+			rows = append(rows, StabilityRow{
+				Workload: s.Workloads[wi].Name,
+				Config:   configs[ci].name,
+				MLP:      stats.Summarize(mlps[i : i+StabilitySeeds]),
+				MissRate: stats.Summarize(rates[i : i+StabilitySeeds]),
+			})
+			i += StabilitySeeds
+		}
+	}
+	return Stability{Seeds: StabilitySeeds, Rows: rows}
+}
+
+// String renders the error bars.
+func (st Stability) String() string {
+	tb := newTable("Stability: MLP and miss rate across workload seeds (mean ± 95% CI)")
+	tb.row("Workload", "Config", "MLP", "±", "Miss rate (/100)", "±")
+	for _, r := range st.Rows {
+		tb.rowf("%s\t%s\t%s\t%s\t%s\t%s",
+			r.Workload, r.Config, f2(r.MLP.Mean), f3(r.MLP.CI95()),
+			f2(r.MissRate.Mean), f3(r.MissRate.CI95()))
+	}
+	return tb.String()
+}

@@ -1,0 +1,50 @@
+package experiments
+
+import (
+	"mlpsim/internal/annotate"
+	"mlpsim/internal/core"
+)
+
+// Table5Row holds the in-order MLP of one workload.
+type Table5Row struct {
+	Workload    string
+	StallOnMiss float64
+	StallOnUse  float64
+}
+
+// Table5 reproduces Table 5: MLP of in-order issue.
+type Table5 struct {
+	Rows []Table5Row
+}
+
+// RunTable5 executes the experiment.
+func RunTable5(s Setup) Table5 {
+	rows := make([]Table5Row, len(s.Workloads))
+	for i, w := range s.Workloads {
+		rows[i].Workload = w.Name
+	}
+	s.forEach(len(s.Workloads)*2, func(i int) {
+		wi, mode := i/2, i%2
+		cfg := core.Config{Mode: core.InOrderStallOnMiss}
+		if mode == 1 {
+			cfg.Mode = core.InOrderStallOnUse
+		}
+		res := s.RunMLPsim(s.Workloads[wi], cfg, annotate.Config{})
+		if mode == 0 {
+			rows[wi].StallOnMiss = res.MLP()
+		} else {
+			rows[wi].StallOnUse = res.MLP()
+		}
+	})
+	return Table5{Rows: rows}
+}
+
+// String renders the table.
+func (t Table5) String() string {
+	tb := newTable("Table 5: MLP of In-Order Issue")
+	tb.row("Benchmark", "Stall-on-Miss", "Stall-on-Use")
+	for _, r := range t.Rows {
+		tb.rowf("%s\t%s\t%s", r.Workload, f2(r.StallOnMiss), f2(r.StallOnUse))
+	}
+	return tb.String()
+}

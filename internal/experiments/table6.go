@@ -1,0 +1,52 @@
+package experiments
+
+import (
+	"mlpsim/internal/annotate"
+	"mlpsim/internal/vpred"
+	"mlpsim/internal/workload"
+)
+
+// Table6Row holds the missing-load value predictor accuracy for one
+// workload.
+type Table6Row struct {
+	Workload  string
+	Correct   float64
+	Wrong     float64
+	NoPredict float64
+}
+
+// Table6 reproduces Table 6: value predictor statistics (16K-entry
+// last-value predictor consulted only for missing loads).
+type Table6 struct {
+	Rows []Table6Row
+}
+
+// RunTable6 executes the experiment.
+func RunTable6(s Setup) Table6 {
+	rows := make([]Table6Row, len(s.Workloads))
+	s.forEach(len(s.Workloads), func(i int) {
+		w := s.Workloads[i]
+		g := workload.MustNew(w)
+		a := annotate.New(g, annotate.Config{Value: vpred.NewLastValue(vpred.DefaultEntries)})
+		a.Warm(s.Warmup)
+		for n := int64(0); n < s.Measure; n++ {
+			if _, ok := a.Next(); !ok {
+				break
+			}
+		}
+		st := a.Stats().VP
+		c, wr, np := st.Fractions()
+		rows[i] = Table6Row{Workload: w.Name, Correct: c, Wrong: wr, NoPredict: np}
+	})
+	return Table6{Rows: rows}
+}
+
+// String renders the table.
+func (t Table6) String() string {
+	tb := newTable("Table 6: Value Predictor Statistics (missing loads)")
+	tb.row("Benchmark", "Correct", "Wrong", "No Predict")
+	for _, r := range t.Rows {
+		tb.rowf("%s\t%s\t%s\t%s", r.Workload, pct(r.Correct), pct(r.Wrong), pct(r.NoPredict))
+	}
+	return tb.String()
+}

@@ -1,0 +1,162 @@
+// Package isa defines the minimal SPARC-flavoured abstract instruction set
+// consumed by the MLP simulators.
+//
+// The epoch model (Chou, Fahs & Abraham, ISCA 2004) is ISA-agnostic beyond
+// instruction *classes*, register dependences, memory addresses and
+// serializing semantics, so the package models exactly those: a dynamic
+// instruction carries its class, up to two integer source registers, one
+// destination register, an effective address for memory operations, a
+// branch outcome, and a loaded value for value prediction.
+package isa
+
+import "fmt"
+
+// Class is the behavioural class of an instruction. The classes mirror the
+// instruction kinds the paper's epoch model distinguishes (§3).
+type Class uint8
+
+const (
+	// ALU is any register-to-register computation (adds, logicals, shifts,
+	// multiplies, FP ops...). The epoch model treats all of them as zero
+	// latency on-chip computation.
+	ALU Class = iota
+	// Load is a memory read into a destination register.
+	Load
+	// Store is a memory write. Stores never contribute off-chip accesses to
+	// MLP in the paper's definition (only instruction fetches, loads and
+	// useful prefetches do).
+	Store
+	// Branch is a conditional or unconditional control transfer.
+	Branch
+	// CASA is the SPARC compare-and-swap used for locking (serializing).
+	CASA
+	// LDSTUB is the SPARC atomic load-store-unsigned-byte (serializing).
+	LDSTUB
+	// MemBar is the SPARC MEMBAR memory-ordering barrier (serializing).
+	MemBar
+	// Prefetch is a software read prefetch. A prefetch that misses the
+	// on-chip hierarchy counts toward MLP when useful.
+	Prefetch
+	// NOP is an instruction with no register or memory effect.
+	NOP
+
+	numClasses = int(NOP) + 1
+)
+
+var classNames = [numClasses]string{
+	"ALU", "Load", "Store", "Branch", "CASA", "LDSTUB", "MemBar", "Prefetch", "NOP",
+}
+
+// String returns the mnemonic-style name of the class.
+func (c Class) String() string {
+	if int(c) < numClasses {
+		return classNames[c]
+	}
+	return fmt.Sprintf("Class(%d)", uint8(c))
+}
+
+// Valid reports whether c is one of the defined instruction classes.
+func (c Class) Valid() bool { return int(c) < numClasses }
+
+// IsSerializing reports whether the class drains the pipeline in a
+// straightforward implementation (§3.2.2): CASA, LDSTUB and MEMBAR.
+func (c Class) IsSerializing() bool {
+	return c == CASA || c == LDSTUB || c == MemBar
+}
+
+// IsMemRead reports whether the class reads memory (and can therefore be a
+// missing load / missing prefetch).
+func (c Class) IsMemRead() bool {
+	return c == Load || c == Prefetch || c == CASA || c == LDSTUB
+}
+
+// IsMemWrite reports whether the class writes memory.
+func (c Class) IsMemWrite() bool {
+	return c == Store || c == CASA || c == LDSTUB
+}
+
+// IsMem reports whether the class touches data memory at all.
+func (c Class) IsMem() bool { return c.IsMemRead() || c.IsMemWrite() }
+
+// Reg is an architectural register number. The model uses a flat integer
+// register file; register 0 is hard-wired to zero as on SPARC (%g0) and
+// never creates a dependence.
+type Reg uint8
+
+// NumRegs is the number of architectural registers modelled.
+const NumRegs = 32
+
+// RegZero is the hard-wired zero register (%g0): reads from it never create
+// dependences and writes to it are discarded.
+const RegZero Reg = 0
+
+// NoReg marks an unused register slot in an instruction.
+const NoReg Reg = 0xFF
+
+// Inst is one dynamic instruction in the dynamic instruction stream (DIS).
+//
+// The zero value is an ALU instruction at PC 0 that reads and writes %g0,
+// i.e. an instruction with no dependences or memory behaviour.
+type Inst struct {
+	// PC is the virtual address of the instruction. Instruction-cache
+	// behaviour is derived from it (64-byte lines hold 16 instructions).
+	PC uint64
+	// Class selects the behaviour of the instruction.
+	Class Class
+	// Src1, Src2 are source registers; NoReg when unused. For loads, Src1
+	// is the address base. For stores, Src1 is the address base and Src2
+	// the data source. For branches, Src1 (and optionally Src2) are the
+	// condition inputs.
+	Src1, Src2 Reg
+	// Dst is the destination register, NoReg when the instruction produces
+	// no register result (stores, branches, membar, nop, prefetch).
+	Dst Reg
+	// EA is the effective data address for memory instructions.
+	EA uint64
+	// Taken is the actual outcome for branches.
+	Taken bool
+	// Target is the branch target address (used by the BTB model).
+	Target uint64
+	// Value is the data value loaded by a Load/CASA/LDSTUB; it feeds the
+	// value predictor. For other classes it is ignored.
+	Value uint64
+}
+
+// HasDst reports whether the instruction produces a register value that
+// later instructions can depend on (writes to %g0 are discarded).
+func (in *Inst) HasDst() bool { return in.Dst != NoReg && in.Dst != RegZero }
+
+// SrcRegs appends the instruction's architecturally meaningful source
+// registers to dst and returns it. Reads of %g0 are omitted because they
+// never create dependences.
+func (in *Inst) SrcRegs(dst []Reg) []Reg {
+	if in.Src1 != NoReg && in.Src1 != RegZero {
+		dst = append(dst, in.Src1)
+	}
+	if in.Src2 != NoReg && in.Src2 != RegZero {
+		dst = append(dst, in.Src2)
+	}
+	return dst
+}
+
+// String renders a compact human-readable form, e.g.
+// "Load pc=0x1000 r4<-[0xbeef] src=r2".
+func (in *Inst) String() string {
+	s := fmt.Sprintf("%s pc=%#x", in.Class, in.PC)
+	if in.Class.IsMem() {
+		s += fmt.Sprintf(" ea=%#x", in.EA)
+	}
+	if in.HasDst() {
+		s += fmt.Sprintf(" dst=r%d", in.Dst)
+	}
+	if in.Src1 != NoReg {
+		s += fmt.Sprintf(" src1=r%d", in.Src1)
+	}
+	if in.Src2 != NoReg {
+		s += fmt.Sprintf(" src2=r%d", in.Src2)
+	}
+	if in.Class == Branch {
+		s += fmt.Sprintf(" taken=%t tgt=%#x", in.Taken, in.Target)
+	}
+	return s
+}

@@ -1,0 +1,193 @@
+// Package mem models the on-chip memory hierarchy used to classify
+// off-chip accesses: set-associative LRU caches, a two-level (L1 + shared
+// L2) hierarchy and a TLB.
+//
+// The simulators only need a functional model — which accesses leave the
+// chip — not a timing model; timing is owned by the epoch model
+// (internal/core) and the cycle simulator (internal/cyclesim).
+package mem
+
+import "fmt"
+
+// CacheConfig describes one cache's geometry.
+type CacheConfig struct {
+	// SizeBytes is the total capacity.
+	SizeBytes int
+	// Assoc is the set associativity (ways).
+	Assoc int
+	// LineBytes is the cache line size.
+	LineBytes int
+}
+
+// Validate checks the geometry for internal consistency.
+func (c CacheConfig) Validate() error {
+	switch {
+	case c.SizeBytes <= 0:
+		return fmt.Errorf("mem: size %d must be positive", c.SizeBytes)
+	case c.Assoc <= 0:
+		return fmt.Errorf("mem: associativity %d must be positive", c.Assoc)
+	case c.LineBytes <= 0 || c.LineBytes&(c.LineBytes-1) != 0:
+		return fmt.Errorf("mem: line size %d must be a positive power of two", c.LineBytes)
+	}
+	lines := c.SizeBytes / c.LineBytes
+	if lines*c.LineBytes != c.SizeBytes {
+		return fmt.Errorf("mem: size %d not a multiple of line size %d", c.SizeBytes, c.LineBytes)
+	}
+	sets := lines / c.Assoc
+	if sets <= 0 || sets*c.Assoc != lines {
+		return fmt.Errorf("mem: %d lines not divisible by associativity %d", lines, c.Assoc)
+	}
+	if sets&(sets-1) != 0 {
+		return fmt.Errorf("mem: set count %d must be a power of two", sets)
+	}
+	return nil
+}
+
+// Sets returns the number of sets implied by the geometry.
+func (c CacheConfig) Sets() int { return c.SizeBytes / c.LineBytes / c.Assoc }
+
+// Cache is a set-associative cache with true-LRU replacement. Tags record
+// line addresses; there is no data storage (functional model).
+type Cache struct {
+	cfg       CacheConfig
+	lineShift uint
+	setMask   uint64
+	// tags[set*assoc+way] holds the line address + 1 (0 means invalid).
+	tags []uint64
+	// lru[set*assoc+way] holds a recency stamp; larger is more recent.
+	lru   []uint64
+	clock uint64
+
+	accesses uint64
+	misses   uint64
+}
+
+// NewCache builds a cache. It panics on invalid geometry: configurations
+// are programmer-supplied constants, not runtime inputs.
+func NewCache(cfg CacheConfig) *Cache {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	shift := uint(0)
+	for 1<<shift != cfg.LineBytes {
+		shift++
+	}
+	n := cfg.Sets() * cfg.Assoc
+	return &Cache{
+		cfg:       cfg,
+		lineShift: shift,
+		setMask:   uint64(cfg.Sets() - 1),
+		tags:      make([]uint64, n),
+		lru:       make([]uint64, n),
+	}
+}
+
+// Config returns the cache geometry.
+func (c *Cache) Config() CacheConfig { return c.cfg }
+
+// LineAddr maps a byte address to its line address.
+func (c *Cache) LineAddr(addr uint64) uint64 { return addr >> c.lineShift }
+
+// Access looks up addr, allocating the line on a miss (allocate-on-miss for
+// both reads and writes; the paper's hierarchy is write-allocate). It
+// returns true on a hit.
+func (c *Cache) Access(addr uint64) bool {
+	return c.accessLine(c.LineAddr(addr), true)
+}
+
+// Probe reports whether addr currently hits, without updating replacement
+// state or statistics.
+func (c *Cache) Probe(addr uint64) bool {
+	line := c.LineAddr(addr)
+	set := int(line & c.setMask)
+	base := set * c.cfg.Assoc
+	for w := 0; w < c.cfg.Assoc; w++ {
+		if c.tags[base+w] == line+1 {
+			return true
+		}
+	}
+	return false
+}
+
+// Touch updates recency for addr if present, without allocating. It is used
+// when a second access in the same epoch should refresh LRU but must not
+// double-count a miss.
+func (c *Cache) Touch(addr uint64) bool {
+	return c.accessLine(c.LineAddr(addr), false)
+}
+
+// Insert forces the line containing addr into the cache (used for
+// prefetches and for modelling fills from runahead).
+func (c *Cache) Insert(addr uint64) {
+	line := c.LineAddr(addr)
+	set := int(line & c.setMask)
+	base := set * c.cfg.Assoc
+	c.clock++
+	victim := base
+	for w := 0; w < c.cfg.Assoc; w++ {
+		i := base + w
+		if c.tags[i] == line+1 {
+			c.lru[i] = c.clock
+			return
+		}
+		if c.tags[i] == 0 {
+			victim = i
+			break
+		}
+		if c.lru[i] < c.lru[victim] {
+			victim = i
+		}
+	}
+	c.tags[victim] = line + 1
+	c.lru[victim] = c.clock
+}
+
+func (c *Cache) accessLine(line uint64, allocate bool) bool {
+	set := int(line & c.setMask)
+	base := set * c.cfg.Assoc
+	c.clock++
+	if allocate {
+		c.accesses++
+	}
+	victim := base
+	empty := -1
+	for w := 0; w < c.cfg.Assoc; w++ {
+		i := base + w
+		if c.tags[i] == line+1 {
+			c.lru[i] = c.clock
+			return true
+		}
+		if c.tags[i] == 0 && empty < 0 {
+			empty = i
+		} else if c.lru[i] < c.lru[victim] {
+			victim = i
+		}
+	}
+	if !allocate {
+		return false
+	}
+	c.misses++
+	if empty >= 0 {
+		victim = empty
+	}
+	c.tags[victim] = line + 1
+	c.lru[victim] = c.clock
+	return false
+}
+
+// Stats returns (accesses, misses) counted by Access.
+func (c *Cache) Stats() (accesses, misses uint64) { return c.accesses, c.misses }
+
+// ResetStats zeroes the access/miss counters without disturbing contents.
+// It is called at the end of a warm-up window.
+func (c *Cache) ResetStats() { c.accesses, c.misses = 0, 0 }
+
+// Flush invalidates all lines and zeroes statistics.
+func (c *Cache) Flush() {
+	for i := range c.tags {
+		c.tags[i] = 0
+		c.lru[i] = 0
+	}
+	c.clock = 0
+	c.ResetStats()
+}

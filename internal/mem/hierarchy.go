@@ -1,0 +1,229 @@
+package mem
+
+// HierarchyConfig describes the paper's default on-chip hierarchy
+// (§5.1): 32KB 4-way 64B L1 I and D caches, a 2MB 4-way 64B shared L2,
+// no L3, and a 2K-entry shared TLB.
+type HierarchyConfig struct {
+	L1I CacheConfig
+	L1D CacheConfig
+	L2  CacheConfig
+	// L3 is an optional third-level cache (zero value = absent, the
+	// paper's default). §2.1 anticipates future parts with on-chip L3s:
+	// with one configured, an access is off-chip only when it misses the
+	// L3.
+	L3 CacheConfig
+	// TLBEntries is the size of the shared TLB (0 disables TLB modelling).
+	TLBEntries int
+	// PageBytes is the virtual page size used by the TLB.
+	PageBytes int
+}
+
+// HasL3 reports whether an L3 is configured.
+func (h HierarchyConfig) HasL3() bool { return h.L3.SizeBytes > 0 }
+
+// WithL3 returns a copy with an L3 of the given capacity (4-way, 64B
+// lines).
+func (h HierarchyConfig) WithL3(bytes int) HierarchyConfig {
+	h.L3 = CacheConfig{SizeBytes: bytes, Assoc: 4, LineBytes: 64}
+	return h
+}
+
+// DefaultHierarchy returns the paper's default configuration.
+func DefaultHierarchy() HierarchyConfig {
+	return HierarchyConfig{
+		L1I:        CacheConfig{SizeBytes: 32 << 10, Assoc: 4, LineBytes: 64},
+		L1D:        CacheConfig{SizeBytes: 32 << 10, Assoc: 4, LineBytes: 64},
+		L2:         CacheConfig{SizeBytes: 2 << 20, Assoc: 4, LineBytes: 64},
+		TLBEntries: 2048,
+		PageBytes:  8 << 10,
+	}
+}
+
+// WithL2Size returns a copy of the configuration with the L2 capacity
+// replaced (used by the Figure 7 cache-size sweep).
+func (h HierarchyConfig) WithL2Size(bytes int) HierarchyConfig {
+	h.L2.SizeBytes = bytes
+	return h
+}
+
+// AccessKind distinguishes the three kinds of hierarchy lookups.
+type AccessKind uint8
+
+const (
+	// IFetch is an instruction fetch (L1I then L2).
+	IFetch AccessKind = iota
+	// DRead is a data read: load, atomic, or demand part of a prefetch.
+	DRead
+	// DWrite is a data write (write-allocate, so it fills like a read).
+	DWrite
+)
+
+// Hierarchy is the functional two-level cache hierarchy plus TLB. An access
+// is *off-chip* exactly when it misses the shared L2; that is the paper's
+// definition of a long-latency access. TLB misses are modelled as on-chip
+// events (a hardware walk that hits the on-chip caches) and are only
+// reported statistically.
+type Hierarchy struct {
+	cfg HierarchyConfig
+	l1i *Cache
+	l1d *Cache
+	l2  *Cache
+	l3  *Cache // nil when absent
+	tlb *TLB
+
+	ifetches, imisses uint64 // L2-missing instruction fetches
+	dreads, dmisses   uint64 // L2-missing data reads
+	dwrites           uint64
+	offChip           uint64 // all L2 misses (reads, writes, fetches)
+}
+
+// NewHierarchy builds the hierarchy. It panics on invalid geometry.
+func NewHierarchy(cfg HierarchyConfig) *Hierarchy {
+	h := &Hierarchy{
+		cfg: cfg,
+		l1i: NewCache(cfg.L1I),
+		l1d: NewCache(cfg.L1D),
+		l2:  NewCache(cfg.L2),
+	}
+	if cfg.HasL3() {
+		h.l3 = NewCache(cfg.L3)
+	}
+	if cfg.TLBEntries > 0 {
+		h.tlb = NewTLB(cfg.TLBEntries, cfg.PageBytes)
+	}
+	return h
+}
+
+// Config returns the hierarchy configuration.
+func (h *Hierarchy) Config() HierarchyConfig { return h.cfg }
+
+// LineAddr maps a byte address to an L2 line address (the granularity at
+// which off-chip accesses merge).
+func (h *Hierarchy) LineAddr(addr uint64) uint64 { return h.l2.LineAddr(addr) }
+
+// Access performs one lookup and returns true when the access goes
+// off-chip (misses the L2). All levels allocate on miss.
+func (h *Hierarchy) Access(kind AccessKind, addr uint64) bool {
+	if h.tlb != nil && kind != IFetch {
+		h.tlb.Access(addr)
+	}
+	var l1 *Cache
+	switch kind {
+	case IFetch:
+		l1 = h.l1i
+		h.ifetches++
+	case DRead:
+		l1 = h.l1d
+		h.dreads++
+	case DWrite:
+		l1 = h.l1d
+		h.dwrites++
+	default:
+		panic("mem: unknown access kind")
+	}
+	if l1.Access(addr) {
+		return false
+	}
+	if h.l2.Access(addr) {
+		return false
+	}
+	if h.l3 != nil && h.l3.Access(addr) {
+		return false
+	}
+	h.offChip++
+	switch kind {
+	case IFetch:
+		h.imisses++
+	case DRead:
+		h.dmisses++
+	}
+	return true
+}
+
+// ProbeOffChip reports whether addr would go off-chip for the given kind,
+// without changing any state.
+func (h *Hierarchy) ProbeOffChip(kind AccessKind, addr uint64) bool {
+	l1 := h.l1d
+	if kind == IFetch {
+		l1 = h.l1i
+	}
+	if l1.Probe(addr) || h.l2.Probe(addr) {
+		return false
+	}
+	return h.l3 == nil || !h.l3.Probe(addr)
+}
+
+// InsertLine installs the line containing addr into the L2 and the
+// appropriate L1 (modelling a completed fill or prefetch).
+func (h *Hierarchy) InsertLine(kind AccessKind, addr uint64) {
+	if h.l3 != nil {
+		h.l3.Insert(addr)
+	}
+	h.l2.Insert(addr)
+	if kind == IFetch {
+		h.l1i.Insert(addr)
+	} else {
+		h.l1d.Insert(addr)
+	}
+}
+
+// Stats summarizes hierarchy behaviour since the last ResetStats.
+type Stats struct {
+	IFetches      uint64 // instruction-fetch lookups (one per new line fetched)
+	IFetchOffChip uint64 // instruction fetches that went off-chip
+	DReads        uint64
+	DReadOffChip  uint64
+	DWrites       uint64
+	OffChipTotal  uint64 // all L2 misses including writes
+	L1IMisses     uint64
+	L1DMisses     uint64
+	L2Misses      uint64
+	L3Misses      uint64
+	TLBMisses     uint64
+	TLBAccesses   uint64
+}
+
+// Stats returns the current counters.
+func (h *Hierarchy) Stats() Stats {
+	_, l1im := h.l1i.Stats()
+	_, l1dm := h.l1d.Stats()
+	_, l2m := h.l2.Stats()
+	var l3m uint64
+	if h.l3 != nil {
+		_, l3m = h.l3.Stats()
+	}
+	s := Stats{
+		IFetches:      h.ifetches,
+		IFetchOffChip: h.imisses,
+		DReads:        h.dreads,
+		DReadOffChip:  h.dmisses,
+		DWrites:       h.dwrites,
+		OffChipTotal:  h.offChip,
+		L1IMisses:     l1im,
+		L1DMisses:     l1dm,
+		L2Misses:      l2m,
+		L3Misses:      l3m,
+	}
+	if h.tlb != nil {
+		s.TLBAccesses, s.TLBMisses = h.tlb.Stats()
+	}
+	return s
+}
+
+// ResetStats zeroes all counters while keeping cache and TLB contents —
+// used at the end of the warm-up window.
+func (h *Hierarchy) ResetStats() {
+	h.l1i.ResetStats()
+	h.l1d.ResetStats()
+	h.l2.ResetStats()
+	if h.l3 != nil {
+		h.l3.ResetStats()
+	}
+	if h.tlb != nil {
+		h.tlb.ResetStats()
+	}
+	h.ifetches, h.imisses = 0, 0
+	h.dreads, h.dmisses = 0, 0
+	h.dwrites = 0
+	h.offChip = 0
+}

@@ -1,0 +1,404 @@
+package mem
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestCacheConfigValidate(t *testing.T) {
+	good := CacheConfig{SizeBytes: 32 << 10, Assoc: 4, LineBytes: 64}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+	bad := []CacheConfig{
+		{SizeBytes: 0, Assoc: 4, LineBytes: 64},
+		{SizeBytes: 32 << 10, Assoc: 0, LineBytes: 64},
+		{SizeBytes: 32 << 10, Assoc: 4, LineBytes: 48},
+		{SizeBytes: 100, Assoc: 4, LineBytes: 64},
+		{SizeBytes: 3 * 64 * 4, Assoc: 4, LineBytes: 64}, // 3 sets: not a power of two
+	}
+	for i, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("bad config %d accepted: %+v", i, cfg)
+		}
+	}
+	if got := good.Sets(); got != 128 {
+		t.Errorf("Sets = %d, want 128", got)
+	}
+}
+
+func TestCacheHitMissBasics(t *testing.T) {
+	c := NewCache(CacheConfig{SizeBytes: 1024, Assoc: 2, LineBytes: 64}) // 8 sets
+	if c.Access(0x1000) {
+		t.Fatal("first access must miss")
+	}
+	if !c.Access(0x1000) {
+		t.Fatal("second access must hit")
+	}
+	if !c.Access(0x103F) {
+		t.Fatal("same-line access must hit")
+	}
+	if c.Access(0x1040) {
+		t.Fatal("next-line access must miss")
+	}
+	acc, miss := c.Stats()
+	if acc != 4 || miss != 2 {
+		t.Fatalf("stats = (%d,%d), want (4,2)", acc, miss)
+	}
+}
+
+func TestCacheLRUReplacement(t *testing.T) {
+	// 2-way, 1 set: size = 2 lines.
+	c := NewCache(CacheConfig{SizeBytes: 128, Assoc: 2, LineBytes: 64})
+	c.Access(0x0)  // miss: {0}
+	c.Access(0x40) // miss: {0,1}
+	c.Access(0x0)  // hit, 0 more recent than 1
+	c.Access(0x80) // miss, evicts line 1 (LRU)
+	if !c.Probe(0x0) {
+		t.Fatal("line 0 should survive (was MRU)")
+	}
+	if c.Probe(0x40) {
+		t.Fatal("line 1 should have been evicted (was LRU)")
+	}
+	if !c.Probe(0x80) {
+		t.Fatal("line 2 should be present")
+	}
+}
+
+func TestCacheProbeDoesNotPerturb(t *testing.T) {
+	c := NewCache(CacheConfig{SizeBytes: 128, Assoc: 2, LineBytes: 64})
+	c.Access(0x0)
+	c.Access(0x40)
+	// Probing line 0 must NOT refresh it.
+	for i := 0; i < 10; i++ {
+		c.Probe(0x0)
+	}
+	c.Access(0x80) // evicts LRU = line 0 (line 1 is MRU)
+	if c.Probe(0x0) {
+		t.Fatal("probe must not refresh recency")
+	}
+	acc, miss := c.Stats()
+	if acc != 3 || miss != 3 {
+		t.Fatalf("probe perturbed stats: (%d,%d)", acc, miss)
+	}
+}
+
+func TestCacheTouch(t *testing.T) {
+	c := NewCache(CacheConfig{SizeBytes: 128, Assoc: 2, LineBytes: 64})
+	if c.Touch(0x0) {
+		t.Fatal("touch of absent line must miss")
+	}
+	if c.Probe(0x0) {
+		t.Fatal("touch must not allocate")
+	}
+	c.Access(0x0)
+	c.Access(0x40)
+	if !c.Touch(0x0) {
+		t.Fatal("touch of resident line must hit")
+	}
+	c.Access(0x80) // now line 1 (0x40) is LRU and is evicted
+	if !c.Probe(0x0) {
+		t.Fatal("touch must refresh recency")
+	}
+	if c.Probe(0x40) {
+		t.Fatal("0x40 should have been the victim")
+	}
+}
+
+func TestCacheInsert(t *testing.T) {
+	c := NewCache(CacheConfig{SizeBytes: 128, Assoc: 2, LineBytes: 64})
+	c.Insert(0x0)
+	if !c.Probe(0x0) {
+		t.Fatal("insert must make the line resident")
+	}
+	acc, miss := c.Stats()
+	if acc != 0 || miss != 0 {
+		t.Fatal("insert must not count as a demand access")
+	}
+	// Insert respects LRU on conflict.
+	c.Insert(0x40)
+	c.Insert(0x0) // refresh 0
+	c.Insert(0x80)
+	if c.Probe(0x40) {
+		t.Fatal("insert should evict LRU")
+	}
+}
+
+func TestCacheFlushAndResetStats(t *testing.T) {
+	c := NewCache(CacheConfig{SizeBytes: 1024, Assoc: 2, LineBytes: 64})
+	for i := uint64(0); i < 20; i++ {
+		c.Access(i * 64)
+	}
+	c.ResetStats()
+	if acc, miss := c.Stats(); acc != 0 || miss != 0 {
+		t.Fatal("ResetStats did not zero counters")
+	}
+	if !c.Probe(19 * 64) {
+		t.Fatal("ResetStats must not drop contents")
+	}
+	c.Flush()
+	if c.Probe(19 * 64) {
+		t.Fatal("Flush must drop contents")
+	}
+}
+
+// Property: a cache never reports more misses than accesses, and a
+// fully-covered working set that fits in the cache has zero steady-state
+// misses.
+func TestCacheProperties(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c := NewCache(CacheConfig{SizeBytes: 4096, Assoc: 4, LineBytes: 64})
+		// Working set of 32 lines in 64-line cache: after one pass, all hits.
+		lines := make([]uint64, 32)
+		for i := range lines {
+			lines[i] = uint64(i) * 64 * 997 // scattered sets
+		}
+		for _, a := range lines {
+			c.Access(a)
+		}
+		c.ResetStats()
+		for pass := 0; pass < 4; pass++ {
+			for _, i := range rng.Perm(len(lines)) {
+				c.Access(lines[i])
+			}
+		}
+		acc, miss := c.Stats()
+		return miss == 0 && acc == 4*32
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCacheDeterminism(t *testing.T) {
+	run := func() (uint64, uint64) {
+		c := NewCache(CacheConfig{SizeBytes: 2048, Assoc: 2, LineBytes: 64})
+		rng := rand.New(rand.NewSource(42))
+		for i := 0; i < 10000; i++ {
+			c.Access(uint64(rng.Intn(1 << 16)))
+		}
+		return c.Stats()
+	}
+	a1, m1 := run()
+	a2, m2 := run()
+	if a1 != a2 || m1 != m2 {
+		t.Fatalf("non-deterministic: (%d,%d) vs (%d,%d)", a1, m1, a2, m2)
+	}
+}
+
+func TestHierarchyOffChipClassification(t *testing.T) {
+	h := NewHierarchy(DefaultHierarchy())
+	if !h.Access(DRead, 0xdead000) {
+		t.Fatal("cold read must go off-chip")
+	}
+	if h.Access(DRead, 0xdead000) {
+		t.Fatal("warm read must stay on-chip")
+	}
+	// L1D miss but L2 hit stays on-chip: evict from tiny L1 by conflict.
+	// Fill L1D's set for address A with enough conflicting lines.
+	base := uint64(0x100000)
+	setStride := uint64(h.Config().L1D.SizeBytes / h.Config().L1D.Assoc) // bytes per way
+	h.Access(DRead, base)
+	for i := uint64(1); i <= 8; i++ {
+		h.Access(DRead, base+i*setStride)
+	}
+	if h.ProbeOffChip(DRead, base) {
+		t.Fatal("line evicted from L1D must still hit in L2")
+	}
+	if h.Access(DRead, base) {
+		t.Fatal("L2 hit must not be off-chip")
+	}
+}
+
+func TestHierarchyIFetchUsesL1I(t *testing.T) {
+	h := NewHierarchy(DefaultHierarchy())
+	if !h.Access(IFetch, 0x40000000) {
+		t.Fatal("cold fetch must go off-chip")
+	}
+	if h.Access(IFetch, 0x40000000) {
+		t.Fatal("warm fetch must hit")
+	}
+	// A data access to the same line must hit in (shared) L2 even though
+	// it misses the (split) L1D.
+	if h.Access(DRead, 0x40000000) {
+		t.Fatal("data access to I-line must hit shared L2")
+	}
+	s := h.Stats()
+	if s.IFetches != 2 || s.IFetchOffChip != 1 {
+		t.Fatalf("ifetch stats = %d/%d, want 2/1", s.IFetches, s.IFetchOffChip)
+	}
+	if s.DReads != 1 || s.DReadOffChip != 0 {
+		t.Fatalf("dread stats = %d/%d, want 1/0", s.DReads, s.DReadOffChip)
+	}
+}
+
+func TestHierarchyInsertLine(t *testing.T) {
+	h := NewHierarchy(DefaultHierarchy())
+	h.InsertLine(DRead, 0xabc0000)
+	if h.ProbeOffChip(DRead, 0xabc0000) {
+		t.Fatal("inserted line must be on-chip")
+	}
+	if h.Access(DRead, 0xabc0000) {
+		t.Fatal("access after insert must hit")
+	}
+}
+
+func TestHierarchyWriteAllocate(t *testing.T) {
+	h := NewHierarchy(DefaultHierarchy())
+	if !h.Access(DWrite, 0x5000000) {
+		t.Fatal("cold write goes off-chip (write-allocate)")
+	}
+	if h.Access(DRead, 0x5000000) {
+		t.Fatal("read after write-allocate must hit")
+	}
+	s := h.Stats()
+	if s.DWrites != 1 {
+		t.Fatalf("DWrites = %d", s.DWrites)
+	}
+	// Write misses count in OffChipTotal but not in DReadOffChip.
+	if s.OffChipTotal != 1 || s.DReadOffChip != 0 {
+		t.Fatalf("off-chip counts = total %d, dread %d", s.OffChipTotal, s.DReadOffChip)
+	}
+}
+
+func TestHierarchyResetStats(t *testing.T) {
+	h := NewHierarchy(DefaultHierarchy())
+	for i := uint64(0); i < 100; i++ {
+		h.Access(DRead, i*64*12345)
+	}
+	h.ResetStats()
+	s := h.Stats()
+	if s.DReads != 0 || s.OffChipTotal != 0 || s.L2Misses != 0 {
+		t.Fatalf("ResetStats left counters: %+v", s)
+	}
+	// Contents preserved.
+	if h.Access(DRead, 99*64*12345) {
+		t.Fatal("ResetStats must not flush contents")
+	}
+}
+
+func TestWithL2Size(t *testing.T) {
+	cfg := DefaultHierarchy().WithL2Size(8 << 20)
+	if cfg.L2.SizeBytes != 8<<20 {
+		t.Fatal("WithL2Size did not apply")
+	}
+	if cfg.L1D.SizeBytes != 32<<10 {
+		t.Fatal("WithL2Size must not touch L1")
+	}
+	// Larger L2 yields fewer or equal misses on the same stream.
+	run := func(l2 int) uint64 {
+		h := NewHierarchy(DefaultHierarchy().WithL2Size(l2))
+		rng := rand.New(rand.NewSource(7))
+		for i := 0; i < 200000; i++ {
+			h.Access(DRead, uint64(rng.Intn(6<<20))&^63)
+		}
+		return h.Stats().OffChipTotal
+	}
+	small, big := run(1<<20), run(8<<20)
+	if big >= small {
+		t.Fatalf("8MB L2 misses (%d) not below 1MB L2 misses (%d)", big, small)
+	}
+}
+
+func TestTLBBasics(t *testing.T) {
+	tlb := NewTLB(4, 8192)
+	if tlb.Access(0x0000) {
+		t.Fatal("cold TLB access must miss")
+	}
+	if !tlb.Access(0x1fff) {
+		t.Fatal("same-page access must hit")
+	}
+	if tlb.Access(0x2000) {
+		t.Fatal("next page must miss")
+	}
+	for p := uint64(2); p < 5; p++ {
+		tlb.Access(p * 8192)
+	}
+	if tlb.Len() != 4 {
+		t.Fatalf("TLB holds %d entries, want capacity 4", tlb.Len())
+	}
+	// Page 0 was LRU (pages 1..4 touched after): must have been evicted.
+	if tlb.Access(0x0000) {
+		t.Fatal("evicted page must miss")
+	}
+	acc, miss := tlb.Stats()
+	if acc != 7 || miss != 6 {
+		t.Fatalf("stats = (%d,%d), want (7,6)", acc, miss)
+	}
+	tlb.ResetStats()
+	if a, m := tlb.Stats(); a != 0 || m != 0 {
+		t.Fatal("ResetStats failed")
+	}
+}
+
+func TestTLBPanicsOnBadConfig(t *testing.T) {
+	for _, fn := range []func(){
+		func() { NewTLB(0, 8192) },
+		func() { NewTLB(16, 3000) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("bad TLB config did not panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestNewCachePanicsOnBadConfig(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("bad cache config did not panic")
+		}
+	}()
+	NewCache(CacheConfig{SizeBytes: 100, Assoc: 3, LineBytes: 48})
+}
+
+func TestOptionalL3(t *testing.T) {
+	cfg := DefaultHierarchy().WithL3(16 << 20)
+	if !cfg.HasL3() {
+		t.Fatal("WithL3 did not configure an L3")
+	}
+	h := NewHierarchy(cfg)
+	// First access: misses all levels.
+	if !h.Access(DRead, 0xabcd000) {
+		t.Fatal("cold read must go off-chip even with an L3")
+	}
+	// Evict from L1D and L2 via conflict traffic; the L3 keeps it on-chip.
+	setStrideL1 := uint64(h.Config().L1D.SizeBytes / h.Config().L1D.Assoc)
+	setStrideL2 := uint64(h.Config().L2.SizeBytes / h.Config().L2.Assoc)
+	for i := uint64(1); i <= 8; i++ {
+		h.Access(DRead, 0xabcd000+i*setStrideL1)
+		h.Access(DRead, 0xabcd000+i*setStrideL2)
+	}
+	if h.Access(DRead, 0xabcd000) {
+		t.Fatal("L3-resident line went off-chip")
+	}
+	s := h.Stats()
+	if s.L3Misses == 0 {
+		t.Fatal("L3 recorded no misses")
+	}
+	// A no-L3 hierarchy would have gone off-chip on the same stream.
+	h2 := NewHierarchy(DefaultHierarchy())
+	h2.Access(DRead, 0xabcd000)
+	for i := uint64(1); i <= 8; i++ {
+		h2.Access(DRead, 0xabcd000+i*setStrideL1)
+		h2.Access(DRead, 0xabcd000+i*setStrideL2)
+	}
+	if !h2.Access(DRead, 0xabcd000) {
+		t.Fatal("without an L3 the evicted line must go off-chip")
+	}
+	// InsertLine covers the L3 too.
+	h.InsertLine(DRead, 0x9990000)
+	if h.ProbeOffChip(DRead, 0x9990000) {
+		t.Fatal("inserted line must be on-chip")
+	}
+	h.ResetStats()
+	if h.Stats().L3Misses != 0 {
+		t.Fatal("ResetStats left L3 counters")
+	}
+}

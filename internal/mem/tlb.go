@@ -1,0 +1,76 @@
+package mem
+
+// TLB is a fully-associative translation lookaside buffer with LRU
+// replacement, modelled at page granularity. The paper's default
+// configuration has a 2K-entry shared TLB; TLB misses are treated as
+// on-chip events (hardware table walk) and affect no MLP accounting, so
+// only hit/miss statistics are exposed.
+type TLB struct {
+	entries   int
+	pageShift uint
+	// order is an LRU list from most- to least-recently used page numbers,
+	// backed by a map for O(1) membership. For 2K entries a doubly linked
+	// list via maps of prev/next indices would be overkill; we use a
+	// map + clock sweep like the caches.
+	stamp map[uint64]uint64
+	clock uint64
+
+	accesses uint64
+	misses   uint64
+}
+
+// NewTLB builds a TLB with the given entry count and page size. Page size
+// must be a power of two.
+func NewTLB(entries, pageBytes int) *TLB {
+	if entries <= 0 {
+		panic("mem: TLB entries must be positive")
+	}
+	if pageBytes <= 0 || pageBytes&(pageBytes-1) != 0 {
+		panic("mem: TLB page size must be a positive power of two")
+	}
+	shift := uint(0)
+	for 1<<shift != pageBytes {
+		shift++
+	}
+	return &TLB{
+		entries:   entries,
+		pageShift: shift,
+		stamp:     make(map[uint64]uint64, entries+1),
+	}
+}
+
+// Access looks up the page containing addr, allocating on a miss and
+// evicting the least recently used page when full. It returns true on a
+// hit.
+func (t *TLB) Access(addr uint64) bool {
+	page := addr >> t.pageShift
+	t.clock++
+	t.accesses++
+	if _, ok := t.stamp[page]; ok {
+		t.stamp[page] = t.clock
+		return true
+	}
+	t.misses++
+	if len(t.stamp) >= t.entries {
+		var victim uint64
+		oldest := t.clock + 1
+		for p, s := range t.stamp {
+			if s < oldest {
+				oldest = s
+				victim = p
+			}
+		}
+		delete(t.stamp, victim)
+	}
+	t.stamp[page] = t.clock
+	return false
+}
+
+// Stats returns (accesses, misses).
+func (t *TLB) Stats() (accesses, misses uint64) { return t.accesses, t.misses }
+
+// ResetStats zeroes the counters without dropping translations.
+func (t *TLB) ResetStats() { t.accesses, t.misses = 0, 0 }
+
+// Len returns the number of resident translations.
+func (t *TLB) Len() int { return len(t.stamp) }

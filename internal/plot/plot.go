@@ -1,0 +1,198 @@
+// Package plot renders small ASCII charts for the experiment harness:
+// line charts for the figure sweeps (Figures 2, 4, 6, 7) and bar charts
+// for the comparison figures (Figures 8-11). The output is terminal
+// text, so every figure of the paper can be *seen*, not just tabulated.
+package plot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Series is one named line of (x, y) points. X values must be ascending;
+// all series of a chart share the X axis.
+type Series struct {
+	Name string
+	Y    []float64
+}
+
+// Line renders a multi-series line chart of the given terminal size.
+// xs labels the shared X axis. Each series is drawn with its own marker
+// rune; a legend follows the chart.
+func Line(title string, xs []float64, series []Series, width, height int) string {
+	if width < 20 {
+		width = 20
+	}
+	if height < 5 {
+		height = 5
+	}
+	if len(xs) == 0 || len(series) == 0 {
+		return title + "\n(no data)\n"
+	}
+
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	for _, s := range series {
+		for _, y := range s.Y {
+			minY = math.Min(minY, y)
+			maxY = math.Max(maxY, y)
+		}
+	}
+	if math.IsInf(minY, 1) {
+		return title + "\n(no data)\n"
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+	// A little headroom keeps points off the frame.
+	span := maxY - minY
+	minY -= span * 0.05
+	maxY += span * 0.05
+
+	markers := []rune{'*', 'o', '+', 'x', '#', '@', '%', '&'}
+	grid := make([][]rune, height)
+	for r := range grid {
+		grid[r] = []rune(strings.Repeat(" ", width))
+	}
+
+	minX, maxX := xs[0], xs[len(xs)-1]
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	col := func(x float64) int {
+		c := int((x - minX) / (maxX - minX) * float64(width-1))
+		return clamp(c, 0, width-1)
+	}
+	row := func(y float64) int {
+		r := int((maxY - y) / (maxY - minY) * float64(height-1))
+		return clamp(r, 0, height-1)
+	}
+
+	for si, s := range series {
+		m := markers[si%len(markers)]
+		prevC, prevR := -1, -1
+		for i, y := range s.Y {
+			if i >= len(xs) {
+				break
+			}
+			c, r := col(xs[i]), row(y)
+			if prevC >= 0 {
+				drawSegment(grid, prevC, prevR, c, r, '.')
+			}
+			prevC, prevR = c, r
+		}
+		// Draw markers after connector dots so they stay visible.
+		for i, y := range s.Y {
+			if i >= len(xs) {
+				break
+			}
+			grid[row(y)][col(xs[i])] = m
+		}
+	}
+
+	var b strings.Builder
+	b.WriteString(title)
+	b.WriteString("\n")
+	yLabelW := 8
+	for r := 0; r < height; r++ {
+		yVal := maxY - (maxY-minY)*float64(r)/float64(height-1)
+		fmt.Fprintf(&b, "%*.2f |%s\n", yLabelW, yVal, string(grid[r]))
+	}
+	b.WriteString(strings.Repeat(" ", yLabelW+1))
+	b.WriteString("+")
+	b.WriteString(strings.Repeat("-", width))
+	b.WriteString("\n")
+	// X labels: first, middle, last.
+	lbl := make([]rune, width+yLabelW+2)
+	for i := range lbl {
+		lbl[i] = ' '
+	}
+	place := func(x float64, c int) {
+		s := trimFloat(x)
+		start := yLabelW + 2 + c - len(s)/2
+		start = clamp(start, 0, len(lbl)-len(s))
+		copy(lbl[start:], []rune(s))
+	}
+	place(minX, 0)
+	place((minX+maxX)/2, width/2)
+	place(maxX, width-1)
+	b.WriteString(strings.TrimRight(string(lbl), " "))
+	b.WriteString("\n")
+	for si, s := range series {
+		fmt.Fprintf(&b, "  %c %s\n", markers[si%len(markers)], s.Name)
+	}
+	return b.String()
+}
+
+// Bar renders a horizontal bar chart: one labelled bar per value.
+func Bar(title string, labels []string, values []float64, width int) string {
+	if width < 10 {
+		width = 10
+	}
+	var b strings.Builder
+	b.WriteString(title)
+	b.WriteString("\n")
+	if len(labels) == 0 || len(labels) != len(values) {
+		b.WriteString("(no data)\n")
+		return b.String()
+	}
+	maxV := math.Inf(-1)
+	labelW := 0
+	for i, l := range labels {
+		maxV = math.Max(maxV, values[i])
+		if len(l) > labelW {
+			labelW = len(l)
+		}
+	}
+	if maxV <= 0 {
+		maxV = 1
+	}
+	for i, l := range labels {
+		n := int(values[i] / maxV * float64(width))
+		n = clamp(n, 0, width)
+		fmt.Fprintf(&b, "%-*s |%s %s\n", labelW, l, strings.Repeat("█", n), trimFloat(values[i]))
+	}
+	return b.String()
+}
+
+// drawSegment draws a sparse dotted connector between two chart points.
+func drawSegment(grid [][]rune, c0, r0, c1, r1 int, ch rune) {
+	steps := maxInt(absInt(c1-c0), absInt(r1-r0))
+	for i := 1; i < steps; i++ {
+		c := c0 + (c1-c0)*i/steps
+		r := r0 + (r1-r0)*i/steps
+		if grid[r][c] == ' ' {
+			grid[r][c] = ch
+		}
+	}
+}
+
+func trimFloat(x float64) string {
+	s := fmt.Sprintf("%.2f", x)
+	s = strings.TrimRight(s, "0")
+	return strings.TrimRight(s, ".")
+}
+
+func clamp(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+func absInt(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

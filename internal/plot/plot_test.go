@@ -1,0 +1,104 @@
+package plot
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestLineBasics(t *testing.T) {
+	out := Line("test chart",
+		[]float64{1, 2, 4, 8},
+		[]Series{
+			{Name: "up", Y: []float64{1, 2, 3, 4}},
+			{Name: "down", Y: []float64{4, 3, 2, 1}},
+		}, 40, 10)
+	if !strings.Contains(out, "test chart") {
+		t.Fatal("missing title")
+	}
+	if !strings.Contains(out, "* up") || !strings.Contains(out, "o down") {
+		t.Fatalf("missing legend:\n%s", out)
+	}
+	if !strings.Contains(out, "*") || !strings.Contains(out, "o") {
+		t.Fatal("missing markers")
+	}
+	lines := strings.Split(out, "\n")
+	// Title + height rows + axis + labels + 2 legend rows (+ trailing).
+	if len(lines) < 10+4 {
+		t.Fatalf("too few lines: %d\n%s", len(lines), out)
+	}
+	// The rising series' marker in the top row should be near the right
+	// edge, the falling series' near the left.
+	topRow := lines[1]
+	starIdx := strings.IndexRune(topRow, '*')
+	oIdx := strings.IndexRune(topRow, 'o')
+	if starIdx < 0 || oIdx < 0 {
+		t.Fatalf("top row should contain both maxima: %q", topRow)
+	}
+	if starIdx < oIdx {
+		t.Fatalf("rising max should be right of falling max: %q", topRow)
+	}
+}
+
+func TestLineDegenerate(t *testing.T) {
+	if out := Line("empty", nil, nil, 40, 8); !strings.Contains(out, "no data") {
+		t.Fatalf("empty chart = %q", out)
+	}
+	// Constant series must not divide by zero.
+	out := Line("flat", []float64{1, 2}, []Series{{Name: "c", Y: []float64{5, 5}}}, 30, 6)
+	if !strings.Contains(out, "c") {
+		t.Fatal("flat series broke rendering")
+	}
+	// Single point.
+	out = Line("one", []float64{3}, []Series{{Name: "p", Y: []float64{1}}}, 30, 6)
+	if !strings.Contains(out, "*") {
+		t.Fatal("single point not drawn")
+	}
+}
+
+func TestLineClampsTinySizes(t *testing.T) {
+	out := Line("tiny", []float64{1, 2}, []Series{{Name: "s", Y: []float64{1, 2}}}, 1, 1)
+	if len(out) == 0 {
+		t.Fatal("tiny chart empty")
+	}
+}
+
+func TestBar(t *testing.T) {
+	out := Bar("bars", []string{"short", "a-longer-label"}, []float64{1, 2}, 20)
+	if !strings.Contains(out, "bars") {
+		t.Fatal("missing title")
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("lines = %d\n%s", len(lines), out)
+	}
+	// The longer value gets the longer bar.
+	if strings.Count(lines[1], "█") >= strings.Count(lines[2], "█") {
+		t.Fatalf("bar lengths not proportional:\n%s", out)
+	}
+	// The max bar fills the width.
+	if strings.Count(lines[2], "█") != 20 {
+		t.Fatalf("max bar = %d cells, want 20", strings.Count(lines[2], "█"))
+	}
+}
+
+func TestBarDegenerate(t *testing.T) {
+	if out := Bar("none", nil, nil, 20); !strings.Contains(out, "no data") {
+		t.Fatal("empty bar chart")
+	}
+	if out := Bar("mismatch", []string{"a"}, nil, 20); !strings.Contains(out, "no data") {
+		t.Fatal("mismatched lengths accepted")
+	}
+	out := Bar("zeros", []string{"z"}, []float64{0}, 20)
+	if !strings.Contains(out, "z") {
+		t.Fatal("zero bar broke rendering")
+	}
+}
+
+func TestTrimFloat(t *testing.T) {
+	cases := map[float64]string{1.5: "1.5", 2.0: "2", 0.25: "0.25", 10.10: "10.1"}
+	for in, want := range cases {
+		if got := trimFloat(in); got != want {
+			t.Errorf("trimFloat(%v) = %q, want %q", in, got, want)
+		}
+	}
+}

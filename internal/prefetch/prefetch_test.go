@@ -1,0 +1,136 @@
+package prefetch
+
+import (
+	"testing"
+
+	"mlpsim/internal/mem"
+)
+
+func TestSequentialCoversNextLines(t *testing.T) {
+	h := mem.NewHierarchy(mem.DefaultHierarchy())
+	p := NewSequential(4, mem.IFetch)
+
+	// Demand access to a cold line: the next four lines get covered.
+	base := uint64(0x40000000)
+	h.Access(mem.IFetch, base)
+	p.OnAccess(h, base)
+	for i := uint64(1); i <= 4; i++ {
+		if h.ProbeOffChip(mem.IFetch, base+i*64) {
+			t.Fatalf("line +%d not covered", i)
+		}
+	}
+	if !h.ProbeOffChip(mem.IFetch, base+5*64) {
+		t.Fatal("line +5 should not be covered (depth 4)")
+	}
+	if p.Stats().Issued != 4 {
+		t.Fatalf("issued = %d, want 4", p.Stats().Issued)
+	}
+
+	// Walking forward marks the prefetches useful.
+	for i := uint64(1); i <= 4; i++ {
+		h.Access(mem.IFetch, base+i*64)
+		p.OnAccess(h, base+i*64)
+	}
+	if got := p.Stats().Useful; got != 4 {
+		t.Fatalf("useful = %d, want 4", got)
+	}
+}
+
+func TestSequentialSameLineNoReissue(t *testing.T) {
+	h := mem.NewHierarchy(mem.DefaultHierarchy())
+	p := NewSequential(2, mem.IFetch)
+	for i := 0; i < 10; i++ {
+		p.OnAccess(h, 0x40000000+uint64(i)*4) // same 64B line
+	}
+	if p.Stats().Issued != 2 {
+		t.Fatalf("issued = %d, want 2 (one line transition)", p.Stats().Issued)
+	}
+}
+
+func TestStrideLearnsAndCovers(t *testing.T) {
+	h := mem.NewHierarchy(mem.DefaultHierarchy())
+	p := NewStride(256, 4)
+	pc := uint64(0x1000)
+	const stride = 256
+	base := uint64(0x50000000)
+	// First accesses train; once confident, lines ahead get covered.
+	for i := uint64(0); i < 8; i++ {
+		addr := base + i*stride
+		h.Access(mem.DRead, addr)
+		p.OnLoad(h, pc, addr)
+	}
+	if p.Stats().Issued == 0 {
+		t.Fatal("confident stride issued nothing")
+	}
+	// The next strided address must now be on-chip.
+	if h.ProbeOffChip(mem.DRead, base+8*stride) {
+		t.Fatal("next strided line not covered")
+	}
+	if p.Stats().Useful == 0 {
+		t.Fatal("no prefetch marked useful")
+	}
+}
+
+func TestStrideIgnoresRandomPattern(t *testing.T) {
+	h := mem.NewHierarchy(mem.DefaultHierarchy())
+	p := NewStride(256, 4)
+	pc := uint64(0x1000)
+	addrs := []uint64{0x50000000, 0x51234000, 0x50f00800, 0x52345678, 0x50abc000}
+	for _, a := range addrs {
+		h.Access(mem.DRead, a)
+		p.OnLoad(h, pc, a)
+	}
+	if p.Stats().Issued != 0 {
+		t.Fatalf("random pattern issued %d prefetches", p.Stats().Issued)
+	}
+}
+
+func TestStrideConfidenceResetsOnChange(t *testing.T) {
+	h := mem.NewHierarchy(mem.DefaultHierarchy())
+	p := NewStride(256, 2)
+	pc := uint64(0x1000)
+	a := uint64(0x50000000)
+	for i := 0; i < 5; i++ {
+		p.OnLoad(h, pc, a)
+		a += 128
+	}
+	issued := p.Stats().Issued
+	if issued == 0 {
+		t.Fatal("stride never became confident")
+	}
+	// Change the stride: no new prefetches until retrained.
+	a += 9999
+	p.OnLoad(h, pc, a)
+	a += 64
+	p.OnLoad(h, pc, a)
+	if p.Stats().Issued != issued {
+		t.Fatalf("prefetched during retraining: %d -> %d", issued, p.Stats().Issued)
+	}
+}
+
+func TestAccuracy(t *testing.T) {
+	s := Stats{Issued: 10, Useful: 7}
+	if s.Accuracy() != 0.7 {
+		t.Fatalf("accuracy = %v", s.Accuracy())
+	}
+	if (Stats{}).Accuracy() != 0 {
+		t.Fatal("empty accuracy must be 0")
+	}
+}
+
+func TestConstructorsPanicOnBadArgs(t *testing.T) {
+	for _, fn := range []func(){
+		func() { NewSequential(0, mem.IFetch) },
+		func() { NewStride(100, 2) },
+		func() { NewStride(256, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("bad constructor arg did not panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}

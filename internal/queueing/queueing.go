@@ -1,0 +1,125 @@
+// Package queueing models a finite-bandwidth memory system fed by the
+// epoch model's access bursts — the use case §4.1 names: "MLPsim can also
+// be used as a simple processor model that accurately estimates the
+// clustering of off-chip accesses in simulation-based queueing models of
+// memory and system interconnects."
+//
+// The memory system has C independent channels, each serving one line
+// fetch in S cycles. An epoch's k overlapped accesses arrive together and
+// spread across the channels, so the epoch's memory time is
+// ceil(k/C)·S instead of the fixed MissPenalty the unlimited-bandwidth
+// CPI model assumes. High MLP is therefore only as good as the bandwidth
+// that backs it: the sweep over C shows where a workload's clustering
+// saturates its memory system.
+package queueing
+
+import (
+	"fmt"
+
+	"mlpsim/internal/core"
+)
+
+// Model is a C-channel deterministic-service memory system.
+type Model struct {
+	// Channels is the number of independent memory channels.
+	Channels int
+	// ServiceCycles is the per-line occupancy of one channel. The line's
+	// total latency is LeadCycles + queueing + ServiceCycles; LeadCycles
+	// covers the fixed interconnect traversal.
+	ServiceCycles int
+	// LeadCycles is the unloaded latency component.
+	LeadCycles int
+}
+
+// Validate reports configuration errors.
+func (m Model) Validate() error {
+	if m.Channels <= 0 {
+		return fmt.Errorf("queueing: channels %d must be positive", m.Channels)
+	}
+	if m.ServiceCycles <= 0 {
+		return fmt.Errorf("queueing: service %d must be positive", m.ServiceCycles)
+	}
+	if m.LeadCycles < 0 {
+		return fmt.Errorf("queueing: negative lead %d", m.LeadCycles)
+	}
+	return nil
+}
+
+// EpochCycles returns the memory time of an epoch with k simultaneous
+// accesses: the channels drain ceil(k/C) rounds of service after the
+// fixed lead time.
+func (m Model) EpochCycles(k int) int64 {
+	if k <= 0 {
+		return 0
+	}
+	rounds := (k + m.Channels - 1) / m.Channels
+	return int64(m.LeadCycles) + int64(rounds)*int64(m.ServiceCycles)
+}
+
+// Collector accumulates epoch burst sizes from an engine run (attach
+// Collector.OnEpoch to core.Config.OnEpoch).
+type Collector struct {
+	// Sizes[k] counts epochs with k accesses (the last bucket aggregates
+	// larger bursts).
+	Sizes []uint64
+	total uint64
+}
+
+// NewCollector builds a collector with burst-size buckets up to max.
+func NewCollector(max int) *Collector {
+	if max < 1 {
+		panic("queueing: collector max must be >= 1")
+	}
+	return &Collector{Sizes: make([]uint64, max+1)}
+}
+
+// OnEpoch records one epoch.
+func (c *Collector) OnEpoch(ep core.Epoch) {
+	k := ep.Accesses
+	if k >= len(c.Sizes) {
+		k = len(c.Sizes) - 1
+	}
+	c.Sizes[k]++
+	c.total++
+}
+
+// Epochs returns the number of recorded epochs.
+func (c *Collector) Epochs() uint64 { return c.total }
+
+// MeanEpochCycles returns the average memory time per epoch under the
+// model — the quantity that replaces MissPenalty/MLP in the CPI equation
+// when bandwidth is finite.
+func (c *Collector) MeanEpochCycles(m Model) float64 {
+	if c.total == 0 {
+		return 0
+	}
+	var sum int64
+	for k, n := range c.Sizes {
+		sum += int64(n) * m.EpochCycles(k)
+	}
+	return float64(sum) / float64(c.total)
+}
+
+// OffChipCPI returns the off-chip CPI component under the model: total
+// epoch memory time divided by the instruction count.
+func (c *Collector) OffChipCPI(m Model, instructions int64) float64 {
+	if instructions <= 0 {
+		return 0
+	}
+	var sum int64
+	for k, n := range c.Sizes {
+		sum += int64(n) * m.EpochCycles(k)
+	}
+	return float64(sum) / float64(instructions)
+}
+
+// EffectivePenaltyInflation returns how much longer the average epoch
+// takes under the model than with unlimited bandwidth (C = ∞, where every
+// epoch costs LeadCycles + ServiceCycles).
+func (c *Collector) EffectivePenaltyInflation(m Model) float64 {
+	base := float64(m.LeadCycles + m.ServiceCycles)
+	if base == 0 || c.total == 0 {
+		return 1
+	}
+	return c.MeanEpochCycles(m) / base
+}

@@ -1,0 +1,106 @@
+package queueing
+
+import (
+	"math"
+	"testing"
+
+	"mlpsim/internal/annotate"
+	"mlpsim/internal/core"
+	"mlpsim/internal/workload"
+)
+
+func TestEpochCycles(t *testing.T) {
+	m := Model{Channels: 2, ServiceCycles: 100, LeadCycles: 50}
+	cases := map[int]int64{
+		0: 0,
+		1: 150, // one round
+		2: 150,
+		3: 250, // two rounds
+		4: 250,
+		5: 350,
+	}
+	for k, want := range cases {
+		if got := m.EpochCycles(k); got != want {
+			t.Errorf("EpochCycles(%d) = %d, want %d", k, got, want)
+		}
+	}
+}
+
+func TestModelValidation(t *testing.T) {
+	bad := []Model{
+		{Channels: 0, ServiceCycles: 1},
+		{Channels: 1, ServiceCycles: 0},
+		{Channels: 1, ServiceCycles: 1, LeadCycles: -1},
+	}
+	for i, m := range bad {
+		if err := m.Validate(); err == nil {
+			t.Errorf("bad model %d accepted", i)
+		}
+	}
+	if err := (Model{Channels: 4, ServiceCycles: 100}).Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCollectorAccounting(t *testing.T) {
+	c := NewCollector(8)
+	for _, k := range []int{1, 1, 4, 12} { // 12 clamps into the top bucket
+		c.OnEpoch(core.Epoch{Accesses: k})
+	}
+	if c.Epochs() != 4 {
+		t.Fatalf("epochs = %d", c.Epochs())
+	}
+	if c.Sizes[1] != 2 || c.Sizes[4] != 1 || c.Sizes[8] != 1 {
+		t.Fatalf("sizes = %v", c.Sizes)
+	}
+	m := Model{Channels: 4, ServiceCycles: 100, LeadCycles: 0}
+	// epochs cost: 100, 100, 100, ceil(8/4)*100=200 → mean 125.
+	if got := c.MeanEpochCycles(m); got != 125 {
+		t.Fatalf("mean epoch cycles = %v, want 125", got)
+	}
+	if got := c.OffChipCPI(m, 1000); got != 0.5 {
+		t.Fatalf("off-chip CPI = %v, want 0.5", got)
+	}
+	if got := c.EffectivePenaltyInflation(m); got != 1.25 {
+		t.Fatalf("inflation = %v, want 1.25", got)
+	}
+}
+
+func TestMoreChannelsNeverSlower(t *testing.T) {
+	c := NewCollector(32)
+	g := workload.MustNew(workload.Database(3))
+	a := annotate.New(g, annotate.Config{})
+	a.Warm(150_000)
+	cfg := core.Default().WithIssue(core.ConfigD).WithRunahead()
+	cfg.MaxInstructions = 400_000
+	cfg.OnEpoch = c.OnEpoch
+	res := core.NewEngine(a, cfg).Run()
+	if c.Epochs() != res.Epochs {
+		t.Fatalf("collector saw %d epochs, engine %d", c.Epochs(), res.Epochs)
+	}
+	prev := math.Inf(1)
+	for _, channels := range []int{1, 2, 4, 8, 16} {
+		m := Model{Channels: channels, ServiceCycles: 120, LeadCycles: 880}
+		cpi := c.OffChipCPI(m, res.Instructions)
+		if cpi > prev+1e-12 {
+			t.Fatalf("off-chip CPI rose with channels: %.4f -> %.4f at %d", prev, cpi, channels)
+		}
+		prev = cpi
+	}
+	// One channel must be strictly worse than sixteen for a clustered,
+	// runahead-boosted workload.
+	one := c.OffChipCPI(Model{Channels: 1, ServiceCycles: 120, LeadCycles: 880}, res.Instructions)
+	many := c.OffChipCPI(Model{Channels: 16, ServiceCycles: 120, LeadCycles: 880}, res.Instructions)
+	if one <= many*1.02 {
+		t.Fatalf("bandwidth made no difference: 1ch %.4f vs 16ch %.4f", one, many)
+	}
+}
+
+func TestCollectorPanicsOnBadMax(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewCollector(0) did not panic")
+		}
+	}()
+	NewCollector(0)
+}

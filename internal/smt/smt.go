@@ -1,0 +1,187 @@
+// Package smt models memory-level parallelism on a multithreaded
+// processor — the first future-work item of the paper's §7 ("studying MLP
+// for multithreaded processors").
+//
+// Model. K hardware threads run independent workloads. They share the
+// cache hierarchy (so they contend for L2 capacity: per-thread miss rates
+// rise with thread count) but have private branch-predictor state, and
+// each thread's instruction stream is partitioned into epochs by its own
+// epoch-model engine. Threads interleave at a fixed fetch granule, which
+// determines the order their accesses train the shared caches.
+//
+// Because the epoch model is timing free, inter-thread overlap is
+// reported as a pair of bounds rather than a single number:
+//
+//   - CombinedUpper assumes perfect latency overlap across threads (when
+//     one thread stalls on an epoch, the others run): total accesses
+//     divided by the largest per-thread epoch count.
+//   - CombinedLower assumes no inter-thread overlap (a switch-on-event
+//     machine that still cannot hide anything): total accesses divided by
+//     the sum of epoch counts — the access-weighted mean of the
+//     per-thread MLPs.
+//
+// A real SMT lands between the bounds; the gap itself measures how much
+// MLP multithreading can add for the workload mix.
+package smt
+
+import (
+	"fmt"
+
+	"mlpsim/internal/annotate"
+	"mlpsim/internal/core"
+	"mlpsim/internal/isa"
+	"mlpsim/internal/mem"
+	"mlpsim/internal/trace"
+	"mlpsim/internal/workload"
+)
+
+// Config parameterizes one SMT simulation.
+type Config struct {
+	// Threads are the per-thread workloads (2-8 typical).
+	Threads []workload.Config
+	// Granule is the interleave granularity in instructions (default 64:
+	// a fetch-buffer's worth per thread turn).
+	Granule int
+	// Processor is the per-thread epoch-model configuration.
+	Processor core.Config
+	// Hierarchy is the shared cache configuration (zero = paper default).
+	Hierarchy mem.HierarchyConfig
+	// Warmup and Measure are per-thread instruction counts.
+	Warmup, Measure int64
+}
+
+// Validate reports configuration errors.
+func (c *Config) Validate() error {
+	if len(c.Threads) == 0 {
+		return fmt.Errorf("smt: no threads configured")
+	}
+	if c.Granule < 0 {
+		return fmt.Errorf("smt: negative granule %d", c.Granule)
+	}
+	if c.Measure <= 0 {
+		return fmt.Errorf("smt: measure %d must be positive", c.Measure)
+	}
+	return nil
+}
+
+// Result summarizes one SMT run.
+type Result struct {
+	// PerThread holds each thread's epoch-model result under the shared
+	// hierarchy.
+	PerThread []core.Result
+	// SoloMLP holds each thread's MLP when running alone (private
+	// hierarchy), for interference comparison.
+	SoloMLP []float64
+	// SoloMissRate and SharedMissRate report the cache-contention effect
+	// per thread (off-chip accesses per 100 instructions).
+	SoloMissRate, SharedMissRate []float64
+	// CombinedUpper and CombinedLower bound the machine MLP (see the
+	// package comment).
+	CombinedUpper, CombinedLower float64
+}
+
+// interleaver round-robins instruction granules from per-thread sources
+// and remembers which thread produced the last instruction.
+type interleaver struct {
+	srcs    []trace.Source
+	granule int
+	cur     int
+	left    int
+	last    int
+}
+
+func (iv *interleaver) Next() (isa.Inst, bool) {
+	if iv.left == 0 {
+		iv.cur = (iv.cur + 1) % len(iv.srcs)
+		iv.left = iv.granule
+	}
+	iv.left--
+	iv.last = iv.cur
+	return iv.srcs[iv.cur].Next()
+}
+
+// threadFilter runs a fresh deterministic interleaved annotation pass and
+// yields only one thread's annotated instructions. Running one pass per
+// thread keeps memory bounded while giving every engine the exact shared
+// cache state the interleaved execution produces.
+type threadFilter struct {
+	iv     *interleaver
+	ann    *annotate.Annotator
+	thread int
+	budget int64
+}
+
+func (f *threadFilter) Next() (annotate.Inst, bool) {
+	for f.budget > 0 {
+		in, ok := f.ann.Next()
+		if !ok {
+			return annotate.Inst{}, false
+		}
+		if f.iv.last == f.thread {
+			f.budget--
+			return in, true
+		}
+	}
+	return annotate.Inst{}, false
+}
+
+// Run executes the SMT simulation. It panics on invalid configurations.
+func Run(cfg Config) Result {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	if cfg.Granule == 0 {
+		cfg.Granule = 64
+	}
+	k := len(cfg.Threads)
+	res := Result{
+		PerThread:      make([]core.Result, k),
+		SoloMLP:        make([]float64, k),
+		SoloMissRate:   make([]float64, k),
+		SharedMissRate: make([]float64, k),
+	}
+
+	// Solo baselines: each thread alone with a private hierarchy.
+	for t := 0; t < k; t++ {
+		g := workload.MustNew(cfg.Threads[t])
+		a := annotate.New(g, annotate.Config{Hierarchy: cfg.Hierarchy})
+		a.Warm(cfg.Warmup)
+		p := cfg.Processor
+		p.MaxInstructions = cfg.Measure
+		r := core.NewEngine(a, p).Run()
+		res.SoloMLP[t] = r.MLP()
+		res.SoloMissRate[t] = r.MissRatePer100()
+	}
+
+	// Shared runs: one deterministic interleaved annotation pass per
+	// thread, filtered to that thread.
+	var totalAccesses uint64
+	var maxEpochs, sumEpochs uint64
+	for t := 0; t < k; t++ {
+		srcs := make([]trace.Source, k)
+		for i := range srcs {
+			srcs[i] = workload.MustNew(cfg.Threads[i])
+		}
+		iv := &interleaver{srcs: srcs, granule: cfg.Granule, cur: -1}
+		ann := annotate.New(iv, annotate.Config{Hierarchy: cfg.Hierarchy})
+		ann.Warm(cfg.Warmup * int64(k))
+		filt := &threadFilter{iv: iv, ann: ann, thread: t, budget: cfg.Measure}
+		p := cfg.Processor
+		p.MaxInstructions = cfg.Measure
+		r := core.NewEngine(filt, p).Run()
+		res.PerThread[t] = r
+		res.SharedMissRate[t] = r.MissRatePer100()
+		totalAccesses += r.Accesses
+		sumEpochs += r.Epochs
+		if r.Epochs > maxEpochs {
+			maxEpochs = r.Epochs
+		}
+	}
+	if maxEpochs > 0 {
+		res.CombinedUpper = float64(totalAccesses) / float64(maxEpochs)
+	}
+	if sumEpochs > 0 {
+		res.CombinedLower = float64(totalAccesses) / float64(sumEpochs)
+	}
+	return res
+}

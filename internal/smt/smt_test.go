@@ -1,0 +1,115 @@
+package smt
+
+import (
+	"testing"
+
+	"mlpsim/internal/core"
+	"mlpsim/internal/workload"
+)
+
+func quickCfg(threads ...workload.Config) Config {
+	return Config{
+		Threads:   threads,
+		Processor: core.Default(),
+		Warmup:    100_000,
+		Measure:   250_000,
+	}
+}
+
+func TestValidation(t *testing.T) {
+	bad := []Config{
+		{},
+		{Threads: []workload.Config{workload.Database(1)}, Measure: 0},
+		{Threads: []workload.Config{workload.Database(1)}, Measure: 100, Granule: -1},
+	}
+	for i, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+}
+
+func TestSingleThreadMatchesSolo(t *testing.T) {
+	cfg := quickCfg(workload.Database(3))
+	res := Run(cfg)
+	if len(res.PerThread) != 1 {
+		t.Fatalf("threads = %d", len(res.PerThread))
+	}
+	// With one thread the shared run is the solo run (same hierarchy,
+	// same stream), so MLPs must match exactly; the combined bounds
+	// coincide with it.
+	shared := res.PerThread[0].MLP()
+	if shared != res.SoloMLP[0] {
+		t.Fatalf("single-thread shared MLP %.4f != solo %.4f", shared, res.SoloMLP[0])
+	}
+	if res.CombinedUpper != shared || res.CombinedLower != shared {
+		t.Fatalf("bounds %.3f/%.3f should equal %.3f", res.CombinedLower, res.CombinedUpper, shared)
+	}
+}
+
+func TestTwoThreadsBoundsAndInterference(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-thread annotation passes")
+	}
+	cfg := quickCfg(workload.Database(5), workload.JBB(5))
+	res := Run(cfg)
+	if len(res.PerThread) != 2 {
+		t.Fatalf("threads = %d", len(res.PerThread))
+	}
+	// Bounds bracket sensibly: lower <= each per-thread weighted mean <=
+	// upper, and upper exceeds lower when both threads have epochs.
+	if res.CombinedUpper < res.CombinedLower {
+		t.Fatalf("upper %.3f below lower %.3f", res.CombinedUpper, res.CombinedLower)
+	}
+	if res.CombinedUpper <= res.CombinedLower {
+		t.Fatal("two active threads should open a bound gap")
+	}
+	// Shared-cache contention cannot *reduce* a thread's off-chip miss
+	// rate (more traffic, more evictions).
+	for i := range res.SharedMissRate {
+		if res.SharedMissRate[i]+0.05 < res.SoloMissRate[i] {
+			t.Errorf("thread %d: shared miss rate %.3f below solo %.3f",
+				i, res.SharedMissRate[i], res.SoloMissRate[i])
+		}
+	}
+	// The perfect-overlap bound roughly approaches the sum of per-thread
+	// MLP rates for similar epoch counts.
+	sum := res.PerThread[0].MLP() + res.PerThread[1].MLP()
+	if res.CombinedUpper > sum*1.05 {
+		t.Fatalf("upper bound %.3f exceeds per-thread sum %.3f", res.CombinedUpper, sum)
+	}
+}
+
+func TestFourThreadsScaleCombinedMLP(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-thread annotation passes")
+	}
+	one := Run(quickCfg(workload.Database(7)))
+	four := Run(quickCfg(workload.Database(7), workload.Database(17),
+		workload.Database(27), workload.Database(37)))
+	// The headline SMT result: combined MLP headroom grows with thread
+	// count even though per-thread MLP does not.
+	if four.CombinedUpper < one.CombinedUpper*2 {
+		t.Fatalf("4-thread upper bound %.3f not well above 1-thread %.3f",
+			four.CombinedUpper, one.CombinedUpper)
+	}
+	// Per-thread MLP stays in the single-thread ballpark.
+	for i, r := range four.PerThread {
+		if mlp := r.MLP(); mlp < 1 || mlp > one.SoloMLP[0]*2 {
+			t.Errorf("thread %d per-thread MLP %.3f implausible", i, mlp)
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	cfg := quickCfg(workload.Web(9), workload.JBB(9))
+	cfg.Measure = 120_000
+	a := Run(cfg)
+	b := Run(cfg)
+	for i := range a.PerThread {
+		if a.PerThread[i].Accesses != b.PerThread[i].Accesses ||
+			a.PerThread[i].Epochs != b.PerThread[i].Epochs {
+			t.Fatalf("non-deterministic thread %d", i)
+		}
+	}
+}

@@ -1,0 +1,201 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestMean(t *testing.T) {
+	if got := Mean(nil); got != 0 {
+		t.Fatalf("Mean(nil) = %v", got)
+	}
+	if got := Mean([]float64{1, 2, 3, 4}); got != 2.5 {
+		t.Fatalf("Mean = %v, want 2.5", got)
+	}
+}
+
+func TestRatio(t *testing.T) {
+	if got := Ratio(3, 4); got != 0.75 {
+		t.Fatalf("Ratio = %v", got)
+	}
+	if got := Ratio(3, 0); got != 0 {
+		t.Fatalf("Ratio by zero = %v, want 0", got)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	h := NewHistogram([]int64{10, 100, 1000})
+	for _, x := range []int64{1, 10, 11, 100, 101, 1000, 1001, 5000} {
+		h.Add(x)
+	}
+	if h.Total() != 8 {
+		t.Fatalf("total = %d", h.Total())
+	}
+	want := []uint64{2, 2, 2, 2} // <=10, <=100, <=1000, overflow
+	for i, w := range want {
+		if got := h.Count(i); got != w {
+			t.Fatalf("bucket %d = %d, want %d", i, got, w)
+		}
+	}
+	cdf := h.CDF()
+	wantCDF := []float64{0.25, 0.5, 0.75}
+	for i := range wantCDF {
+		if math.Abs(cdf[i]-wantCDF[i]) > 1e-12 {
+			t.Fatalf("cdf[%d] = %v, want %v", i, cdf[i], wantCDF[i])
+		}
+	}
+}
+
+func TestHistogramPanics(t *testing.T) {
+	for _, bounds := range [][]int64{nil, {5, 5}, {5, 3}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("bounds %v did not panic", bounds)
+				}
+			}()
+			NewHistogram(bounds)
+		}()
+	}
+}
+
+func TestDistanceRecorder(t *testing.T) {
+	var d DistanceRecorder
+	if d.MeanDistance() != 0 {
+		t.Fatal("empty recorder mean must be 0")
+	}
+	for _, idx := range []int64{10, 20, 50, 60} {
+		d.Observe(idx)
+	}
+	got := d.Distances()
+	want := []int64{10, 30, 10}
+	if len(got) != len(want) {
+		t.Fatalf("distances = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("distances = %v, want %v", got, want)
+		}
+	}
+	if m := d.MeanDistance(); math.Abs(m-50.0/3) > 1e-12 {
+		t.Fatalf("mean = %v", m)
+	}
+	cdf := d.CDFAt([]int64{5, 10, 30, 100})
+	wantCDF := []float64{0, 2.0 / 3, 1, 1}
+	for i := range wantCDF {
+		if math.Abs(cdf[i]-wantCDF[i]) > 1e-12 {
+			t.Fatalf("cdf = %v, want %v", cdf, wantCDF)
+		}
+	}
+}
+
+func TestUniformCDF(t *testing.T) {
+	pts := []int64{1, 10, 100}
+	cdf := UniformCDFAt(10, pts)
+	// p = 0.1: CDF(n) = 1-(0.9)^n
+	want := []float64{0.1, 1 - math.Pow(0.9, 10), 1 - math.Pow(0.9, 100)}
+	for i := range want {
+		if math.Abs(cdf[i]-want[i]) > 1e-12 {
+			t.Fatalf("uniform cdf = %v, want %v", cdf, want)
+		}
+	}
+	if got := UniformCDFAt(0, pts); got[0] != 0 || got[2] != 0 {
+		t.Fatal("zero mean must produce zero CDF")
+	}
+	// Mean below 1 clamps p to 1: event certain within 1 instruction.
+	if got := UniformCDFAt(0.5, pts); got[0] != 1 {
+		t.Fatal("sub-unit mean must clamp")
+	}
+}
+
+func TestLogSpacedPoints(t *testing.T) {
+	got := LogSpacedPoints(100)
+	want := []int64{1, 2, 4, 8, 16, 32, 64, 128}
+	if len(got) != len(want) {
+		t.Fatalf("points = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("points = %v, want %v", got, want)
+		}
+	}
+	if LogSpacedPoints(0) != nil {
+		t.Fatal("max<1 must return nil")
+	}
+}
+
+func TestPercent(t *testing.T) {
+	if got := Percent(0.123); got != "12.3%" {
+		t.Fatalf("Percent = %q", got)
+	}
+}
+
+// Property: a histogram CDF is monotone non-decreasing and ends <= 1.
+func TestHistogramCDFMonotone(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		h := NewHistogram([]int64{1, 2, 4, 8, 16, 32, 64})
+		for i := 0; i < 1000; i++ {
+			h.Add(int64(rng.Intn(200)))
+		}
+		cdf := h.CDF()
+		prev := 0.0
+		for _, c := range cdf {
+			if c < prev || c > 1+1e-12 {
+				return false
+			}
+			prev = c
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the empirical CDF of geometrically spaced events approaches
+// the analytic uniform CDF.
+func TestGeometricMatchesUniformCDF(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	var d DistanceRecorder
+	idx := int64(0)
+	const p = 0.02
+	for i := 0; i < 200000; i++ {
+		idx++
+		if rng.Float64() < p {
+			d.Observe(idx)
+		}
+	}
+	pts := []int64{10, 50, 100, 200}
+	emp := d.CDFAt(pts)
+	ana := UniformCDFAt(1/p, pts)
+	for i := range pts {
+		if math.Abs(emp[i]-ana[i]) > 0.03 {
+			t.Fatalf("at %d: empirical %.3f vs analytic %.3f", pts[i], emp[i], ana[i])
+		}
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if s.N != 8 || s.Mean != 5 {
+		t.Fatalf("summary = %+v", s)
+	}
+	if math.Abs(s.StdDev-2.138) > 0.01 {
+		t.Fatalf("stddev = %v", s.StdDev)
+	}
+	if s.CI95() <= 0 || s.RelCI95() <= 0 {
+		t.Fatal("CI must be positive for a spread sample")
+	}
+	if got := Summarize(nil); got.N != 0 || got.CI95() != 0 {
+		t.Fatal("empty summary")
+	}
+	if got := Summarize([]float64{3}); got.Mean != 3 || got.CI95() != 0 {
+		t.Fatal("singleton summary")
+	}
+	if (Summary{N: 5, Mean: 0, StdDev: 1}).RelCI95() != 0 {
+		t.Fatal("zero-mean RelCI95 must be 0")
+	}
+}

@@ -1,0 +1,81 @@
+package trace
+
+import (
+	"fmt"
+
+	"mlpsim/internal/isa"
+)
+
+// Window provides random access to a sliding region of a Source, addressed
+// by absolute dynamic-instruction index (0-based position in the stream).
+//
+// The epoch-model engine needs to revisit instructions that were fetched
+// but deferred to later epochs, and runahead mode re-executes from the
+// checkpointed epoch trigger, so pure forward iteration is not enough. The
+// Window buffers everything between the oldest unreleased index and the
+// furthest index demanded so far, fetching lazily from the Source.
+type Window struct {
+	src  Source
+	buf  []isa.Inst
+	base int64 // absolute index of buf[0]
+	eof  bool
+	end  int64 // absolute index one past the last fetched instruction
+}
+
+// NewWindow wraps src in a Window.
+func NewWindow(src Source) *Window {
+	return &Window{src: src}
+}
+
+// At returns a pointer to the instruction at absolute index i, fetching
+// from the source as needed. ok is false once i is at or beyond the end of
+// the stream. At panics if i addresses an instruction that has already been
+// released — that is a bug in the caller's window management.
+func (w *Window) At(i int64) (*isa.Inst, bool) {
+	if i < w.base {
+		panic(fmt.Sprintf("trace: Window.At(%d) below released base %d", i, w.base))
+	}
+	for i >= w.end {
+		if w.eof {
+			return nil, false
+		}
+		in, ok := w.src.Next()
+		if !ok {
+			w.eof = true
+			return nil, false
+		}
+		w.buf = append(w.buf, in)
+		w.end++
+	}
+	return &w.buf[i-w.base], true
+}
+
+// Release discards buffered instructions below absolute index upto. Callers
+// release entries once no epoch can ever revisit them (they have retired).
+func (w *Window) Release(upto int64) {
+	if upto <= w.base {
+		return
+	}
+	if upto > w.end {
+		upto = w.end
+	}
+	drop := upto - w.base
+	// Compact only when a meaningful prefix is dead, to amortize the copy.
+	if drop >= int64(len(w.buf))/2 && drop > 1024 || drop == int64(len(w.buf)) {
+		n := copy(w.buf, w.buf[drop:])
+		w.buf = w.buf[:n]
+		w.base = upto
+	}
+}
+
+// Base returns the lowest absolute index that is still addressable.
+func (w *Window) Base() int64 { return w.base }
+
+// End returns one past the highest absolute index fetched so far.
+func (w *Window) End() int64 { return w.end }
+
+// EOF reports whether the underlying source has been exhausted.
+func (w *Window) EOF() bool { return w.eof }
+
+// Buffered returns the number of instructions currently held in memory.
+func (w *Window) Buffered() int { return len(w.buf) }

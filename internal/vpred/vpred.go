@@ -1,0 +1,170 @@
+// Package vpred models missing-load value prediction (§3.6, §5.5).
+//
+// The paper uses a 16K-entry last-value predictor consulted *only for
+// missing loads* — predicting just those values keeps the predictor small
+// while still cutting the dependences that matter for MLP. Table 6 reports
+// its accuracy as correct / wrong / no-predict fractions.
+package vpred
+
+import "mlpsim/internal/isa"
+
+// Outcome classifies one prediction attempt, matching Table 6's columns.
+type Outcome uint8
+
+const (
+	// NoPredict means the predictor had no entry for the load (or
+	// deliberately declined to predict).
+	NoPredict Outcome = iota
+	// Correct means the predicted value matched the loaded value.
+	Correct
+	// Wrong means a prediction was made and did not match.
+	Wrong
+)
+
+// String returns the Table 6 column name for the outcome.
+func (o Outcome) String() string {
+	switch o {
+	case NoPredict:
+		return "No Predict"
+	case Correct:
+		return "Correct"
+	case Wrong:
+		return "Wrong"
+	}
+	return "Outcome(?)"
+}
+
+// Predictor predicts load values. Implementations are consulted only for
+// missing loads, then trained with the architectural value.
+type Predictor interface {
+	// Lookup predicts the value for the missing load in. It returns
+	// predicted=false when the predictor declines (NoPredict).
+	Lookup(in *isa.Inst) (value uint64, predicted bool)
+	// Train records the architectural value of the missing load.
+	Train(in *isa.Inst)
+}
+
+// Observe performs one Lookup+Train round and classifies the outcome.
+func Observe(p Predictor, in *isa.Inst) Outcome {
+	v, ok := p.Lookup(in)
+	p.Train(in)
+	switch {
+	case !ok:
+		return NoPredict
+	case v == in.Value:
+		return Correct
+	default:
+		return Wrong
+	}
+}
+
+// LastValue is a PC-indexed, tagged last-value predictor with 2-bit
+// confidence: an entry predicts only once its value has repeated, and
+// misses drop the confidence back to zero. Confidence is what produces the
+// large no-predict fractions of Table 6 — sites with unpredictable values
+// (pointer chases, hashes) quickly silence themselves instead of
+// mispredicting forever.
+type LastValue struct {
+	mask   uint64
+	tags   []uint64 // PC+1; 0 = invalid
+	values []uint64
+	conf   []uint8
+}
+
+// confPredict is the confidence threshold at which an entry predicts.
+const confPredict = 2
+
+// NewLastValue builds a last-value predictor with the given entry count
+// (power of two; the paper uses 16K). It panics on invalid sizes.
+func NewLastValue(entries int) *LastValue {
+	if entries <= 0 || entries&(entries-1) != 0 {
+		panic("vpred: entries must be a positive power of two")
+	}
+	return &LastValue{
+		mask:   uint64(entries - 1),
+		tags:   make([]uint64, entries),
+		values: make([]uint64, entries),
+		conf:   make([]uint8, entries),
+	}
+}
+
+// DefaultEntries is the paper's predictor size.
+const DefaultEntries = 16 << 10
+
+func (l *LastValue) slot(pc uint64) uint64 { return (pc >> 2) & l.mask }
+
+// Lookup implements Predictor. It predicts only when the entry is tagged
+// with the same PC and confident (a tag mismatch or low confidence is a
+// NoPredict, not a wild guess).
+func (l *LastValue) Lookup(in *isa.Inst) (uint64, bool) {
+	s := l.slot(in.PC)
+	if l.tags[s] != in.PC+1 || l.conf[s] < confPredict {
+		return 0, false
+	}
+	return l.values[s], true
+}
+
+// Train implements Predictor.
+func (l *LastValue) Train(in *isa.Inst) {
+	s := l.slot(in.PC)
+	if l.tags[s] == in.PC+1 && l.values[s] == in.Value {
+		if l.conf[s] < 3 {
+			l.conf[s]++
+		}
+		return
+	}
+	l.tags[s] = in.PC + 1
+	l.values[s] = in.Value
+	l.conf[s] = 0
+}
+
+// Perfect is the oracle value predictor used by the limit study (perfVP):
+// every missing load's value is predicted correctly.
+type Perfect struct{}
+
+// Lookup implements Predictor.
+func (Perfect) Lookup(in *isa.Inst) (uint64, bool) { return in.Value, true }
+
+// Train implements Predictor.
+func (Perfect) Train(*isa.Inst) {}
+
+// None never predicts; it stands in for "no value prediction".
+type None struct{}
+
+// Lookup implements Predictor.
+func (None) Lookup(*isa.Inst) (uint64, bool) { return 0, false }
+
+// Train implements Predictor.
+func (None) Train(*isa.Inst) {}
+
+// Stats accumulates Table 6 style outcome counts.
+type Stats struct {
+	Correct   uint64
+	Wrong     uint64
+	NoPredict uint64
+}
+
+// Add records one outcome.
+func (s *Stats) Add(o Outcome) {
+	switch o {
+	case Correct:
+		s.Correct++
+	case Wrong:
+		s.Wrong++
+	default:
+		s.NoPredict++
+	}
+}
+
+// Total returns the number of recorded outcomes.
+func (s *Stats) Total() uint64 { return s.Correct + s.Wrong + s.NoPredict }
+
+// Fractions returns the (correct, wrong, noPredict) fractions; all zero
+// when nothing was recorded.
+func (s *Stats) Fractions() (correct, wrong, noPredict float64) {
+	n := s.Total()
+	if n == 0 {
+		return 0, 0, 0
+	}
+	return float64(s.Correct) / float64(n), float64(s.Wrong) / float64(n), float64(s.NoPredict) / float64(n)
+}

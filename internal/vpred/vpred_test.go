@@ -1,0 +1,170 @@
+package vpred
+
+import (
+	"math/rand"
+	"testing"
+
+	"mlpsim/internal/isa"
+)
+
+func load(pc, value uint64) isa.Inst {
+	return isa.Inst{PC: pc, Class: isa.Load, Src1: 1, Src2: isa.NoReg, Dst: 2, Value: value}
+}
+
+func TestLastValueColdIsNoPredict(t *testing.T) {
+	p := NewLastValue(256)
+	in := load(0x1000, 42)
+	if o := Observe(p, &in); o != NoPredict {
+		t.Fatalf("cold lookup = %v, want NoPredict", o)
+	}
+}
+
+func TestLastValuePredictsRepeatedValue(t *testing.T) {
+	p := NewLastValue(256)
+	in := load(0x1000, 42)
+	// Confidence gating: the entry predicts only after the value has
+	// repeated confPredict times.
+	for i := 0; i < 3; i++ {
+		if o := Observe(p, &in); o != NoPredict {
+			t.Fatalf("observation %d = %v, want NoPredict (building confidence)", i, o)
+		}
+	}
+	if o := Observe(p, &in); o != Correct {
+		t.Fatalf("confident repeat = %v, want Correct", o)
+	}
+	in.Value = 43
+	if o := Observe(p, &in); o != Wrong {
+		t.Fatalf("changed value = %v, want Wrong", o)
+	}
+	// The miss reset confidence: the entry declines again until the new
+	// value repeats.
+	if o := Observe(p, &in); o != NoPredict {
+		t.Fatalf("after retrain = %v, want NoPredict", o)
+	}
+}
+
+func TestLastValueSilencesUnpredictableSite(t *testing.T) {
+	p := NewLastValue(256)
+	rng := rand.New(rand.NewSource(5))
+	var s Stats
+	for i := 0; i < 1000; i++ {
+		in := load(0x1000, rng.Uint64())
+		s.Add(Observe(p, &in))
+	}
+	_, w, np := s.Fractions()
+	if w > 0.01 {
+		t.Fatalf("random-valued site wrong fraction %.3f, want ~0 (confidence must silence it)", w)
+	}
+	if np < 0.99 {
+		t.Fatalf("random-valued site no-predict fraction %.3f, want ~1", np)
+	}
+}
+
+func TestLastValueTagPreventsAliasGuess(t *testing.T) {
+	p := NewLastValue(16) // tiny: PCs 0x1000 and 0x1000+16*4 alias
+	a := load(0x1000, 7)
+	b := load(0x1000+16*4, 9)
+	Observe(p, &a)
+	// b aliases a's slot but has a different PC: must be NoPredict, then
+	// it overwrites the slot.
+	if o := Observe(p, &b); o != NoPredict {
+		t.Fatalf("aliased cold lookup = %v, want NoPredict (tag mismatch)", o)
+	}
+	for i := 0; i < 2; i++ {
+		Observe(p, &b) // rebuild confidence for b
+	}
+	if o := Observe(p, &b); o != Correct {
+		t.Fatalf("after training b = %v, want Correct", o)
+	}
+	if o := Observe(p, &a); o != NoPredict {
+		t.Fatalf("a after eviction = %v, want NoPredict", o)
+	}
+}
+
+func TestPerfectAlwaysCorrect(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 100; i++ {
+		in := load(uint64(rng.Intn(1<<20))*4, rng.Uint64())
+		if o := Observe(Perfect{}, &in); o != Correct {
+			t.Fatalf("perfect predictor outcome = %v", o)
+		}
+	}
+}
+
+func TestNoneNeverPredicts(t *testing.T) {
+	in := load(0x1000, 5)
+	for i := 0; i < 3; i++ {
+		if o := Observe(None{}, &in); o != NoPredict {
+			t.Fatalf("None outcome = %v", o)
+		}
+	}
+}
+
+func TestStatsFractions(t *testing.T) {
+	var s Stats
+	for i := 0; i < 42; i++ {
+		s.Add(Correct)
+	}
+	for i := 0; i < 7; i++ {
+		s.Add(Wrong)
+	}
+	for i := 0; i < 51; i++ {
+		s.Add(NoPredict)
+	}
+	if s.Total() != 100 {
+		t.Fatalf("total = %d", s.Total())
+	}
+	c, w, n := s.Fractions()
+	if c != 0.42 || w != 0.07 || n != 0.51 {
+		t.Fatalf("fractions = %v %v %v", c, w, n)
+	}
+	var empty Stats
+	if c, w, n := empty.Fractions(); c != 0 || w != 0 || n != 0 {
+		t.Fatal("empty fractions must be zero")
+	}
+}
+
+func TestOutcomeString(t *testing.T) {
+	if NoPredict.String() != "No Predict" || Correct.String() != "Correct" || Wrong.String() != "Wrong" {
+		t.Fatal("outcome names wrong")
+	}
+}
+
+func TestNewLastValuePanicsOnBadSize(t *testing.T) {
+	for _, n := range []int{0, -4, 100} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("size %d did not panic", n)
+				}
+			}()
+			NewLastValue(n)
+		}()
+	}
+}
+
+// Property: on a value stream drawn from a per-PC constant distribution,
+// the last-value predictor converges to 100% correct after the first
+// observation of each PC.
+func TestLastValueConstantStreamConverges(t *testing.T) {
+	p := NewLastValue(1024)
+	rng := rand.New(rand.NewSource(3))
+	values := map[uint64]uint64{}
+	var s Stats
+	for i := 0; i < 5000; i++ {
+		pc := uint64(rng.Intn(100)) * 4
+		v, ok := values[pc]
+		if !ok {
+			v = rng.Uint64()
+			values[pc] = v
+		}
+		in := load(pc, v)
+		s.Add(Observe(p, &in))
+	}
+	// Each PC pays three confidence-building no-predicts, then predicts
+	// correctly forever: 5000 samples over 100 PCs → ≥ 90% correct.
+	c, _, _ := s.Fractions()
+	if c < 0.90 {
+		t.Fatalf("constant stream correct fraction %.3f, want > 0.90", c)
+	}
+}

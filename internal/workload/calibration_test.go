@@ -1,0 +1,151 @@
+package workload_test
+
+// Calibration tests: the preset workloads must keep the structural
+// characteristics the paper reports for its commercial workloads
+// (Table 1, Figure 2, Table 6). Bands are deliberately generous — they
+// protect the *shape* (orderings, clustering, predictability mix), not
+// exact values.
+
+import (
+	"testing"
+
+	"mlpsim/internal/annotate"
+	"mlpsim/internal/stats"
+	"mlpsim/internal/vpred"
+	"mlpsim/internal/workload"
+)
+
+type profile struct {
+	missRate  float64 // off-chip accesses per 100 instructions
+	imissFrac float64 // I-misses / all off-chip accesses
+	mispred   float64 // branch misprediction rate
+	vpCorrect float64
+	vpWrong   float64
+	vpNoPred  float64
+	meanDist  float64
+	cdf32     float64 // observed P(next miss within 32 instructions)
+	uni32     float64 // geometric reference at 32 instructions
+	prefUsed  float64 // fraction of off-chip prefetches later demanded
+	pmisses   uint64
+}
+
+func measure(t *testing.T, cfg workload.Config) profile {
+	t.Helper()
+	g, err := workload.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := annotate.New(g, annotate.Config{Value: vpred.NewLastValue(vpred.DefaultEntries)})
+	a.Warm(500_000)
+	var rec stats.DistanceRecorder
+	for i := 0; i < 1_500_000; i++ {
+		in, ok := a.Next()
+		if !ok {
+			t.Fatal("stream ended")
+		}
+		if in.OffChip() {
+			rec.Observe(in.Index)
+		}
+	}
+	s := a.Stats()
+	c, w, np := s.VP.Fractions()
+	p := profile{
+		missRate:  s.MissRatePer100(),
+		imissFrac: float64(s.IMisses) / float64(s.OffChip),
+		mispred:   float64(s.Mispredicts) / float64(s.Branches),
+		vpCorrect: c, vpWrong: w, vpNoPred: np,
+		meanDist: rec.MeanDistance(),
+		pmisses:  s.PMisses,
+	}
+	p.cdf32 = rec.CDFAt([]int64{32})[0]
+	p.uni32 = stats.UniformCDFAt(rec.MeanDistance(), []int64{32})[0]
+	if s.PMisses > 0 {
+		p.prefUsed = float64(s.PrefetchUsed) / float64(s.PMisses)
+	}
+	return p
+}
+
+func between(t *testing.T, name, what string, got, lo, hi float64) {
+	t.Helper()
+	if got < lo || got > hi {
+		t.Errorf("%s: %s = %.4f, want in [%.4f, %.4f]", name, what, got, lo, hi)
+	}
+}
+
+func TestCalibrationAgainstPaperCharacteristics(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration needs a multi-million-instruction run")
+	}
+	db := measure(t, workload.Database(1))
+	jbb := measure(t, workload.JBB(1))
+	web := measure(t, workload.Web(1))
+
+	// Table 1: L2 miss rates 0.84 / 0.19 / 0.09 per 100 instructions.
+	between(t, "Database", "miss rate", db.missRate, 0.55, 1.1)
+	between(t, "SPECjbb2000", "miss rate", jbb.missRate, 0.12, 0.30)
+	between(t, "SPECweb99", "miss rate", web.missRate, 0.05, 0.16)
+	if !(db.missRate > jbb.missRate && jbb.missRate > web.missRate) {
+		t.Errorf("miss rate ordering broken: %.3f / %.3f / %.3f",
+			db.missRate, jbb.missRate, web.missRate)
+	}
+
+	// §5.3.1: I-misses matter for Database and SPECweb99, not SPECjbb2000.
+	between(t, "Database", "imiss fraction", db.imissFrac, 0.05, 0.30)
+	between(t, "SPECjbb2000", "imiss fraction", jbb.imissFrac, 0, 0.12)
+	between(t, "SPECweb99", "imiss fraction", web.imissFrac, 0.05, 0.30)
+
+	// Figure 2: misses are far more clustered than a uniform distribution.
+	for _, w := range []struct {
+		name string
+		p    profile
+	}{{"Database", db}, {"SPECjbb2000", jbb}, {"SPECweb99", web}} {
+		if w.p.cdf32 < 2.2*w.p.uni32 {
+			t.Errorf("%s: observed CDF@32 %.3f not clustered vs uniform %.3f",
+				w.name, w.p.cdf32, w.p.uni32)
+		}
+		if w.p.cdf32 < 0.25 {
+			t.Errorf("%s: observed CDF@32 %.3f too flat", w.name, w.p.cdf32)
+		}
+	}
+
+	// Table 6: value predictor outcome mix (paper: DB 42/7/51,
+	// JBB 20/3/77, Web 25/5/70).
+	between(t, "Database", "VP correct", db.vpCorrect, 0.30, 0.55)
+	between(t, "Database", "VP wrong", db.vpWrong, 0.01, 0.15)
+	between(t, "Database", "VP no-predict", db.vpNoPred, 0.35, 0.65)
+	between(t, "SPECjbb2000", "VP correct", jbb.vpCorrect, 0.08, 0.32)
+	between(t, "SPECjbb2000", "VP no-predict", jbb.vpNoPred, 0.62, 0.92)
+	between(t, "SPECweb99", "VP correct", web.vpCorrect, 0.05, 0.40)
+	between(t, "SPECweb99", "VP no-predict", web.vpNoPred, 0.55, 0.92)
+
+	// Branch misprediction rates must be plausible for 64K gshare on
+	// commercial codes.
+	for _, w := range []struct {
+		name string
+		p    profile
+	}{{"Database", db}, {"SPECjbb2000", jbb}, {"SPECweb99", web}} {
+		between(t, w.name, "mispredict rate", w.p.mispred, 0.02, 0.16)
+	}
+
+	// SPECweb99's software prefetches exist and are almost all useful.
+	if web.pmisses == 0 {
+		t.Error("SPECweb99: no off-chip prefetches")
+	}
+	between(t, "SPECweb99", "prefetch useful fraction", web.prefUsed, 0.90, 1.0)
+
+	// Inter-miss mean distances scale like the paper's 119 / 526 / 1111.
+	between(t, "Database", "mean inter-miss distance", db.meanDist, 80, 220)
+	between(t, "SPECjbb2000", "mean inter-miss distance", jbb.meanDist, 330, 800)
+	between(t, "SPECweb99", "mean inter-miss distance", web.meanDist, 700, 1700)
+}
+
+func TestCalibrationStableAcrossSeeds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration needs a multi-million-instruction run")
+	}
+	a := measure(t, workload.Database(11))
+	b := measure(t, workload.Database(12))
+	if rel := a.missRate / b.missRate; rel < 0.8 || rel > 1.25 {
+		t.Errorf("miss rate unstable across seeds: %.3f vs %.3f", a.missRate, b.missRate)
+	}
+}

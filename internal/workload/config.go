@@ -1,0 +1,192 @@
+// Package workload synthesizes dynamic instruction streams with the
+// structural properties of the paper's three commercial workloads — a
+// database workload, SPECjbb2000 and SPECweb99 — which are proprietary and
+// unavailable.
+//
+// The epoch model consumes only structural trace properties: which
+// accesses leave the chip, how misses cluster, which miss addresses depend
+// on earlier missing loads, where serializing instructions and
+// data-dependent (unresolvable) branches fall, and how predictable load
+// values are. Each generator is a parameterized transaction-processing
+// loop that reproduces those distributions:
+//
+//   - hot vs cold data regions control the L2 miss rate,
+//   - cold accesses are emitted in bursts to reproduce the clustering of
+//     Figure 2,
+//   - pointer chases create register-dependent miss chains,
+//   - lock sections emit CASA/MEMBAR serializing instructions,
+//   - calls into a multi-megabyte cold code pool create instruction-fetch
+//     misses,
+//   - per-site value classes control last-value-predictor accuracy
+//     (Table 6),
+//   - branches with outcomes derived from missed loads create
+//     unresolvable mispredictions.
+package workload
+
+import "fmt"
+
+// Config parameterizes one synthetic workload. The presets in presets.go
+// are calibrated so that the paper's default processor configuration
+// reproduces the Table 1 characteristics (miss rate ordering, MLP range,
+// clustering) of each workload.
+type Config struct {
+	// Name labels the workload in reports.
+	Name string
+	// Seed drives all pseudo-randomness; a given (Config, Seed) pair
+	// yields a bit-identical trace.
+	Seed int64
+
+	// TxInstr is the approximate number of instructions per transaction.
+	TxInstr int
+
+	// Data footprint.
+	//
+	// HotBytes is the size of the frequently-reused data region (should
+	// fit in the L2); ColdBytes is the size of the rarely-reused region
+	// (should be far larger than the L2 so cold accesses go off-chip);
+	// WarmBytes is a marginal region a few times the default L2 size —
+	// its hit rate tracks L2 capacity, making the workload sensitive to
+	// the Figure 7 cache-size sweep. 0 disables the warm region.
+	HotBytes  int64
+	ColdBytes int64
+	WarmBytes int64
+	// WarmBurstFrac redirects this fraction of independent burst accesses
+	// to the warm region (clustered marginal misses: a larger L2 removes
+	// misses from high-MLP epochs, so MLP falls — the database/SPECjbb2000
+	// behaviour in Figure 7). WarmComputeFrac redirects this fraction of
+	// hot compute loads there (isolated marginal misses: a larger L2
+	// removes MLP-1 epochs, so MLP rises — the SPECweb99 behaviour).
+	WarmBurstFrac   float64
+	WarmComputeFrac float64
+	// WarmReuseFrac is the probability that a warm access revisits the
+	// line touched WarmReuseDist warm-accesses earlier instead of a fresh
+	// line. The revisit interval in instructions is WarmReuseDist divided
+	// by the warm access rate; whether the revisit hits depends on whether
+	// the L2 has evicted the line by then — that is the entire Figure 7
+	// capacity lever, so WarmReuseDist must be sized so the interval falls
+	// between the retention times of the smallest and largest swept L2.
+	WarmReuseFrac float64
+	WarmReuseDist int
+
+	// BurstsPerTx is the expected number of cold-access bursts per
+	// transaction; BurstMin/BurstMax bound the number of cold accesses in
+	// one burst; BurstGapMax is the maximum number of filler instructions
+	// between two cold accesses of the same burst. Small gaps inside
+	// bursts and large gaps between bursts produce the clustered
+	// inter-miss distances of Figure 2.
+	BurstsPerTx float64
+	BurstMin    int
+	BurstMax    int
+	BurstGapMax int
+
+	// ChaseFrac is the fraction of cold accesses that are pointer-chase
+	// steps (address dependent on the previous chase load's value):
+	// dependent misses that fundamentally serialize into separate epochs.
+	ChaseFrac float64
+	// PrefetchFrac is the fraction of independent cold accesses that are
+	// software-prefetched ahead of use (SPECweb99's useful prefetches).
+	PrefetchFrac float64
+	// DepStoreFrac is the probability, per burst access, of emitting a
+	// store whose address depends on a recent cold load (blocks later
+	// loads under issue configurations A and B).
+	DepStoreFrac float64
+	// DepBranchFrac is the probability, per burst access, of emitting a
+	// branch whose outcome depends on a recent cold load's value
+	// (candidate unresolvable misprediction).
+	DepBranchFrac float64
+
+	// LockEvery is the average number of instructions between lock
+	// sections (CASA ... MEMBAR + unlock store); 0 disables locking.
+	// SPECjbb2000's Java object locking makes CASA >0.6% of instructions.
+	LockEvery int
+	// LockedBurstFrac is the probability that a cold burst is executed as
+	// a sequence of locked mini-sections (1-2 accesses each bracketed by
+	// CASA ... MEMBAR), the shape of Java synchronized object access.
+	// Serializing configurations cannot overlap across the mini-sections;
+	// configuration E and runahead can — the paper's SPECjbb2000
+	// signature (§5.3.1, §5.4.1).
+	LockedBurstFrac float64
+
+	// Cold code pool (instruction footprint).
+	//
+	// ColdFuncs cold functions of ColdFuncInstr instructions each are laid
+	// out beyond the hot code; ColdCallsPerTx is the expected number of
+	// calls into the pool per transaction. 0 disables I-misses.
+	ColdFuncs      int
+	ColdFuncInstr  int
+	ColdCallsPerTx float64
+
+	// Value predictability mix over *cold* load sites (hot sites are
+	// always constant-valued): fractions of sites whose values are
+	// constant, strided, or random. They need not sum to 1; the remainder
+	// is random. Pointer-chase loads always carry the true next pointer
+	// and are inherently hard to predict.
+	ValueConstFrac  float64
+	ValueStrideFrac float64
+	// ValueChurn is the per-execution probability that a constant-valued
+	// site's value changes (the store that invalidates it). Churn is what
+	// produces Table 6's small-but-nonzero Wrong fractions: a confident
+	// last-value predictor mispredicts once per change, then rebuilds.
+	ValueChurn float64
+
+	// RandomBranchFrac is the fraction of filler branches with
+	// data-independent random outcomes (they mispredict but resolve
+	// on-chip). The remainder are biased/loop branches.
+	RandomBranchFrac float64
+
+	// ColdStoreFrac redirects this fraction of compute stores to the cold
+	// region: off-chip store misses that exercise the store-MLP extension
+	// (§7 future work). 0 keeps all stores hot, the paper's setting.
+	ColdStoreFrac float64
+
+	// ColdStride, when positive, makes independent cold-burst accesses
+	// walk the cold region with this byte stride instead of jumping
+	// randomly — the regular array-scan pattern a hardware stride
+	// prefetcher can cover (prefetcher-ablation workloads only).
+	ColdStride int64
+
+	// BurstSites is the size of the burst-code instance pool. Each burst
+	// executes its routine at one of BurstSites+burstHotSites PC bases
+	// spaced 4 bytes apart: the bases share cache lines (no extra I-miss
+	// footprint) but give the value predictor, branch predictor and BTB
+	// distinct PCs, reproducing the huge static-site populations of real
+	// commercial codes (>16K missing-load sites overwhelm a 16K-entry
+	// last-value predictor, producing the paper's large no-predict
+	// fractions in Table 6). 0 keeps a single instance per routine.
+	BurstSites int
+	// BurstSiteHotProb is the probability that an independent or prefetch
+	// burst runs at one of the few "hot" bases (predictor-resident sites,
+	// the source of correct value predictions). Chase bursts always use
+	// the cold tail: pointer values are unpredictable anyway and real
+	// traversal code is spread thin.
+	BurstSiteHotProb float64
+}
+
+// Validate reports configuration errors.
+func (c *Config) Validate() error {
+	switch {
+	case c.TxInstr < 32:
+		return fmt.Errorf("workload %s: TxInstr %d too small", c.Name, c.TxInstr)
+	case c.HotBytes < 4096:
+		return fmt.Errorf("workload %s: HotBytes %d too small", c.Name, c.HotBytes)
+	case c.ColdBytes < c.HotBytes:
+		return fmt.Errorf("workload %s: ColdBytes %d below HotBytes", c.Name, c.ColdBytes)
+	case c.BurstMin < 1 || c.BurstMax < c.BurstMin:
+		return fmt.Errorf("workload %s: bad burst bounds [%d,%d]", c.Name, c.BurstMin, c.BurstMax)
+	case c.ChaseFrac < 0 || c.ChaseFrac > 1:
+		return fmt.Errorf("workload %s: ChaseFrac %f out of range", c.Name, c.ChaseFrac)
+	case c.PrefetchFrac < 0 || c.PrefetchFrac > 1:
+		return fmt.Errorf("workload %s: PrefetchFrac %f out of range", c.Name, c.PrefetchFrac)
+	case c.ColdFuncs > 0 && c.ColdFuncInstr < 16:
+		return fmt.Errorf("workload %s: ColdFuncInstr %d too small", c.Name, c.ColdFuncInstr)
+	case c.ValueConstFrac+c.ValueStrideFrac > 1:
+		return fmt.Errorf("workload %s: value class fractions exceed 1", c.Name)
+	}
+	return nil
+}
+
+// WithSeed returns a copy of the configuration with a different seed.
+func (c Config) WithSeed(seed int64) Config {
+	c.Seed = seed
+	return c
+}

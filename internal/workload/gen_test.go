@@ -1,0 +1,324 @@
+package workload
+
+import (
+	"testing"
+
+	"mlpsim/internal/isa"
+	"mlpsim/internal/trace"
+)
+
+func collectN(t *testing.T, cfg Config, n int64) []isa.Inst {
+	t.Helper()
+	g, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New(%s): %v", cfg.Name, err)
+	}
+	return trace.Collect(trace.Limit(g, n), -1)
+}
+
+func TestPresetsValidate(t *testing.T) {
+	for _, cfg := range Presets(1) {
+		if err := cfg.Validate(); err != nil {
+			t.Errorf("%s: %v", cfg.Name, err)
+		}
+	}
+	for _, cfg := range []Config{PointerChase(1), Stream(1), Serialized(1), IBound(1)} {
+		if err := cfg.Validate(); err != nil {
+			t.Errorf("%s: %v", cfg.Name, err)
+		}
+	}
+}
+
+func TestGeneratorDeterminism(t *testing.T) {
+	for _, cfg := range Presets(7) {
+		a := collectN(t, cfg, 20000)
+		b := collectN(t, cfg, 20000)
+		if len(a) != len(b) {
+			t.Fatalf("%s: lengths differ", cfg.Name)
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("%s: instruction %d differs: %v vs %v", cfg.Name, i, a[i], b[i])
+			}
+		}
+	}
+}
+
+func TestGeneratorSeedChangesStream(t *testing.T) {
+	a := collectN(t, Database(1), 5000)
+	b := collectN(t, Database(2), 5000)
+	same := 0
+	for i := range a {
+		if a[i] == b[i] {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Fatal("different seeds produced identical streams")
+	}
+}
+
+func TestGeneratorStreamIsInfinite(t *testing.T) {
+	g := MustNew(Database(3))
+	for i := 0; i < 100000; i++ {
+		if _, ok := g.Next(); !ok {
+			t.Fatal("generator ended")
+		}
+	}
+}
+
+func TestInstructionMix(t *testing.T) {
+	for _, cfg := range Presets(11) {
+		insts := collectN(t, cfg, 300000)
+		counts := map[isa.Class]int{}
+		for i := range insts {
+			counts[insts[i].Class]++
+		}
+		n := float64(len(insts))
+		if frac := float64(counts[isa.ALU]) / n; frac < 0.4 || frac > 0.9 {
+			t.Errorf("%s: ALU fraction %.2f out of [0.4,0.9]", cfg.Name, frac)
+		}
+		if frac := float64(counts[isa.Load]) / n; frac < 0.05 || frac > 0.4 {
+			t.Errorf("%s: load fraction %.2f out of [0.05,0.4]", cfg.Name, frac)
+		}
+		if frac := float64(counts[isa.Branch]) / n; frac < 0.03 || frac > 0.35 {
+			t.Errorf("%s: branch fraction %.2f out of [0.03,0.35]", cfg.Name, frac)
+		}
+		if counts[isa.Store] == 0 {
+			t.Errorf("%s: no stores", cfg.Name)
+		}
+	}
+}
+
+func TestJBBHasSerializingDensity(t *testing.T) {
+	insts := collectN(t, JBB(5), 500000)
+	casa := 0
+	for i := range insts {
+		if insts[i].Class == isa.CASA {
+			casa++
+		}
+	}
+	frac := float64(casa) / float64(len(insts))
+	// The paper reports CASA > 0.6% of dynamic instructions in SPECjbb2000.
+	if frac < 0.004 || frac > 0.012 {
+		t.Fatalf("JBB CASA fraction %.4f, want ≈0.006", frac)
+	}
+}
+
+func TestWebHasPrefetches(t *testing.T) {
+	insts := collectN(t, Web(5), 500000)
+	pf := 0
+	for i := range insts {
+		if insts[i].Class == isa.Prefetch {
+			pf++
+		}
+	}
+	if pf == 0 {
+		t.Fatal("Web workload emitted no software prefetches")
+	}
+	// Every prefetch must be followed (eventually) by a demand load of the
+	// same line; check the multiset of prefetched lines is covered.
+	lines := map[uint64]int{}
+	covered := 0
+	for i := range insts {
+		switch insts[i].Class {
+		case isa.Prefetch:
+			lines[insts[i].EA>>6]++
+		case isa.Load:
+			if lines[insts[i].EA>>6] > 0 {
+				lines[insts[i].EA>>6]--
+				covered++
+			}
+		}
+	}
+	if float64(covered) < 0.9*float64(pf) {
+		t.Fatalf("only %d of %d prefetches were consumed by loads", covered, pf)
+	}
+}
+
+func TestChaseChainIsRegisterDependent(t *testing.T) {
+	insts := collectN(t, PointerChase(9), 200000)
+	// Every chase load: Src1 = Dst = regChase, and the EA of chase load
+	// k+1 equals the Value of chase load k.
+	var prevVal uint64
+	seen := 0
+	for i := range insts {
+		in := &insts[i]
+		if in.Class == isa.Load && in.Src1 == regChase && in.Dst == regChase {
+			if seen > 0 && in.EA != prevVal {
+				t.Fatalf("chase load %d: EA %#x != previous value %#x", seen, in.EA, prevVal)
+			}
+			prevVal = in.Value
+			seen++
+		}
+	}
+	if seen < 100 {
+		t.Fatalf("only %d chase loads in 200k instructions", seen)
+	}
+}
+
+func TestColdAddressesAreCold(t *testing.T) {
+	insts := collectN(t, Stream(13), 100000)
+	for i := range insts {
+		in := &insts[i]
+		if in.Class == isa.Load && (in.Dst == regColdA || in.Dst == regColdB || in.Dst == regColdC) {
+			if in.EA < coldDataBase {
+				t.Fatalf("cold load EA %#x below cold region", in.EA)
+			}
+		}
+		if in.Class == isa.CASA && (in.EA < lockBase || in.EA >= lockBase+numLocks*64) {
+			t.Fatalf("CASA EA %#x outside lock region", in.EA)
+		}
+	}
+}
+
+func TestLoopBranchTargetsAreConsistent(t *testing.T) {
+	// A taken loop back-edge (backward branch) must target the PC of the
+	// next instruction: the fetch stream loops over the burst body.
+	// (Forward branches fall through by construction; their targets are
+	// only BTB training data, and control transfers between routines are
+	// implicit.)
+	insts := collectN(t, Database(17), 100000)
+	backEdges := 0
+	for i := 0; i+1 < len(insts); i++ {
+		in := &insts[i]
+		if in.Class != isa.Branch || !in.Taken || in.Target >= in.PC {
+			continue
+		}
+		backEdges++
+		if in.Target != insts[i+1].PC {
+			t.Fatalf("taken back-edge at %#x targets %#x but next PC is %#x",
+				in.PC, in.Target, insts[i+1].PC)
+		}
+	}
+	if backEdges == 0 {
+		t.Fatal("no loop back-edges observed")
+	}
+}
+
+func TestIBoundHasColdCode(t *testing.T) {
+	insts := collectN(t, IBound(19), 200000)
+	coldPCs := 0
+	for i := range insts {
+		if insts[i].PC >= coldCodeBase && insts[i].PC < lockBase {
+			coldPCs++
+		}
+	}
+	if coldPCs == 0 {
+		t.Fatal("IBound never executed cold code")
+	}
+	hot := collectN(t, JBB(19), 200000)
+	for i := range hot {
+		if hot[i].PC >= coldCodeBase && hot[i].PC < lockBase {
+			t.Fatal("JBB must have a hot-only code footprint")
+		}
+	}
+}
+
+func TestConfigValidationErrors(t *testing.T) {
+	bad := []Config{
+		{Name: "tiny", TxInstr: 4, HotBytes: 1 << 20, ColdBytes: 1 << 26, BurstMin: 1, BurstMax: 2},
+		{Name: "hot", TxInstr: 1000, HotBytes: 16, ColdBytes: 1 << 26, BurstMin: 1, BurstMax: 2},
+		{Name: "cold", TxInstr: 1000, HotBytes: 1 << 20, ColdBytes: 1 << 10, BurstMin: 1, BurstMax: 2},
+		{Name: "burst", TxInstr: 1000, HotBytes: 1 << 20, ColdBytes: 1 << 26, BurstMin: 5, BurstMax: 2},
+		{Name: "chase", TxInstr: 1000, HotBytes: 1 << 20, ColdBytes: 1 << 26, BurstMin: 1, BurstMax: 2, ChaseFrac: 1.5},
+		{Name: "vals", TxInstr: 1000, HotBytes: 1 << 20, ColdBytes: 1 << 26, BurstMin: 1, BurstMax: 2, ValueConstFrac: 0.8, ValueStrideFrac: 0.4},
+	}
+	for _, cfg := range bad {
+		if _, err := New(cfg); err == nil {
+			t.Errorf("config %q accepted", cfg.Name)
+		}
+	}
+}
+
+func TestMustNewPanicsOnBadConfig(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustNew did not panic")
+		}
+	}()
+	MustNew(Config{Name: "bad"})
+}
+
+func TestWithSeed(t *testing.T) {
+	cfg := Database(1).WithSeed(99)
+	if cfg.Seed != 99 {
+		t.Fatal("WithSeed did not apply")
+	}
+	if cfg.Name != "Database" {
+		t.Fatal("WithSeed must not change other fields")
+	}
+}
+
+func TestStridedWorkloadWalksColdRegion(t *testing.T) {
+	insts := collectN(t, Strided(21), 100000)
+	var prev uint64
+	var seen int
+	for i := range insts {
+		in := &insts[i]
+		if in.Class == isa.Load && in.EA >= coldDataBase &&
+			(in.Dst == regColdA || in.Dst == regColdB || in.Dst == regColdC) {
+			if seen > 0 && in.EA > prev && in.EA-prev != uint64(Strided(21).ColdStride)&^7 {
+				// Strides are constant except at region wrap.
+				if in.EA-prev > uint64(Strided(21).ColdStride) {
+					t.Fatalf("stride broke: %#x -> %#x", prev, in.EA)
+				}
+			}
+			prev = in.EA
+			seen++
+		}
+	}
+	if seen < 50 {
+		t.Fatalf("only %d strided cold loads", seen)
+	}
+}
+
+func TestStoreHeavyEmitsColdStores(t *testing.T) {
+	insts := collectN(t, StoreHeavy(23), 100000)
+	var cold, total int
+	for i := range insts {
+		if insts[i].Class == isa.Store {
+			total++
+			if insts[i].EA >= coldDataBase {
+				cold++
+			}
+		}
+	}
+	if total == 0 || cold == 0 {
+		t.Fatalf("stores: %d total, %d cold", total, cold)
+	}
+	frac := float64(cold) / float64(total)
+	if frac < 0.15 || frac > 0.5 {
+		t.Fatalf("cold store fraction %.2f, want ≈ 0.33", frac)
+	}
+	// The plain Stream workload keeps stores hot.
+	plain := collectN(t, Stream(23), 100000)
+	for i := range plain {
+		if plain[i].Class == isa.Store && plain[i].EA >= coldDataBase {
+			t.Fatal("Stream emitted a cold store")
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	names := map[string]string{
+		"database": "Database", "db": "Database",
+		"jbb": "SPECjbb2000", "specjbb2000": "SPECjbb2000",
+		"web": "SPECweb99", "specweb99": "SPECweb99",
+		"chase": "PointerChase", "stream": "Stream",
+		"serialized": "Serialized", "ibound": "IBound",
+		"strided": "Strided", "storeheavy": "StoreHeavy",
+	}
+	for in, want := range names {
+		cfg, err := ByName(in, 7)
+		if err != nil {
+			t.Fatalf("ByName(%q): %v", in, err)
+		}
+		if cfg.Name != want || cfg.Seed != 7 {
+			t.Fatalf("ByName(%q) = %s/%d, want %s/7", in, cfg.Name, cfg.Seed, want)
+		}
+	}
+	if _, err := ByName("nonsense", 1); err == nil {
+		t.Fatal("bogus name accepted")
+	}
+}

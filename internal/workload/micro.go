@@ -1,0 +1,90 @@
+package workload
+
+// Micro-workloads: small, single-mechanism configurations used by the
+// examples and by tests that need one behaviour in isolation.
+
+// PointerChase returns a workload whose cold accesses are all dependent
+// pointer-chase steps: the worst case for MLP (every miss is its own
+// epoch, MLP ≈ 1 regardless of window size).
+func PointerChase(seed int64) Config {
+	return Config{
+		Name:             "PointerChase",
+		Seed:             seed,
+		TxInstr:          600,
+		HotBytes:         64 << 10,
+		ColdBytes:        256 << 20,
+		BurstsPerTx:      2,
+		BurstMin:         4,
+		BurstMax:         8,
+		BurstGapMax:      3,
+		ChaseFrac:        1.0,
+		ValueConstFrac:   0,
+		ValueStrideFrac:  0,
+		RandomBranchFrac: 0.05,
+	}
+}
+
+// Stream returns a workload whose cold accesses are all independent:
+// the best case for MLP (every burst overlaps fully, limited only by the
+// window).
+func Stream(seed int64) Config {
+	return Config{
+		Name:             "Stream",
+		Seed:             seed,
+		TxInstr:          600,
+		HotBytes:         64 << 10,
+		ColdBytes:        256 << 20,
+		BurstsPerTx:      2,
+		BurstMin:         4,
+		BurstMax:         8,
+		BurstGapMax:      3,
+		ChaseFrac:        0,
+		ValueConstFrac:   0.5,
+		ValueStrideFrac:  0.2,
+		RandomBranchFrac: 0.05,
+	}
+}
+
+// Serialized returns a workload dominated by lock sections: serializing
+// instructions every few dozen instructions strangle MLP until runahead
+// (or issue configuration E) removes the constraint.
+func Serialized(seed int64) Config {
+	cfg := Stream(seed)
+	cfg.Name = "Serialized"
+	cfg.LockEvery = 60
+	return cfg
+}
+
+// Strided returns a Stream variant whose cold accesses walk the region
+// with a fixed stride: regular enough for a hardware stride prefetcher to
+// cover (the prefetcher-extension ablation), unlike the random Stream.
+func Strided(seed int64) Config {
+	cfg := Stream(seed)
+	cfg.Name = "Strided"
+	cfg.ColdStride = 256
+	return cfg
+}
+
+// StoreHeavy returns a Stream variant where a third of the compute
+// stores write to the cold region: with write-allocate caches every such
+// store misses off-chip, the traffic the paper's §7 store-MLP future work
+// targets.
+func StoreHeavy(seed int64) Config {
+	cfg := Stream(seed)
+	cfg.Name = "StoreHeavy"
+	cfg.ColdStoreFrac = 0.33
+	return cfg
+}
+
+// IBound returns a workload dominated by instruction-fetch misses from a
+// large cold code pool: epochs triggered by I-misses expose their full
+// latency and MLP stays near 1.
+func IBound(seed int64) Config {
+	cfg := Stream(seed)
+	cfg.Name = "IBound"
+	cfg.BurstsPerTx = 0.4
+	cfg.ColdFuncs = 4096
+	cfg.ColdFuncInstr = 64
+	cfg.ColdCallsPerTx = 2.5
+	return cfg
+}

@@ -1,0 +1,151 @@
+package workload
+
+import "fmt"
+
+// The three preset configurations stand in for the paper's commercial
+// workloads. They are calibrated (see calibration_test.go) so that under
+// the paper's default processor configuration:
+//
+//   - the database workload has the highest off-chip miss rate
+//     (≈0.8/100 instructions) with a mix of dependent (pointer-chase) and
+//     independent misses, noticeable serializing instructions, and
+//     instruction-fetch misses from a large cold code pool;
+//   - SPECjbb2000 has a much lower miss rate (≈0.2/100), strongly
+//     clustered, mostly dependent misses, frequent CASA locking (>0.6% of
+//     instructions) and a hot code footprint (no I-misses);
+//   - SPECweb99 has the lowest miss rate (≈0.1/100), extremely clustered
+//     independent misses, useful software prefetches and some I-misses.
+
+// Database returns the database-workload stand-in.
+func Database(seed int64) Config {
+	return Config{
+		Name:             "Database",
+		Seed:             seed,
+		TxInstr:          2600,
+		HotBytes:         256 << 10,
+		ColdBytes:        512 << 20,
+		WarmBytes:        6 << 20,
+		WarmBurstFrac:    0.45,
+		WarmReuseFrac:    0.85,
+		WarmReuseDist:    4096,
+		BurstsPerTx:      3.3,
+		BurstMin:         4,
+		BurstMax:         8,
+		BurstGapMax:      45,
+		ChaseFrac:        0.40,
+		PrefetchFrac:     0,
+		DepStoreFrac:     0.20,
+		DepBranchFrac:    0.10,
+		LockEvery:        900,
+		LockedBurstFrac:  0.15,
+		ColdFuncs:        8192,
+		ColdFuncInstr:    96,
+		ColdCallsPerTx:   0.55,
+		ValueConstFrac:   0.95,
+		ValueStrideFrac:  0.02,
+		ValueChurn:       0.006,
+		RandomBranchFrac: 0.04,
+		BurstSites:       8 << 10,
+		BurstSiteHotProb: 0.75,
+	}
+}
+
+// JBB returns the SPECjbb2000 stand-in.
+func JBB(seed int64) Config {
+	return Config{
+		Name:             "SPECjbb2000",
+		Seed:             seed,
+		TxInstr:          2600,
+		HotBytes:         384 << 10,
+		ColdBytes:        768 << 20,
+		WarmBytes:        6 << 20,
+		WarmBurstFrac:    0.30,
+		WarmReuseFrac:    0.70,
+		WarmReuseDist:    1200,
+		BurstsPerTx:      1.4,
+		BurstMin:         3,
+		BurstMax:         6,
+		BurstGapMax:      25,
+		ChaseFrac:        0.30,
+		PrefetchFrac:     0,
+		DepStoreFrac:     0.10,
+		DepBranchFrac:    0.10,
+		LockEvery:        260, // with locked bursts, CASA ≈ 0.6-0.7% of instructions
+		LockedBurstFrac:  0.85,
+		ColdFuncs:        0, // hot code: no I-misses
+		ColdFuncInstr:    0,
+		ColdCallsPerTx:   0,
+		ValueConstFrac:   0.90,
+		ValueStrideFrac:  0.03,
+		ValueChurn:       0.006,
+		RandomBranchFrac: 0.03,
+		BurstSites:       8 << 10,
+		BurstSiteHotProb: 0.30,
+	}
+}
+
+// Web returns the SPECweb99 stand-in.
+func Web(seed int64) Config {
+	return Config{
+		Name:             "SPECweb99",
+		Seed:             seed,
+		TxInstr:          3300,
+		HotBytes:         256 << 10,
+		ColdBytes:        512 << 20,
+		WarmBytes:        5 << 20,
+		WarmComputeFrac:  0.002,
+		WarmReuseFrac:    0.80,
+		WarmReuseDist:    192,
+		BurstsPerTx:      1.0,
+		BurstMin:         1,
+		BurstMax:         3,
+		BurstGapMax:      110,
+		ChaseFrac:        0.10,
+		PrefetchFrac:     0.30,
+		DepStoreFrac:     0.05,
+		DepBranchFrac:    0.05,
+		LockEvery:        2500,
+		ColdFuncs:        4096,
+		ColdFuncInstr:    64,
+		ColdCallsPerTx:   0.05,
+		ValueConstFrac:   0.85,
+		ValueStrideFrac:  0.03,
+		ValueChurn:       0.006,
+		RandomBranchFrac: 0.03,
+		BurstSites:       8 << 10,
+		BurstSiteHotProb: 0.55,
+	}
+}
+
+// Presets returns the three paper workloads with the given seed, in the
+// order the paper's tables list them.
+func Presets(seed int64) []Config {
+	return []Config{Database(seed), JBB(seed), Web(seed)}
+}
+
+// ByName resolves a workload preset by CLI-friendly name. Accepted names:
+// database/db, jbb/specjbb/specjbb2000, web/specweb/specweb99,
+// chase/pointerchase, stream, serialized, ibound, strided, storeheavy.
+func ByName(name string, seed int64) (Config, error) {
+	switch name {
+	case "database", "db":
+		return Database(seed), nil
+	case "jbb", "specjbb", "specjbb2000":
+		return JBB(seed), nil
+	case "web", "specweb", "specweb99":
+		return Web(seed), nil
+	case "chase", "pointerchase":
+		return PointerChase(seed), nil
+	case "stream":
+		return Stream(seed), nil
+	case "serialized":
+		return Serialized(seed), nil
+	case "ibound":
+		return IBound(seed), nil
+	case "strided":
+		return Strided(seed), nil
+	case "storeheavy":
+		return StoreHeavy(seed), nil
+	}
+	return Config{}, fmt.Errorf("workload: unknown preset %q", name)
+}

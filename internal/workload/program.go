@@ -1,0 +1,257 @@
+package workload
+
+import (
+	"math/rand"
+
+	"mlpsim/internal/isa"
+)
+
+// progBuilder lays routines out at increasing PCs in the hot code region
+// and assigns per-site behaviour.
+type progBuilder struct {
+	cfg *Config
+	rng *rand.Rand
+	pc  uint64
+}
+
+func buildProgram(cfg *Config, rng *rand.Rand) *program {
+	b := &progBuilder{cfg: cfg, rng: rng, pc: hotCodeBase}
+	p := &program{}
+
+	for i := 0; i < 8; i++ {
+		p.compute = append(p.compute, b.computeRoutine(40))
+	}
+	for i := 0; i < 4; i++ {
+		p.chase = append(p.chase, b.chaseRoutine(false))
+		p.chaseDepBr = append(p.chaseDepBr, b.chaseRoutine(true))
+	}
+	coldDsts := []isa.Reg{regColdA, regColdB, regColdC}
+	gapMax := maxInt(1, cfg.BurstGapMax)
+	for i := 0; i < 10; i++ {
+		dst := coldDsts[i%len(coldDsts)]
+		gap := 1 + i*gapMax/10
+		p.indep = append(p.indep, b.indepRoutine(dst, gap, false, false))
+	}
+	for i := 0; i < 4; i++ {
+		dst := coldDsts[i%len(coldDsts)]
+		gap := 1 + i*gapMax/4
+		p.indepDepSt = append(p.indepDepSt, b.indepRoutine(dst, gap, true, false))
+		p.indepDepBr = append(p.indepDepBr, b.indepRoutine(dst, gap, false, true))
+	}
+	for i := 0; i < 3; i++ {
+		p.prefetch = append(p.prefetch, b.prefetchRoutine())
+	}
+	for i := 0; i < 8; i++ {
+		p.useLoads = append(p.useLoads, b.useLoadRoutine())
+	}
+	p.lock = b.lockRoutine()
+	if cfg.ColdFuncs > 0 {
+		p.coldBody = b.coldBodyRoutine(cfg.ColdFuncInstr)
+		p.coldFuncs = cfg.ColdFuncs
+	}
+	return p
+}
+
+// add appends a site at the next PC and returns its index.
+func (b *progBuilder) addTo(r *routine, s site) int {
+	s.pc = b.pc
+	b.pc += 4
+	r.sites = append(r.sites, s)
+	return len(r.sites) - 1
+}
+
+// gap advances the PC without emitting a site, separating routines so
+// their cache lines do not blend.
+func (b *progBuilder) gap(n int) { b.pc += uint64(n) * 4 }
+
+func (b *progBuilder) fillerSite() site {
+	dst := fillerRegs[b.rng.Intn(len(fillerRegs))]
+	s1 := fillerRegs[b.rng.Intn(len(fillerRegs))]
+	s2 := fillerRegs[b.rng.Intn(len(fillerRegs))]
+	if b.rng.Intn(8) == 0 {
+		s1 = regHotLoadA // occasionally consume loaded data
+	}
+	return site{class: isa.ALU, src1: s1, src2: s2, dst: dst, role: roleFiller}
+}
+
+func (b *progBuilder) counterSite() site {
+	return site{class: isa.ALU, src1: regCounter, src2: isa.NoReg, dst: regCounter, role: roleCounter}
+}
+
+func (b *progBuilder) hotLoadSite(dst isa.Reg) site {
+	return site{class: isa.Load, src1: regGlobal, src2: isa.NoReg, dst: dst,
+		role: roleHotLoad, vclass: valConst, vseed: b.rng.Uint64()}
+}
+
+func (b *progBuilder) hotStoreSite() site {
+	return site{class: isa.Store, src1: regGlobal, src2: fillerRegs[b.rng.Intn(len(fillerRegs))],
+		dst: isa.NoReg, role: roleHotStore}
+}
+
+func (b *progBuilder) biasedBranchSite() site {
+	kind := brBiased
+	if b.rng.Float64() < b.cfg.RandomBranchFrac {
+		kind = brRandom
+	}
+	return site{class: isa.Branch, src1: regCounter, src2: isa.NoReg, dst: isa.NoReg,
+		role: roleBranch, branch: kind, biasP: 0.95}
+}
+
+// coldValueClass assigns a value class per the configured site mix.
+func (b *progBuilder) coldValueClass() valueKind {
+	x := b.rng.Float64()
+	switch {
+	case x < b.cfg.ValueConstFrac:
+		return valConst
+	case x < b.cfg.ValueConstFrac+b.cfg.ValueStrideFrac:
+		return valStride
+	default:
+		return valRandom
+	}
+}
+
+// computeRoutine is straight-line hot-path filler.
+func (b *progBuilder) computeRoutine(n int) *routine {
+	r := &routine{}
+	hotDst := regHotLoadA
+	for i := 0; i < n; i++ {
+		switch x := b.rng.Float64(); {
+		case x < 0.62:
+			b.addTo(r, b.fillerSite())
+		case x < 0.77:
+			b.addTo(r, b.hotLoadSite(hotDst))
+			if hotDst == regHotLoadA {
+				hotDst = regHotLoadB
+			} else {
+				hotDst = regHotLoadA
+			}
+		case x < 0.85:
+			b.addTo(r, b.hotStoreSite())
+		default:
+			b.addTo(r, b.biasedBranchSite())
+		}
+	}
+	b.gap(8)
+	return r
+}
+
+// loopify marks [start, len) as the loop body and appends the counter
+// increment and back-edge branch that close it.
+func (b *progBuilder) loopify(r *routine, start int) {
+	b.addTo(r, b.counterSite())
+	backEdge := site{class: isa.Branch, src1: regCounter, src2: isa.NoReg, dst: isa.NoReg,
+		role: roleBranch, branch: brLoop, loopTarget: r.sites[start].pc}
+	b.addTo(r, backEdge)
+	r.bodyStart = start
+	r.bodyEnd = len(r.sites)
+	b.gap(8)
+}
+
+// chaseRoutine is a pointer-chase loop: each iteration's load address is
+// the previous iteration's loaded value.
+func (b *progBuilder) chaseRoutine(depBranch bool) *routine {
+	r := &routine{}
+	start := b.addTo(r, site{class: isa.Load, src1: regChase, src2: isa.NoReg, dst: regChase,
+		role: roleChase, vclass: valPtr})
+	b.addTo(r, b.fillerSite())
+	b.addTo(r, b.fillerSite())
+	if depBranch {
+		b.addTo(r, site{class: isa.Branch, src1: regChase, src2: isa.NoReg, dst: isa.NoReg,
+			role: roleBranch, branch: brDataDep})
+	}
+	b.loopify(r, start)
+	return r
+}
+
+// indepRoutine is a burst loop of independent cold loads with a fixed
+// filler gap, optionally followed by a dependent store or branch. The
+// loaded value is consumed mid-gap, as real code does: out-of-order issue
+// does not care, but in-order stall-on-use issue stalls there.
+func (b *progBuilder) indepRoutine(dst isa.Reg, gap int, depStore, depBranch bool) *routine {
+	r := &routine{}
+	start := b.addTo(r, site{class: isa.Load, src1: regGlobal, src2: isa.NoReg, dst: dst,
+		role: roleColdLoad, vclass: b.coldValueClass(), vseed: b.rng.Uint64()})
+	for i := 0; i < gap; i++ {
+		b.addTo(r, b.fillerSite())
+		if i == gap/2 {
+			b.addTo(r, site{class: isa.ALU, src1: dst, src2: fillerRegs[1],
+				dst: fillerRegs[2], role: roleFiller})
+		}
+	}
+	if depStore {
+		b.addTo(r, site{class: isa.Store, src1: dst, src2: fillerRegs[0], dst: isa.NoReg,
+			role: roleDepStore})
+	}
+	if depBranch {
+		b.addTo(r, site{class: isa.Branch, src1: dst, src2: isa.NoReg, dst: isa.NoReg,
+			role: roleBranch, branch: brDataDep})
+	}
+	b.loopify(r, start)
+	return r
+}
+
+// prefetchRoutine issues software prefetches of future cold loads.
+func (b *progBuilder) prefetchRoutine() *routine {
+	r := &routine{}
+	start := b.addTo(r, site{class: isa.Prefetch, src1: regGlobal, src2: isa.NoReg, dst: isa.NoReg,
+		role: rolePrefetch})
+	b.addTo(r, b.fillerSite())
+	b.loopify(r, start)
+	return r
+}
+
+// useLoadRoutine consumes previously prefetched addresses with demand
+// loads (which hit, making the prefetches useful).
+func (b *progBuilder) useLoadRoutine() *routine {
+	r := &routine{}
+	start := b.addTo(r, site{class: isa.Load, src1: regGlobal, src2: isa.NoReg, dst: regUse,
+		role: roleUseLoad, vclass: b.coldValueClass(), vseed: b.rng.Uint64()})
+	b.addTo(r, b.fillerSite())
+	b.addTo(r, site{class: isa.ALU, src1: regUse, src2: fillerRegs[0], dst: fillerRegs[3],
+		role: roleFiller})
+	b.addTo(r, b.fillerSite())
+	b.loopify(r, start)
+	return r
+}
+
+// lockRoutine is a critical section: CASA acquire, a short body, MEMBAR,
+// unlock store.
+func (b *progBuilder) lockRoutine() *routine {
+	r := &routine{}
+	b.addTo(r, site{class: isa.CASA, src1: regLockBase, src2: regLockVal, dst: regLockVal,
+		role: roleCASA})
+	for i := 0; i < 6; i++ {
+		b.addTo(r, b.fillerSite())
+	}
+	b.addTo(r, site{class: isa.MemBar, src1: isa.NoReg, src2: isa.NoReg, dst: isa.NoReg,
+		role: roleMemBar})
+	b.addTo(r, site{class: isa.Store, src1: regLockBase, src2: regLockVal, dst: isa.NoReg,
+		role: roleUnlock})
+	b.addTo(r, b.fillerSite())
+	b.gap(8)
+	return r
+}
+
+// coldBodyRoutine is the shared body template of the cold function pool;
+// PCs are routine-relative (instantiated at each function's base address).
+func (b *progBuilder) coldBodyRoutine(n int) *routine {
+	save := b.pc
+	b.pc = 0
+	r := &routine{}
+	for i := 0; i < n; i++ {
+		if b.rng.Float64() < 0.12 {
+			b.addTo(r, b.biasedBranchSite())
+		} else {
+			b.addTo(r, b.fillerSite())
+		}
+	}
+	b.pc = save
+	return r
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,199 @@
+// Package mlpsim reproduces "Microarchitecture Optimizations for
+// Exploiting Memory-Level Parallelism" (Chou, Fahs & Abraham, ISCA 2004):
+// the epoch model of MLP, the MLPsim trace-driven simulator built on it, a
+// cycle-level validation simulator, and synthetic stand-ins for the
+// paper's commercial workloads.
+//
+// The package is a facade over the implementation packages. A minimal
+// session:
+//
+//	res := mlpsim.Simulate(mlpsim.Database(1), mlpsim.DefaultProcessor(), mlpsim.Options{})
+//	fmt.Printf("MLP = %.2f\n", res.MLP())
+//
+// Processor configurations follow the paper's vocabulary: issue
+// constraint configurations A–E (Table 2), issue-window and reorder-buffer
+// sizes, in-order stall-on-miss/stall-on-use modes, runahead execution and
+// missing-load value prediction.
+package mlpsim
+
+import (
+	"mlpsim/internal/annotate"
+	"mlpsim/internal/bpred"
+	"mlpsim/internal/core"
+	"mlpsim/internal/cyclesim"
+	"mlpsim/internal/mem"
+	"mlpsim/internal/queueing"
+	"mlpsim/internal/smt"
+	"mlpsim/internal/vpred"
+	"mlpsim/internal/workload"
+)
+
+// Workload parameterizes a synthetic workload (see internal/workload).
+type Workload = workload.Config
+
+// Workload presets: the paper's three commercial applications plus
+// single-mechanism micro-workloads.
+var (
+	Database     = workload.Database
+	JBB          = workload.JBB
+	Web          = workload.Web
+	PointerChase = workload.PointerChase
+	Stream       = workload.Stream
+	Serialized   = workload.Serialized
+	IBound       = workload.IBound
+	Workloads    = workload.Presets
+)
+
+// ProcessorConfig is an MLPsim processor configuration.
+type ProcessorConfig = core.Config
+
+// Result is an MLPsim run result (MLP, access counts, epoch limiters).
+type Result = core.Result
+
+// Epoch is one epoch delivered through ProcessorConfig.OnEpoch.
+type Epoch = core.Epoch
+
+// Limiter is an epoch's window-termination condition (Figure 5).
+type Limiter = core.Limiter
+
+// NumLimiters is the number of limiter categories in Result.Limiters.
+const NumLimiters = core.NumLimiters
+
+// IssueConfig is a Table 2 issue-constraint configuration.
+type IssueConfig = core.IssueConfig
+
+// The five issue-constraint configurations of Table 2.
+const (
+	ConfigA = core.ConfigA
+	ConfigB = core.ConfigB
+	ConfigC = core.ConfigC
+	ConfigD = core.ConfigD
+	ConfigE = core.ConfigE
+)
+
+// Window modes.
+const (
+	OutOfOrder         = core.OutOfOrder
+	InOrderStallOnMiss = core.InOrderStallOnMiss
+	InOrderStallOnUse  = core.InOrderStallOnUse
+)
+
+// DefaultProcessor returns the paper's default configuration (§5.1):
+// 64-entry issue window and ROB, 32-entry fetch buffer, configuration C.
+func DefaultProcessor() ProcessorConfig { return core.Default() }
+
+// HierarchyConfig describes the cache hierarchy.
+type HierarchyConfig = mem.HierarchyConfig
+
+// DefaultHierarchy returns the paper's cache hierarchy (32KB L1s, 2MB L2).
+func DefaultHierarchy() HierarchyConfig { return mem.DefaultHierarchy() }
+
+// Options selects the run length and the front-end models used to
+// annotate the trace.
+type Options struct {
+	// Warmup instructions train caches and predictors before measurement
+	// (default 500_000).
+	Warmup int64
+	// Measure instructions are simulated for statistics (default
+	// 2_000_000; 0 keeps the default — use ProcessorConfig.
+	// MaxInstructions for full control).
+	Measure int64
+	// Hierarchy overrides the cache configuration (zero value = paper
+	// default).
+	Hierarchy HierarchyConfig
+	// PerfectBranchPrediction replaces the 64K gshare with an oracle.
+	PerfectBranchPrediction bool
+	// LastValuePredictor attaches the 16K-entry missing-load last-value
+	// predictor so ProcessorConfig.ValuePredict has outcomes to consume.
+	LastValuePredictor bool
+}
+
+func (o Options) defaults() Options {
+	if o.Warmup == 0 {
+		o.Warmup = 500_000
+	}
+	if o.Measure == 0 {
+		o.Measure = 2_000_000
+	}
+	return o
+}
+
+func (o Options) annotateConfig() annotate.Config {
+	acfg := annotate.Config{Hierarchy: o.Hierarchy}
+	if o.PerfectBranchPrediction {
+		acfg.Branch = bpred.Perfect{}
+	}
+	if o.LastValuePredictor {
+		acfg.Value = vpred.NewLastValue(vpred.DefaultEntries)
+	}
+	return acfg
+}
+
+// Simulate runs the epoch-model simulator: it generates the workload,
+// annotates it through the cache hierarchy and branch predictor, warms
+// up, and partitions the measured window into epochs.
+func Simulate(w Workload, p ProcessorConfig, o Options) Result {
+	o = o.defaults()
+	g := workload.MustNew(w)
+	a := annotate.New(g, o.annotateConfig())
+	a.Warm(o.Warmup)
+	if p.MaxInstructions == 0 {
+		p.MaxInstructions = o.Measure
+	}
+	return core.NewEngine(a, p).Run()
+}
+
+// CycleConfig is a cycle-level simulator configuration.
+type CycleConfig = cyclesim.Config
+
+// CycleResult is a cycle-level simulation result (CPI, MLP(t) average).
+type CycleResult = cyclesim.Result
+
+// DefaultCycleProcessor returns the default cycle-simulator pipeline at
+// the given off-chip latency in cycles.
+func DefaultCycleProcessor(missPenalty int) CycleConfig {
+	return cyclesim.Default(missPenalty)
+}
+
+// CycleSimulate runs the cycle-level validation simulator over the same
+// annotated stream Simulate would see.
+func CycleSimulate(w Workload, p CycleConfig, o Options) CycleResult {
+	o = o.defaults()
+	g := workload.MustNew(w)
+	a := annotate.New(g, o.annotateConfig())
+	a.Warm(o.Warmup)
+	if p.MaxInstructions == 0 {
+		p.MaxInstructions = o.Measure
+	}
+	return cyclesim.New(a, p).Run()
+}
+
+// --- extensions ------------------------------------------------------------
+
+// SMTConfig configures a multithreaded-MLP simulation (the paper's §7
+// future work); see internal/smt for the model and its assumptions.
+type SMTConfig = smt.Config
+
+// SMTResult is a multithreaded simulation result.
+type SMTResult = smt.Result
+
+// SimulateSMT runs K workloads on a multithreaded processor sharing the
+// cache hierarchy and reports per-thread MLP plus combined-MLP bounds.
+func SimulateSMT(cfg SMTConfig) SMTResult { return smt.Run(cfg) }
+
+// MemoryModel is a finite-bandwidth (C-channel) memory system fed by
+// epoch access bursts (the §4.1 queueing-model use case).
+type MemoryModel = queueing.Model
+
+// BurstCollector accumulates epoch burst sizes; attach its OnEpoch to
+// ProcessorConfig.OnEpoch.
+type BurstCollector = queueing.Collector
+
+// NewBurstCollector builds a collector with burst buckets up to max.
+func NewBurstCollector(max int) *BurstCollector { return queueing.NewCollector(max) }
+
+// StoreHeavy and Strided are the extension micro-workloads.
+var (
+	StoreHeavy = workload.StoreHeavy
+	Strided    = workload.Strided
+)

@@ -1,0 +1,61 @@
+package mlpsim_test
+
+import (
+	"testing"
+
+	"mlpsim"
+)
+
+func TestSimulateFacade(t *testing.T) {
+	opts := mlpsim.Options{Warmup: 150_000, Measure: 400_000}
+	res := mlpsim.Simulate(mlpsim.Database(1), mlpsim.DefaultProcessor(), opts)
+	if res.Accesses == 0 || res.MLP() < 1 {
+		t.Fatalf("facade run produced no MLP: %+v", res)
+	}
+	if res.Instructions != 400_000 {
+		t.Fatalf("instructions = %d", res.Instructions)
+	}
+}
+
+func TestFacadeRunaheadBeatsBaseline(t *testing.T) {
+	opts := mlpsim.Options{Warmup: 150_000, Measure: 400_000}
+	base := mlpsim.Simulate(mlpsim.Database(2), mlpsim.DefaultProcessor().WithIssue(mlpsim.ConfigD), opts)
+	rae := mlpsim.Simulate(mlpsim.Database(2), mlpsim.DefaultProcessor().WithIssue(mlpsim.ConfigD).WithRunahead(), opts)
+	if rae.MLP() <= base.MLP() {
+		t.Fatalf("RAE %.3f not above baseline %.3f", rae.MLP(), base.MLP())
+	}
+}
+
+func TestFacadePerfectBranchPrediction(t *testing.T) {
+	opts := mlpsim.Options{Warmup: 100_000, Measure: 300_000}
+	popts := opts
+	popts.PerfectBranchPrediction = true
+	base := mlpsim.Simulate(mlpsim.Database(3), mlpsim.DefaultProcessor(), opts)
+	perf := mlpsim.Simulate(mlpsim.Database(3), mlpsim.DefaultProcessor(), popts)
+	if perf.MLP()+0.03 < base.MLP() {
+		t.Fatalf("perfect BP lowered MLP: %.3f vs %.3f", perf.MLP(), base.MLP())
+	}
+}
+
+func TestFacadeCycleSimulate(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cycle-level run")
+	}
+	opts := mlpsim.Options{Warmup: 150_000, Measure: 300_000}
+	res := mlpsim.CycleSimulate(mlpsim.Database(4), mlpsim.DefaultCycleProcessor(500), opts)
+	if res.CPI() <= 0 || res.MLP < 1 {
+		t.Fatalf("cycle run implausible: %+v", res)
+	}
+}
+
+func TestFacadeMicroWorkloads(t *testing.T) {
+	opts := mlpsim.Options{Warmup: 50_000, Measure: 200_000}
+	chase := mlpsim.Simulate(mlpsim.PointerChase(5), mlpsim.DefaultProcessor(), opts)
+	stream := mlpsim.Simulate(mlpsim.Stream(5), mlpsim.DefaultProcessor(), opts)
+	if chase.MLP() > 1.25 {
+		t.Fatalf("pointer chase MLP = %.3f, want ≈ 1 (dependent misses)", chase.MLP())
+	}
+	if stream.MLP() < chase.MLP()+0.5 {
+		t.Fatalf("stream MLP %.3f not well above chase %.3f", stream.MLP(), chase.MLP())
+	}
+}
