@@ -1,0 +1,34 @@
+GO ?= go
+
+.PHONY: all build test race vet bench fuzz clean
+
+all: build test vet
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Concurrency-sensitive packages: the annotated-trace cache (singleflight,
+# LRU, disk spill) and the experiment worker pool that hammers it.
+race:
+	$(GO) test -race ./internal/experiments ./internal/atrace
+
+vet:
+	$(GO) vet ./...
+
+# Performance report: micro-benchmarks plus the cached-vs-uncached
+# Figure 4+5+6 sweep. `make bench` is the quick loop; `make bench-full`
+# writes the committed BENCH_1.json at paper scale.
+bench:
+	$(GO) run ./cmd/bench -scale quick -out /tmp/bench_quick.json
+
+bench-full:
+	$(GO) run ./cmd/bench -scale default -out BENCH_1.json
+
+fuzz:
+	$(GO) test ./internal/trace -fuzz FuzzRoundTripV2 -fuzztime 30s
+
+clean:
+	$(GO) clean ./...

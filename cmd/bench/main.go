@@ -1,0 +1,217 @@
+// Command bench tracks the simulator's performance trajectory: it runs
+// the annotator/replay micro-benchmarks and the Figure 4+5+6 sweep with
+// and without the annotated-trace cache, then writes a JSON report
+// (BENCH_1.json by default) with ns/op, allocs/op and headline MLP
+// metrics.
+//
+// Usage:
+//
+//	go run ./cmd/bench -scale quick -out BENCH_1.json
+//	go run ./cmd/bench -scale default       # the acceptance-criteria run
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"reflect"
+	"time"
+
+	"mlpsim/internal/annotate"
+	"mlpsim/internal/atrace"
+	"mlpsim/internal/core"
+	"mlpsim/internal/experiments"
+	"mlpsim/internal/workload"
+	"testing"
+)
+
+type benchResult struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+}
+
+type sweepResult struct {
+	Exhibits        []string `json:"exhibits"`
+	UncachedSeconds float64  `json:"uncached_seconds"`
+	CachedSeconds   float64  `json:"cached_seconds"`
+	Speedup         float64  `json:"speedup"`
+	Identical       bool     `json:"results_identical"`
+	CacheBuilds     uint64   `json:"cache_builds"`
+	CacheHits       uint64   `json:"cache_hits"`
+	CacheBytes      int64    `json:"cache_bytes"`
+}
+
+type report struct {
+	Schema     string                 `json:"schema"`
+	Scale      string                 `json:"scale"`
+	Seed       int64                  `json:"seed"`
+	Warmup     int64                  `json:"warmup"`
+	Measure    int64                  `json:"measure"`
+	Benchmarks map[string]benchResult `json:"benchmarks"`
+	Sweep      *sweepResult           `json:"sweep,omitempty"`
+	MLP        map[string]float64     `json:"mlp"`
+}
+
+func toResult(r testing.BenchmarkResult) benchResult {
+	return benchResult{
+		NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+		AllocsPerOp: r.AllocsPerOp(),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+	}
+}
+
+func microBenchmarks(w workload.Config) map[string]benchResult {
+	out := make(map[string]benchResult)
+
+	out["AnnotateStream"] = toResult(testing.Benchmark(func(b *testing.B) {
+		a := annotate.New(workload.MustNew(w), annotate.Config{})
+		a.Warm(100_000)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, ok := a.Next(); !ok {
+				b.Fatal("stream ended")
+			}
+		}
+	}))
+
+	a := annotate.New(workload.MustNew(w), annotate.Config{})
+	a.Warm(100_000)
+	s := atrace.Capture(a, 1_000_000)
+	out["ReplayStream"] = toResult(testing.Benchmark(func(b *testing.B) {
+		r := s.Replay()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, ok := r.Next(); !ok {
+				r = s.Replay()
+			}
+		}
+	}))
+
+	out["MLPsimEngine"] = toResult(testing.Benchmark(func(b *testing.B) {
+		cfg := core.Default()
+		b.ReportAllocs()
+		b.ResetTimer()
+		// One op = one instruction through the engine; restart the replay
+		// whenever b.N exceeds the captured stream.
+		for remaining := int64(b.N); remaining > 0; {
+			n := s.Len()
+			if remaining < n {
+				n = remaining
+			}
+			cfg.MaxInstructions = n
+			core.NewEngine(s.Replay(), cfg).Run()
+			remaining -= n
+		}
+	}))
+	return out
+}
+
+// runSweep executes the Figure 4+5+6 sweep and returns elapsed time plus
+// the Figure 4 results (for the equality check and MLP metrics).
+func runSweep(s experiments.Setup) (time.Duration, experiments.Figure4, experiments.Figure6) {
+	start := time.Now()
+	f4 := experiments.RunFigure4(s)
+	experiments.RunFigure5(s)
+	f6 := experiments.RunFigure6(s)
+	return time.Since(start), f4, f6
+}
+
+func sameCells(a, b experiments.Figure4) bool {
+	if len(a.Cells) != len(b.Cells) {
+		return false
+	}
+	for i := range a.Cells {
+		if !reflect.DeepEqual(a.Cells[i], b.Cells[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+func main() {
+	scale := flag.String("scale", "quick", "sweep scale: quick or default")
+	out := flag.String("out", "BENCH_1.json", "output JSON path")
+	seed := flag.Int64("seed", 1, "workload seed")
+	skipSweep := flag.Bool("skip-sweep", false, "skip the cached-vs-uncached sweep comparison")
+	flag.Parse()
+
+	var s experiments.Setup
+	switch *scale {
+	case "quick":
+		s = experiments.Quick(*seed)
+	case "default":
+		s = experiments.Default(*seed)
+	default:
+		fmt.Fprintf(os.Stderr, "bench: unknown scale %q\n", *scale)
+		os.Exit(2)
+	}
+
+	rep := report{
+		Schema:  "mlpsim-bench/1",
+		Scale:   *scale,
+		Seed:    *seed,
+		Warmup:  s.Warmup,
+		Measure: s.Measure,
+		MLP:     make(map[string]float64),
+	}
+
+	fmt.Fprintln(os.Stderr, "bench: running micro-benchmarks...")
+	rep.Benchmarks = microBenchmarks(s.Workloads[0])
+	for name, r := range rep.Benchmarks {
+		fmt.Fprintf(os.Stderr, "bench: %-16s %8.1f ns/op  %d allocs/op\n", name, r.NsPerOp, r.AllocsPerOp)
+	}
+
+	if !*skipSweep {
+		uncached := s
+		uncached.Cache = nil
+		fmt.Fprintln(os.Stderr, "bench: running Figure 4+5+6 sweep WITHOUT cache...")
+		du, f4u, _ := runSweep(uncached)
+		fmt.Fprintf(os.Stderr, "bench: uncached sweep: %.1fs\n", du.Seconds())
+
+		cached := s
+		cached.Cache = atrace.NewCache()
+		fmt.Fprintln(os.Stderr, "bench: running Figure 4+5+6 sweep WITH cache...")
+		dc, f4c, f6c := runSweep(cached)
+		fmt.Fprintf(os.Stderr, "bench: cached sweep: %.1fs\n", dc.Seconds())
+
+		cs := cached.Cache.Stats()
+		rep.Sweep = &sweepResult{
+			Exhibits:        []string{"figure4", "figure5", "figure6"},
+			UncachedSeconds: du.Seconds(),
+			CachedSeconds:   dc.Seconds(),
+			Speedup:         du.Seconds() / dc.Seconds(),
+			Identical:       sameCells(f4u, f4c),
+			CacheBuilds:     cs.Builds,
+			CacheHits:       cs.Hits,
+			CacheBytes:      cs.Bytes,
+		}
+		fmt.Fprintf(os.Stderr, "bench: speedup %.2fx, results identical: %v\n",
+			rep.Sweep.Speedup, rep.Sweep.Identical)
+
+		for _, w := range cached.Workloads {
+			if c := f4c.Lookup(w.Name, 64, core.ConfigC); c != nil {
+				rep.MLP[w.Name+"/64C"] = c.MLP
+			}
+			if c := f4c.Lookup(w.Name, 256, core.ConfigE); c != nil {
+				rep.MLP[w.Name+"/256E"] = c.MLP
+			}
+			rep.MLP[w.Name+"/INF"] = f6c.INF[w.Name]
+		}
+	}
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bench: %v\n", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "bench: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "bench: wrote %s\n", *out)
+}

@@ -6,6 +6,8 @@
 //	experiments -only table3    # one exhibit
 //	experiments -list           # available exhibits
 //	experiments -warmup 5000000 -measure 20000000   # bigger runs
+//	experiments -only figure4 -cpuprofile cpu.prof  # profile a sweep
+//	experiments -trace-cache-dir /tmp/atrace        # reuse annotations across invocations
 package main
 
 import (
@@ -13,6 +15,8 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"mlpsim/internal/experiments"
@@ -20,13 +24,16 @@ import (
 
 func main() {
 	var (
-		only    = flag.String("only", "", "run a single exhibit (e.g. table3, figure8)")
-		list    = flag.Bool("list", false, "list available exhibits")
-		seed    = flag.Int64("seed", 1, "workload generation seed")
-		warmup  = flag.Int64("warmup", 2_000_000, "warm-up instructions per run")
-		measure = flag.Int64("measure", 8_000_000, "measured instructions per run")
-		par     = flag.Int("parallel", 0, "concurrent simulator runs (0 = GOMAXPROCS)")
-		csvDir  = flag.String("csv", "", "also write each exhibit's rows as CSV into this directory")
+		only     = flag.String("only", "", "run a single exhibit (e.g. table3, figure8)")
+		list     = flag.Bool("list", false, "list available exhibits")
+		seed     = flag.Int64("seed", 1, "workload generation seed")
+		warmup   = flag.Int64("warmup", 2_000_000, "warm-up instructions per run")
+		measure  = flag.Int64("measure", 8_000_000, "measured instructions per run")
+		par      = flag.Int("parallel", 0, "concurrent simulator runs (0 = GOMAXPROCS)")
+		csvDir   = flag.String("csv", "", "also write each exhibit's rows as CSV into this directory")
+		cacheDir = flag.String("trace-cache-dir", "", "spill annotated-trace cache entries to this directory (shared across invocations)")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf  = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
 
@@ -37,10 +44,41 @@ func main() {
 		return
 	}
 
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProf != "" {
+		defer func() {
+			f, err := os.Create(*memProf)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "experiments:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "experiments:", err)
+			}
+		}()
+	}
+
 	setup := experiments.Default(*seed)
 	setup.Warmup = *warmup
 	setup.Measure = *measure
 	setup.Parallelism = *par
+	if *cacheDir != "" {
+		setup.Cache.SetDir(*cacheDir)
+	}
 
 	runners := experiments.All()
 	if *only != "" {

@@ -8,15 +8,18 @@
 //	mlpsim -workload jbb -window 64 -rob 256 -issue D
 //	mlpsim -workload database -issue D -runahead
 //	mlpsim -trace db.trc -issue E -window 2048
+//	mlpsim -trace db.atrc -issue D -runahead   # pre-annotated (v2) trace
 //	mlpsim -workload web -inorder use
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
 	"os"
 
 	"mlpsim/internal/annotate"
+	"mlpsim/internal/atrace"
 	"mlpsim/internal/bpred"
 	"mlpsim/internal/core"
 	"mlpsim/internal/mem"
@@ -54,27 +57,45 @@ func main() {
 	)
 	flag.Parse()
 
-	src, err := openSource(*traceFile, *workloadName, *seed)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "mlpsim:", err)
-		os.Exit(1)
+	// A pre-annotated (v2) trace replays directly: annotation and warm-up
+	// already happened at tracegen time, so the annotation flags (-l2,
+	// -iprefetch, -dprefetch, -vp as a predictor) have no effect and the
+	// engine starts at the trace's first instruction. Engine-level flags
+	// (-window, -issue, -runahead, -perf-* ...) apply as usual.
+	var engineSrc core.AnnotatedSource
+	if *traceFile != "" && isAnnotatedTrace(*traceFile) {
+		st, err := atrace.ReadFile(*traceFile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mlpsim:", err)
+			os.Exit(1)
+		}
+		if *ipf > 0 || *dpf > 0 || *vp {
+			fmt.Fprintln(os.Stderr, "mlpsim: note: -iprefetch/-dprefetch/-vp annotation is baked in at tracegen time; flags ignored for annotated traces")
+		}
+		engineSrc = st.Replay()
+	} else {
+		src, err := openSource(*traceFile, *workloadName, *seed)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mlpsim:", err)
+			os.Exit(1)
+		}
+		acfg := annotate.Config{Hierarchy: mem.DefaultHierarchy().WithL2Size(*l2)}
+		if *ipf > 0 {
+			acfg.IPrefetch = prefetch.NewSequential(*ipf, mem.IFetch)
+		}
+		if *dpf > 0 {
+			acfg.DPrefetch = prefetch.NewStride(1024, *dpf)
+		}
+		if *vp {
+			acfg.Value = vpred.NewLastValue(vpred.DefaultEntries)
+		}
+		if *perfBP {
+			acfg.Branch = bpred.Perfect{}
+		}
+		ann := annotate.New(src, acfg)
+		ann.Warm(*warmup)
+		engineSrc = ann
 	}
-
-	acfg := annotate.Config{Hierarchy: mem.DefaultHierarchy().WithL2Size(*l2)}
-	if *ipf > 0 {
-		acfg.IPrefetch = prefetch.NewSequential(*ipf, mem.IFetch)
-	}
-	if *dpf > 0 {
-		acfg.DPrefetch = prefetch.NewStride(1024, *dpf)
-	}
-	if *vp {
-		acfg.Value = vpred.NewLastValue(vpred.DefaultEntries)
-	}
-	if *perfBP {
-		acfg.Branch = bpred.Perfect{}
-	}
-	ann := annotate.New(src, acfg)
-	ann.Warm(*warmup)
 
 	cfg := core.Default()
 	cfg.IssueWindow = *window
@@ -134,7 +155,7 @@ func main() {
 		os.Exit(1)
 	}
 
-	res := core.NewEngine(ann, cfg).Run()
+	res := core.NewEngine(engineSrc, cfg).Run()
 	if *timeline {
 		fmt.Println(tl.String())
 	}
@@ -157,6 +178,21 @@ func main() {
 		}
 		fmt.Printf("  %-14s %6.1f%%  (%d)\n", core.Limiter(l).String(), 100*fr[l], res.Limiters[l])
 	}
+}
+
+// isAnnotatedTrace reports whether path holds a version-2 (pre-annotated)
+// trace. Unreadable files return false and fail later with a real error.
+func isAnnotatedTrace(path string) bool {
+	f, err := os.Open(path)
+	if err != nil {
+		return false
+	}
+	defer f.Close()
+	dec, err := trace.NewDecoder(bufio.NewReader(f))
+	if err != nil {
+		return false
+	}
+	return dec.Version() >= 2
 }
 
 // openSource returns the instruction source: a decoded trace file or a

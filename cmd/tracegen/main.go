@@ -1,9 +1,16 @@
 // Command tracegen generates a synthetic workload trace and stores it in
 // the binary trace format consumed by cmd/mlpsim.
 //
-// Example:
+// With -annotate it instead runs the functional annotation pass (cache
+// hierarchy + branch predictor) over the workload and writes a version-2
+// annotated trace: -warmup instructions train the annotator, then -n
+// post-warmup instructions are captured. cmd/mlpsim replays annotated
+// traces directly, skipping its own annotation and warm-up.
+//
+// Examples:
 //
 //	tracegen -workload database -n 10000000 -o db.trc
+//	tracegen -workload database -annotate -warmup 2000000 -n 8000000 -o db.atrc
 package main
 
 import (
@@ -11,16 +18,20 @@ import (
 	"fmt"
 	"os"
 
+	"mlpsim/internal/annotate"
+	"mlpsim/internal/atrace"
 	"mlpsim/internal/trace"
 	"mlpsim/internal/workload"
 )
 
 func main() {
 	var (
-		name = flag.String("workload", "database", "workload: database, jbb, web, chase, stream, serialized, ibound")
-		seed = flag.Int64("seed", 1, "generation seed")
-		n    = flag.Int64("n", 10_000_000, "instructions to generate")
-		out  = flag.String("o", "", "output file (required)")
+		name     = flag.String("workload", "database", "workload: database, jbb, web, chase, stream, serialized, ibound")
+		seed     = flag.Int64("seed", 1, "generation seed")
+		n        = flag.Int64("n", 10_000_000, "instructions to generate (post-warmup when -annotate)")
+		out      = flag.String("o", "", "output file (required)")
+		annotful = flag.Bool("annotate", false, "write a pre-annotated (version 2) trace")
+		warmup   = flag.Int64("warmup", 2_000_000, "annotator warm-up instructions (only with -annotate)")
 	)
 	flag.Parse()
 	if *out == "" {
@@ -47,6 +58,24 @@ func main() {
 	default:
 		fmt.Fprintf(os.Stderr, "tracegen: unknown workload %q\n", *name)
 		os.Exit(1)
+	}
+
+	if *annotful {
+		ann := annotate.New(workload.MustNew(cfg), annotate.Config{})
+		ann.Warm(*warmup)
+		st := atrace.Capture(ann, *n)
+		if err := atrace.WriteFile(*out, st); err != nil {
+			fmt.Fprintln(os.Stderr, "tracegen:", err)
+			os.Exit(1)
+		}
+		info, err := os.Stat(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tracegen:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %d annotated instructions to %s (%d bytes, %.2f bytes/inst, warmup %d)\n",
+			st.Len(), *out, info.Size(), float64(info.Size())/float64(st.Len()), st.FirstIndex())
+		return
 	}
 
 	f, err := os.Create(*out)

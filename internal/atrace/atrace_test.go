@@ -1,0 +1,300 @@
+package atrace
+
+import (
+	"bytes"
+	"path/filepath"
+	"reflect"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"mlpsim/internal/annotate"
+	"mlpsim/internal/bpred"
+	"mlpsim/internal/isa"
+	"mlpsim/internal/vpred"
+	"mlpsim/internal/workload"
+)
+
+const (
+	testWarmup  = 50_000
+	testMeasure = 120_000
+)
+
+func captureStream(t testing.TB, w workload.Config, acfg annotate.Config) *Stream {
+	t.Helper()
+	a := annotate.New(workload.MustNew(w), acfg)
+	a.Warm(testWarmup)
+	return Capture(a, testMeasure)
+}
+
+func directInsts(w workload.Config, acfg annotate.Config) ([]annotate.Inst, annotate.Stats) {
+	a := annotate.New(workload.MustNew(w), acfg)
+	a.Warm(testWarmup)
+	insts := a.Collect(testMeasure)
+	return insts, a.Stats()
+}
+
+// TestReplayMatchesDirect is the core fidelity check: the replayed stream
+// must be field-for-field identical to what a direct annotator yields,
+// for every workload preset.
+func TestReplayMatchesDirect(t *testing.T) {
+	for _, w := range workload.Presets(7) {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			want, wantStats := directInsts(w, annotate.Config{})
+			s := captureStream(t, w, annotate.Config{})
+			if s.Len() != int64(len(want)) {
+				t.Fatalf("stream length %d, want %d", s.Len(), len(want))
+			}
+			if got := s.Stats(); got != wantStats {
+				t.Errorf("stream stats %+v, want %+v", got, wantStats)
+			}
+			r := s.Replay()
+			for i, wi := range want {
+				gi, ok := r.Next()
+				if !ok {
+					t.Fatalf("replay ended early at %d", i)
+				}
+				if gi != wi {
+					t.Fatalf("inst %d: replay %+v, want %+v", i, gi, wi)
+				}
+			}
+			if _, ok := r.Next(); ok {
+				t.Fatal("replay yielded extra instructions")
+			}
+		})
+	}
+}
+
+// TestReplayMatchesDirectValuePrediction covers the VPOutcome column.
+func TestReplayMatchesDirectValuePrediction(t *testing.T) {
+	w := workload.Presets(3)[0]
+	acfgFor := func() annotate.Config {
+		return annotate.Config{Value: vpred.NewLastValue(vpred.DefaultEntries)}
+	}
+	want, wantStats := directInsts(w, acfgFor())
+	s := captureStream(t, w, acfgFor())
+	if got := s.Stats(); got != wantStats {
+		t.Errorf("stream stats %+v, want %+v", got, wantStats)
+	}
+	r := s.Replay()
+	var vpSeen bool
+	for i, wi := range want {
+		gi, ok := r.Next()
+		if !ok {
+			t.Fatalf("replay ended early at %d", i)
+		}
+		if gi != wi {
+			t.Fatalf("inst %d: replay %+v, want %+v", i, gi, wi)
+		}
+		if gi.VPOutcome != vpred.NoPredict {
+			vpSeen = true
+		}
+	}
+	if !vpSeen {
+		t.Error("no value-prediction outcomes in test window; coverage too weak")
+	}
+}
+
+// TestReplaysAreIndependent: two concurrent cursors over one stream do
+// not interfere.
+func TestReplaysAreIndependent(t *testing.T) {
+	w := workload.Presets(5)[1]
+	s := captureStream(t, w, annotate.Config{})
+	r1, r2 := s.Replay(), s.Replay()
+	// Advance r1 halfway, then run r2 fully, then finish r1.
+	half := s.Len() / 2
+	for i := int64(0); i < half; i++ {
+		r1.Next()
+	}
+	var n2 int64
+	for {
+		if _, ok := r2.Next(); !ok {
+			break
+		}
+		n2++
+	}
+	var n1 = half
+	for {
+		if _, ok := r1.Next(); !ok {
+			break
+		}
+		n1++
+	}
+	if n1 != s.Len() || n2 != s.Len() {
+		t.Fatalf("cursors saw %d / %d instructions, want %d", n1, n2, s.Len())
+	}
+}
+
+// TestStreamRoundTrip: WriteStream/ReadStream preserve every column and
+// the stored statistics.
+func TestStreamRoundTrip(t *testing.T) {
+	w := workload.Presets(11)[2]
+	s := captureStream(t, w, annotate.Config{})
+	var buf bytes.Buffer
+	if err := WriteStream(&buf, s); err != nil {
+		t.Fatalf("WriteStream: %v", err)
+	}
+	got, err := ReadStream(&buf)
+	if err != nil {
+		t.Fatalf("ReadStream: %v", err)
+	}
+	if !reflect.DeepEqual(s, got) {
+		t.Errorf("round-tripped stream differs")
+		if got.n != s.n || got.firstIndex != s.firstIndex || got.lineShift != s.lineShift {
+			t.Errorf("geometry: got (n=%d first=%d shift=%d), want (n=%d first=%d shift=%d)",
+				got.n, got.firstIndex, got.lineShift, s.n, s.firstIndex, s.lineShift)
+		}
+		if got.stats != s.stats {
+			t.Errorf("stats: got %+v, want %+v", got.stats, s.stats)
+		}
+	}
+}
+
+func TestReadFileMissing(t *testing.T) {
+	if _, err := ReadFile(filepath.Join(t.TempDir(), "nope.atrace")); err == nil {
+		t.Fatal("expected error for missing file")
+	}
+}
+
+// TestConfigKey covers keyability rules.
+func TestConfigKey(t *testing.T) {
+	k0, fresh, ok := ConfigKey(annotate.Config{})
+	if !ok {
+		t.Fatal("zero config must be keyable")
+	}
+	// nil branch and an explicit untrained default gshare share a stream.
+	k1, _, ok := ConfigKey(annotate.Config{Branch: bpred.NewGshare(bpred.DefaultGshare())})
+	if !ok || k1 != k0 {
+		t.Errorf("untrained default gshare key %q, want %q", k1, k0)
+	}
+	// A trained gshare is not keyable.
+	g := bpred.NewGshare(bpred.DefaultGshare())
+	g.Update(&isa.Inst{Class: isa.Branch, Taken: true})
+	if _, _, ok := ConfigKey(annotate.Config{Branch: g}); ok {
+		t.Error("trained gshare must not be keyable")
+	}
+	// Prefetchers force the direct path.
+	if _, _, ok := ConfigKey(annotate.Config{IPrefetch: nil, DPrefetch: nil}); !ok {
+		t.Error("nil prefetchers must stay keyable")
+	}
+	// Value predictors.
+	kv, _, ok := ConfigKey(annotate.Config{Value: vpred.NewLastValue(1 << 10)})
+	if !ok || kv == k0 {
+		t.Errorf("last-value config must be keyable and distinct: %q vs %q", kv, k0)
+	}
+	// fresh() must build new predictor instances each call.
+	c1, c2 := fresh(), fresh()
+	if c1.Branch == c2.Branch {
+		t.Error("fresh() must not reuse stateful predictor instances")
+	}
+}
+
+// TestCacheSingleflight: concurrent Gets for one key run one build.
+func TestCacheSingleflight(t *testing.T) {
+	w := workload.Presets(2)[0]
+	c := NewCache()
+	var builds atomic.Int64
+	key := Key{Workload: w, Annot: "test", Warmup: testWarmup, Measure: testMeasure}
+	build := func() *Stream {
+		builds.Add(1)
+		return captureStream(t, w, annotate.Config{})
+	}
+	const goroutines = 8
+	streams := make([]*Stream, goroutines)
+	var wg sync.WaitGroup
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			streams[i] = c.Get(key, build)
+		}(i)
+	}
+	wg.Wait()
+	if n := builds.Load(); n != 1 {
+		t.Errorf("build ran %d times, want 1", n)
+	}
+	for i := 1; i < goroutines; i++ {
+		if streams[i] != streams[0] {
+			t.Errorf("goroutine %d got a different stream pointer", i)
+		}
+	}
+	st := c.Stats()
+	if st.Builds != 1 || st.Hits+st.Misses != goroutines {
+		t.Errorf("stats %+v inconsistent with %d gets", st, goroutines)
+	}
+}
+
+// TestCacheBuildPanic: a panicking build propagates to all waiters and
+// the key is retryable afterwards.
+func TestCacheBuildPanic(t *testing.T) {
+	c := NewCache()
+	key := Key{Annot: "panic"}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("expected panic to propagate")
+			}
+		}()
+		c.Get(key, func() *Stream { panic("boom") })
+	}()
+	s := c.Get(key, func() *Stream { return &Stream{} })
+	if s == nil {
+		t.Fatal("retry after panic returned nil")
+	}
+}
+
+// TestCacheEviction: exceeding the byte cap drops LRU entries but never
+// the most recent one.
+func TestCacheEviction(t *testing.T) {
+	c := NewCache()
+	w := workload.Presets(4)[0]
+	mk := func(i int) (Key, *Stream) {
+		cfg := w
+		cfg.Seed = int64(i + 100)
+		a := annotate.New(workload.MustNew(cfg), annotate.Config{})
+		a.Warm(1000)
+		return Key{Workload: cfg, Annot: "e"}, Capture(a, 5000)
+	}
+	k0, s0 := mk(0)
+	c.Get(k0, func() *Stream { return s0 })
+	c.SetCapBytes(s0.MemBytes() + s0.MemBytes()/2) // room for ~1.5 streams
+	k1, s1 := mk(1)
+	c.Get(k1, func() *Stream { return s1 })
+	st := c.Stats()
+	if st.Streams != 1 {
+		t.Errorf("after eviction %d streams cached, want 1", st.Streams)
+	}
+	// k1 must have survived (most recent).
+	var rebuilt bool
+	c.Get(k1, func() *Stream { rebuilt = true; return s1 })
+	if rebuilt {
+		t.Error("most-recently-used stream was evicted")
+	}
+}
+
+// TestCacheDiskSpill: a second cache instance sharing the directory loads
+// from disk instead of re-annotating, and the loaded stream is identical.
+func TestCacheDiskSpill(t *testing.T) {
+	dir := t.TempDir()
+	w := workload.Presets(6)[0]
+	key := Key{Workload: w, Annot: "spill", Warmup: testWarmup, Measure: testMeasure}
+
+	c1 := NewCache()
+	c1.SetDir(dir)
+	s1 := c1.Get(key, func() *Stream { return captureStream(t, w, annotate.Config{}) })
+
+	c2 := NewCache()
+	c2.SetDir(dir)
+	var rebuilt bool
+	s2 := c2.Get(key, func() *Stream { rebuilt = true; return nil })
+	if rebuilt {
+		t.Fatal("second cache re-annotated despite disk spill")
+	}
+	if st := c2.Stats(); st.DiskHits != 1 {
+		t.Errorf("disk hits %d, want 1", st.DiskHits)
+	}
+	if !reflect.DeepEqual(s1, s2) {
+		t.Error("disk-loaded stream differs from built stream")
+	}
+}

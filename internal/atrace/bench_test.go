@@ -1,0 +1,78 @@
+package atrace
+
+import (
+	"testing"
+
+	"mlpsim/internal/annotate"
+	"mlpsim/internal/workload"
+)
+
+// BenchmarkAnnotateStream measures the full annotation pass (generator +
+// hierarchy + predictors) per instruction — the cost the cache pays once
+// per key.
+func BenchmarkAnnotateStream(b *testing.B) {
+	w := workload.Presets(1)[0]
+	a := annotate.New(workload.MustNew(w), annotate.Config{})
+	a.Warm(100_000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := a.Next(); !ok {
+			b.Fatal("stream ended")
+		}
+	}
+}
+
+// BenchmarkCaptureStream measures annotation plus columnar capture — the
+// true per-key build cost.
+func BenchmarkCaptureStream(b *testing.B) {
+	w := workload.Presets(1)[0]
+	a := annotate.New(workload.MustNew(w), annotate.Config{})
+	a.Warm(100_000)
+	bu := NewBuilder(6, int64(b.N))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		in, ok := a.Next()
+		if !ok {
+			b.Fatal("stream ended")
+		}
+		bu.Append(in)
+	}
+}
+
+// BenchmarkReplayStream measures decoding a captured stream — the cost
+// every cached engine run pays per instruction. It must be allocation
+// free.
+func BenchmarkReplayStream(b *testing.B) {
+	w := workload.Presets(1)[0]
+	a := annotate.New(workload.MustNew(w), annotate.Config{})
+	a.Warm(100_000)
+	s := Capture(a, 1_000_000)
+	r := s.Replay()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := r.Next(); !ok {
+			r = s.Replay()
+		}
+	}
+}
+
+// TestReplayAllocFree pins the zero-allocation property of the replay
+// hot path.
+func TestReplayAllocFree(t *testing.T) {
+	w := workload.Presets(1)[0]
+	a := annotate.New(workload.MustNew(w), annotate.Config{})
+	a.Warm(10_000)
+	s := Capture(a, 50_000)
+	r := s.Replay()
+	allocs := testing.AllocsPerRun(10_000, func() {
+		if _, ok := r.Next(); !ok {
+			r = s.Replay()
+		}
+	})
+	if allocs > 0.01 {
+		t.Errorf("replay allocates %.2f objects per instruction, want 0", allocs)
+	}
+}

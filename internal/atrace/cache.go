@@ -1,0 +1,205 @@
+package atrace
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"encoding/hex"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// DefaultCapBytes is the default in-memory cache capacity. A Default-scale
+// (8M instruction) stream is roughly 100MB, so this holds the handful of
+// distinct annotation configurations a full experiment batch touches.
+const DefaultCapBytes = 8 << 30
+
+// Cache is a keyed store of annotated streams with single-flight build
+// deduplication: concurrent Get calls for the same key block on one build
+// instead of annotating in parallel. Eviction is LRU by approximate byte
+// footprint; evicted streams stay valid for replays already in flight
+// (they are immutable), the cache merely drops its reference.
+//
+// With Dir set, built streams are also spilled to disk in the v2 trace
+// format and misses try the disk before annotating, so the expensive pass
+// is shared across CLI invocations.
+type Cache struct {
+	mu       sync.Mutex
+	capBytes int64
+	size     int64
+	dir      string
+	entries  map[Key]*entry
+	order    *list.List // front = most recently used
+
+	hits     uint64
+	misses   uint64
+	builds   uint64
+	diskHits uint64
+}
+
+type entry struct {
+	key    Key
+	ready  chan struct{} // closed when stream (or panic) is set
+	stream *Stream
+	pval   any // panic value propagated to waiters
+	elem   *list.Element
+	bytes  int64
+}
+
+// NewCache returns an in-memory cache with DefaultCapBytes capacity.
+func NewCache() *Cache {
+	return &Cache{
+		capBytes: DefaultCapBytes,
+		entries:  make(map[Key]*entry),
+		order:    list.New(),
+	}
+}
+
+// SetCapBytes adjusts the in-memory capacity (<= 0 means unbounded) and
+// evicts immediately if over the new capacity.
+func (c *Cache) SetCapBytes(n int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.capBytes = n
+	c.evictLocked()
+}
+
+// SetDir enables the on-disk spill path rooted at dir (created on first
+// write). An empty dir disables spilling.
+func (c *Cache) SetDir(dir string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.dir = dir
+}
+
+// Stats reports cache effectiveness counters.
+type CacheStats struct {
+	Hits     uint64 // Get calls served from memory (or by joining a build)
+	Misses   uint64 // Get calls that had to build or load
+	Builds   uint64 // annotation passes actually executed
+	DiskHits uint64 // misses served from the on-disk spill
+	Bytes    int64  // current in-memory footprint
+	Streams  int    // streams currently held
+}
+
+// Stats returns a snapshot of the counters.
+func (c *Cache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{
+		Hits: c.hits, Misses: c.misses, Builds: c.builds, DiskHits: c.diskHits,
+		Bytes: c.size, Streams: len(c.entries),
+	}
+}
+
+// Get returns the stream for key, building it with build() exactly once
+// per key no matter how many goroutines ask concurrently. A panic in
+// build is propagated to every waiter and the entry is removed so a later
+// Get can retry.
+func (c *Cache) Get(key Key, build func() *Stream) *Stream {
+	c.mu.Lock()
+	if e, ok := c.entries[key]; ok {
+		c.hits++
+		if e.elem != nil {
+			c.order.MoveToFront(e.elem)
+		}
+		c.mu.Unlock()
+		<-e.ready
+		if e.pval != nil {
+			panic(e.pval)
+		}
+		return e.stream
+	}
+	e := &entry{key: key, ready: make(chan struct{})}
+	c.entries[key] = e
+	c.misses++
+	dir := c.dir
+	c.mu.Unlock()
+
+	var s *Stream
+	var fromDisk bool
+	func() {
+		defer func() {
+			if pv := recover(); pv != nil {
+				e.pval = pv
+				c.mu.Lock()
+				delete(c.entries, key)
+				c.mu.Unlock()
+				close(e.ready)
+				panic(pv)
+			}
+		}()
+		if dir != "" {
+			if loaded, err := ReadFile(c.spillPath(dir, key)); err == nil {
+				s, fromDisk = loaded, true
+			}
+		}
+		if s == nil {
+			s = build()
+		}
+	}()
+
+	e.stream = s
+	e.bytes = s.MemBytes()
+	c.mu.Lock()
+	if fromDisk {
+		c.diskHits++
+	} else {
+		c.builds++
+	}
+	e.elem = c.order.PushFront(e)
+	c.size += e.bytes
+	c.evictLocked()
+	c.mu.Unlock()
+	close(e.ready)
+
+	if dir != "" && !fromDisk {
+		// Best-effort spill; a failed write only costs future re-builds.
+		_ = writeFileAtomic(c.spillPath(dir, key), s)
+	}
+	return s
+}
+
+// evictLocked drops least-recently-used completed entries until the cache
+// fits its capacity. Entries still building are never evicted (they are
+// not in the LRU list yet).
+func (c *Cache) evictLocked() {
+	if c.capBytes <= 0 {
+		return
+	}
+	for c.size > c.capBytes && c.order.Len() > 1 {
+		back := c.order.Back()
+		e := back.Value.(*entry)
+		c.order.Remove(back)
+		e.elem = nil
+		delete(c.entries, e.key)
+		c.size -= e.bytes
+	}
+}
+
+// spillPath derives the on-disk filename for a key: a hash of its
+// canonical string form.
+func (c *Cache) spillPath(dir string, key Key) string {
+	sum := sha256.Sum256([]byte(key.String()))
+	return filepath.Join(dir, hex.EncodeToString(sum[:16])+".atrace")
+}
+
+func writeFileAtomic(path string, s *Stream) error {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".atrace-*")
+	if err != nil {
+		return err
+	}
+	if err := WriteStream(tmp, s); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}

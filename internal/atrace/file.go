@@ -1,0 +1,184 @@
+package atrace
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+
+	"mlpsim/internal/annotate"
+	"mlpsim/internal/trace"
+	"mlpsim/internal/vpred"
+)
+
+func vpredOutcome(v uint8) vpred.Outcome { return vpred.Outcome(v) }
+
+// On-disk form: a version-2 trace (see internal/trace) whose header meta
+// blob carries the stream geometry and the captured-window statistics,
+// and whose per-record annotation byte carries the event flags.
+
+const metaVersion = 1
+
+func encodeMeta(s *Stream) []byte {
+	var b []byte
+	put := func(v uint64) { b = binary.AppendUvarint(b, v) }
+	put(metaVersion)
+	put(uint64(s.lineShift))
+	put(uint64(s.firstIndex))
+	put(uint64(s.n))
+	st := s.stats
+	for _, v := range []uint64{
+		st.Instructions, st.DMisses, st.PMisses, st.IMisses, st.SMisses,
+		st.Branches, st.Mispredicts, st.Prefetches, st.PrefetchUsed,
+		st.VP.Correct, st.VP.Wrong, st.VP.NoPredict,
+	} {
+		put(v)
+	}
+	return b
+}
+
+func decodeMeta(b []byte) (lineShift uint8, firstIndex, n int64, stats annotate.Stats, err error) {
+	vals := make([]uint64, 0, 16)
+	for len(b) > 0 {
+		v, sz := binary.Uvarint(b)
+		if sz <= 0 {
+			return 0, 0, 0, stats, fmt.Errorf("atrace: corrupt meta blob")
+		}
+		b = b[sz:]
+		vals = append(vals, v)
+	}
+	if len(vals) != 16 {
+		return 0, 0, 0, stats, fmt.Errorf("atrace: meta blob has %d fields (want 16)", len(vals))
+	}
+	if vals[0] != metaVersion {
+		return 0, 0, 0, stats, fmt.Errorf("atrace: unsupported meta version %d", vals[0])
+	}
+	if vals[1] > 63 {
+		return 0, 0, 0, stats, fmt.Errorf("atrace: invalid line shift %d", vals[1])
+	}
+	lineShift = uint8(vals[1])
+	firstIndex = int64(vals[2])
+	n = int64(vals[3])
+	stats = annotate.Stats{
+		Instructions: vals[4], DMisses: vals[5], PMisses: vals[6],
+		IMisses: vals[7], SMisses: vals[8], Branches: vals[9],
+		Mispredicts: vals[10], Prefetches: vals[11], PrefetchUsed: vals[12],
+	}
+	stats.VP.Correct, stats.VP.Wrong, stats.VP.NoPredict = vals[13], vals[14], vals[15]
+	stats.OffChip = stats.DMisses + stats.PMisses + stats.IMisses
+	return lineShift, firstIndex, n, stats, nil
+}
+
+func annotFlagsOf(in annotate.Inst) trace.AnnotFlags {
+	var af trace.AnnotFlags
+	if in.DMiss {
+		af |= trace.AnnotDMiss
+	}
+	if in.PMiss {
+		af |= trace.AnnotPMiss
+	}
+	if in.IMiss {
+		af |= trace.AnnotIMiss
+	}
+	if in.SMiss {
+		af |= trace.AnnotSMiss
+	}
+	if in.Mispred {
+		af |= trace.AnnotMispred
+	}
+	return af.WithVPOutcome(uint8(in.VPOutcome))
+}
+
+// WriteStream writes the stream to w in the v2 annotated trace format.
+func WriteStream(w io.Writer, s *Stream) error {
+	enc, err := trace.NewEncoderV2(w, uint64(s.n), encodeMeta(s))
+	if err != nil {
+		return err
+	}
+	r := s.Replay()
+	for {
+		in, ok := r.Next()
+		if !ok {
+			break
+		}
+		if err := enc.EncodeAnnotated(in.Inst, annotFlagsOf(in)); err != nil {
+			return err
+		}
+	}
+	return enc.Flush()
+}
+
+// ReadStream rebuilds a Stream from a v2 annotated trace produced by
+// WriteStream (or by cmd/tracegen -annotate).
+func ReadStream(r io.Reader) (*Stream, error) {
+	dec, err := trace.NewDecoder(r)
+	if err != nil {
+		return nil, err
+	}
+	return ReadStreamFrom(dec)
+}
+
+// ReadStreamFrom rebuilds a Stream from an already-opened v2 decoder.
+func ReadStreamFrom(dec *trace.Decoder) (*Stream, error) {
+	if dec.Version() < 2 {
+		return nil, fmt.Errorf("atrace: trace is not annotated (version %d)", dec.Version())
+	}
+	lineShift, firstIndex, n, stats, err := decodeMeta(dec.Meta())
+	if err != nil {
+		return nil, err
+	}
+	b := NewBuilder(lineShift, n)
+	idx := firstIndex
+	for {
+		raw, af, err := dec.DecodeAnnotated()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		in := annotate.Inst{
+			Inst:      raw,
+			Index:     idx,
+			DMiss:     af&trace.AnnotDMiss != 0,
+			PMiss:     af&trace.AnnotPMiss != 0,
+			IMiss:     af&trace.AnnotIMiss != 0,
+			SMiss:     af&trace.AnnotSMiss != 0,
+			Mispred:   af&trace.AnnotMispred != 0,
+			VPOutcome: vpredOutcome(af.VPOutcome()),
+		}
+		idx++
+		b.Append(in)
+	}
+	s := b.Finish(stats)
+	if s.n != n {
+		return nil, fmt.Errorf("atrace: trace holds %d records, meta promised %d", s.n, n)
+	}
+	if s.n == 0 {
+		s.firstIndex = firstIndex
+	}
+	return s, nil
+}
+
+// WriteFile writes the stream to path in the v2 annotated trace format.
+func WriteFile(path string, s *Stream) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := WriteStream(f, s); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ReadFile loads a stream previously written with WriteFile.
+func ReadFile(path string) (*Stream, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadStream(f)
+}

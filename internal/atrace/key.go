@@ -1,0 +1,111 @@
+package atrace
+
+import (
+	"fmt"
+
+	"mlpsim/internal/annotate"
+	"mlpsim/internal/bpred"
+	"mlpsim/internal/mem"
+	"mlpsim/internal/vpred"
+	"mlpsim/internal/workload"
+)
+
+// Key identifies one annotated stream: a workload generated from its
+// seed, annotated under a canonical annotation configuration, with fixed
+// warmup and measure windows. Key is comparable and usable as a map key.
+type Key struct {
+	Workload workload.Config
+	// Annot is the canonical string form of the annotation configuration
+	// (from ConfigKey).
+	Annot   string
+	Warmup  int64
+	Measure int64
+}
+
+// String renders the key canonically (stable across processes; used to
+// derive on-disk cache filenames).
+func (k Key) String() string {
+	return fmt.Sprintf("w{%+v}|a{%s}|warm%d|meas%d", k.Workload, k.Annot, k.Warmup, k.Measure)
+}
+
+// ConfigKey derives a canonical cache key string for an annotation
+// configuration, plus a factory that builds an equivalent fresh
+// configuration (new predictor instances, so a cached build never trains
+// or aliases the caller's objects).
+//
+// ok is false when the configuration cannot be keyed safely:
+//   - hardware prefetchers are attached (callers read their Stats() after
+//     the run, so the annotator must run directly), or
+//   - a stateful predictor instance has already been trained (its state is
+//     not captured by the configuration alone), or
+//   - the predictor is of an unknown user-supplied type.
+//
+// Such configurations simply fall back to the direct annotate-per-run
+// path; correctness never depends on keyability.
+func ConfigKey(acfg annotate.Config) (key string, fresh func() annotate.Config, ok bool) {
+	if acfg.IPrefetch != nil || acfg.DPrefetch != nil {
+		return "", nil, false
+	}
+	h := acfg.Hierarchy
+	if h.L2.SizeBytes == 0 {
+		h = mem.DefaultHierarchy()
+	}
+
+	var bKey string
+	var bFresh func() bpred.Predictor
+	switch bp := acfg.Branch.(type) {
+	case nil:
+		cfg := bpred.DefaultGshare()
+		bKey = fmt.Sprintf("gshare{%+v}", cfg)
+		bFresh = func() bpred.Predictor { return bpred.NewGshare(cfg) }
+	case *bpred.Gshare:
+		if !bp.Untrained() {
+			return "", nil, false
+		}
+		cfg := bp.Config()
+		bKey = fmt.Sprintf("gshare{%+v}", cfg)
+		bFresh = func() bpred.Predictor { return bpred.NewGshare(cfg) }
+	case bpred.Perfect:
+		bKey = "perfect"
+		bFresh = func() bpred.Predictor { return bpred.Perfect{} }
+	case bpred.AlwaysWrong:
+		bKey = "alwayswrong"
+		bFresh = func() bpred.Predictor { return bpred.AlwaysWrong{} }
+	case bpred.Static:
+		taken := bp.Taken
+		bKey = fmt.Sprintf("static{taken:%t}", taken)
+		bFresh = func() bpred.Predictor { return bpred.Static{Taken: taken} }
+	default:
+		return "", nil, false
+	}
+
+	var vKey string
+	var vFresh func() vpred.Predictor
+	switch vp := acfg.Value.(type) {
+	case nil:
+		vKey = "none"
+		vFresh = func() vpred.Predictor { return nil }
+	case vpred.None:
+		vKey = "none"
+		vFresh = func() vpred.Predictor { return vpred.None{} }
+	case vpred.Perfect:
+		vKey = "perfect"
+		vFresh = func() vpred.Predictor { return vpred.Perfect{} }
+	case *vpred.LastValue:
+		if !vp.Untrained() {
+			return "", nil, false
+		}
+		entries := vp.Entries()
+		vKey = fmt.Sprintf("lastvalue{entries:%d}", entries)
+		vFresh = func() vpred.Predictor { return vpred.NewLastValue(entries) }
+	default:
+		return "", nil, false
+	}
+
+	key = fmt.Sprintf("h{%+v}|bp{%s}|vp{%s}", h, bKey, vKey)
+	hCopy := h
+	fresh = func() annotate.Config {
+		return annotate.Config{Hierarchy: hCopy, Branch: bFresh(), Value: vFresh()}
+	}
+	return key, fresh, true
+}

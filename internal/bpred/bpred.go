@@ -144,6 +144,14 @@ func (g *Gshare) Update(in *isa.Inst) {
 // Stats returns (predictions, mispredictions) counted via Observe.
 func (g *Gshare) Stats() (predicts, mispredicts uint64) { return g.predicts, g.mispred }
 
+// Config returns the configuration the predictor was built with.
+func (g *Gshare) Config() GshareConfig { return g.cfg }
+
+// Untrained reports whether the predictor has never been updated — i.e.
+// it is still in its reset state and interchangeable with any other
+// freshly constructed Gshare of the same configuration.
+func (g *Gshare) Untrained() bool { return g.predicts == 0 }
+
 // Observe is a convenience combining Predict+Update while keeping the
 // predictor's own misprediction statistics.
 func (g *Gshare) Observe(in *isa.Inst) bool {

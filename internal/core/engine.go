@@ -13,6 +13,14 @@ type AnnotatedSource interface {
 	Next() (annotate.Inst, bool)
 }
 
+// inPlaceSource is an optional fast path: sources that can decode
+// directly into a caller-provided Inst (e.g. atrace.Replay) skip the
+// by-value copies of Next. annotate.Inst is large enough that routing it
+// through return values is measurable on the fetch path.
+type inPlaceSource interface {
+	NextInto(*annotate.Inst) bool
+}
+
 // slot is one in-flight dynamic instruction.
 type slot struct {
 	ai annotate.Inst
@@ -55,8 +63,9 @@ type slot struct {
 
 // Engine is the MLPsim epoch-model engine.
 type Engine struct {
-	cfg Config
-	src AnnotatedSource
+	cfg     Config
+	src     AnnotatedSource
+	srcInto inPlaceSource // src's fast path, nil when unsupported
 
 	buf  []slot
 	base int64 // absolute index of buf[0]
@@ -82,24 +91,31 @@ type Engine struct {
 	res   Result
 }
 
-// pullSource reads one instruction from the underlying source, honouring
-// MaxInstructions and applying the perfect-feature rewrites.
-func (e *Engine) pullSource() (annotate.Inst, bool) {
+// pullSource reads one instruction from the underlying source into *dst,
+// honouring MaxInstructions and applying the perfect-feature rewrites.
+func (e *Engine) pullSource(dst *annotate.Inst) bool {
 	if e.cfg.MaxInstructions > 0 && e.srcPulled >= e.cfg.MaxInstructions {
-		return annotate.Inst{}, false
+		return false
 	}
-	ai, ok := e.src.Next()
-	if !ok {
-		return annotate.Inst{}, false
+	if e.srcInto != nil {
+		if !e.srcInto.NextInto(dst) {
+			return false
+		}
+	} else {
+		ai, ok := e.src.Next()
+		if !ok {
+			return false
+		}
+		*dst = ai
 	}
 	e.srcPulled++
 	if e.cfg.PerfectIFetch {
-		ai.IMiss = false
+		dst.IMiss = false
 	}
 	if e.cfg.PerfectBP {
-		ai.Mispred = false
+		dst.Mispred = false
 	}
-	return ai, true
+	return true
 }
 
 // NewEngine builds an engine; it panics on invalid configurations
@@ -113,6 +129,7 @@ func NewEngine(src AnnotatedSource, cfg Config) *Engine {
 		src:       src,
 		lastStore: make(map[uint64]int64),
 	}
+	e.srcInto, _ = src.(inPlaceSource)
 	for i := range e.producers {
 		e.producers[i] = -1
 	}
@@ -212,19 +229,22 @@ func (e *Engine) fetchNext() *slot {
 	if e.eof {
 		return nil
 	}
-	var ai annotate.Inst
+	// Reserve the slot and decode into it in place: a slot (and the Inst
+	// inside it) is large enough that staging it in locals costs a
+	// per-instruction memcpy.
+	e.buf = append(e.buf, slot{})
+	s := &e.buf[len(e.buf)-1]
 	if len(e.pending) > 0 {
-		ai = e.pending[0]
+		s.ai = e.pending[0]
 		e.pending = e.pending[1:]
-	} else {
-		var ok bool
-		ai, ok = e.pullSource()
-		if !ok {
-			e.eof = true
-			return nil
-		}
+	} else if !e.pullSource(&s.ai) {
+		e.eof = true
+		e.buf = e.buf[:len(e.buf)-1]
+		return nil
 	}
-	s := slot{ai: ai, prod1: -1, prod2: -1, memProd: -1, prevMem: -1, prevStore: -1, prevBranch: -1}
+	s.prod1, s.prod2, s.memProd = -1, -1, -1
+	s.prevMem, s.prevStore, s.prevBranch = -1, -1, -1
+	ai := &s.ai
 	j := e.fetchEnd
 
 	if ai.DMiss {
@@ -272,10 +292,9 @@ func (e *Engine) fetchNext() *slot {
 		e.producers[ai.Dst] = j
 	}
 
-	e.buf = append(e.buf, s)
 	e.fetchEnd++
 	e.unexec++
-	return &e.buf[len(e.buf)-1]
+	return s
 }
 
 // advanceRetire moves the commit frontier past completed work and

@@ -293,12 +293,12 @@ func (e *Engine) fetchBufferScan(ep *epochState) {
 		if k < len(e.pending) {
 			ai = &e.pending[k]
 		} else {
-			next, ok := e.pullSource()
-			if !ok {
+			e.pending = append(e.pending, annotate.Inst{})
+			ai = &e.pending[len(e.pending)-1]
+			if !e.pullSource(ai) {
+				e.pending = e.pending[:len(e.pending)-1]
 				return
 			}
-			e.pending = append(e.pending, next)
-			ai = &e.pending[len(e.pending)-1]
 		}
 		if ai.Class == isa.Branch && ai.Mispred && !e.cfg.PerfectBP {
 			return

@@ -4,7 +4,6 @@ import (
 	"mlpsim/internal/annotate"
 	"mlpsim/internal/core"
 	"mlpsim/internal/vpred"
-	"mlpsim/internal/workload"
 )
 
 // CompareRow is one paper-vs-measured headline number.
@@ -59,15 +58,7 @@ func RunCompare(s Setup) Compare {
 			res := s.RunMLPsim(w, core.Default().WithIssue(core.ConfigD).WithRunahead(), annotate.Config{})
 			m.rae = res.MLP()
 		case 5:
-			g := workload.MustNew(w)
-			a := annotate.New(g, annotate.Config{Value: vpred.NewLastValue(vpred.DefaultEntries)})
-			a.Warm(s.Warmup)
-			for n := int64(0); n < s.Measure; n++ {
-				if _, ok := a.Next(); !ok {
-					break
-				}
-			}
-			st := a.Stats().VP
+			st := s.AnnotateStats(w, annotate.Config{Value: vpred.NewLastValue(vpred.DefaultEntries)}).VP
 			m.vp[0], m.vp[1], m.vp[2] = st.Fractions()
 		}
 	})

@@ -3,7 +3,6 @@ package experiments
 import (
 	"mlpsim/internal/annotate"
 	"mlpsim/internal/stats"
-	"mlpsim/internal/workload"
 )
 
 // Figure2Series is the clustering curve of one workload: the cumulative
@@ -28,12 +27,10 @@ func RunFigure2(s Setup) Figure2 {
 	series := make([]Figure2Series, len(s.Workloads))
 	s.forEach(len(s.Workloads), func(i int) {
 		w := s.Workloads[i]
-		g := workload.MustNew(w)
-		a := annotate.New(g, annotate.Config{})
-		a.Warm(s.Warmup)
+		src := s.annotatedSource(w, annotate.Config{})
 		var rec stats.DistanceRecorder
 		for n := int64(0); n < s.Measure; n++ {
-			in, ok := a.Next()
+			in, ok := src.Next()
 			if !ok {
 				break
 			}

@@ -25,6 +25,17 @@ type Figure4Cell struct {
 // statistics.
 type Figure4 struct {
 	Cells []Figure4Cell
+
+	// idx maps (workload, window, issue) to a Cells position; built
+	// lazily on first Lookup. Cells are write-once after RunFigure4, so
+	// the index never needs invalidation.
+	idx map[figure4Key]int
+}
+
+type figure4Key struct {
+	workload string
+	window   int
+	issue    core.IssueConfig
 }
 
 // RunFigure4 executes the sweep.
@@ -57,13 +68,19 @@ func RunFigure4(s Setup) Figure4 {
 	return Figure4{Cells: cells}
 }
 
-// Lookup returns the cell for (workload, window, config), or nil.
+// Lookup returns the cell for (workload, window, config), or nil. The
+// first call indexes Cells so that rendering the full matrix is linear
+// in the number of cells rather than quadratic.
 func (f *Figure4) Lookup(workload string, window int, ic core.IssueConfig) *Figure4Cell {
-	for i := range f.Cells {
-		c := &f.Cells[i]
-		if c.Workload == workload && c.Window == window && c.Issue == ic {
-			return c
+	if f.idx == nil {
+		f.idx = make(map[figure4Key]int, len(f.Cells))
+		for i := range f.Cells {
+			c := &f.Cells[i]
+			f.idx[figure4Key{c.Workload, c.Window, c.Issue}] = i
 		}
+	}
+	if i, ok := f.idx[figure4Key{workload, window, ic}]; ok {
+		return &f.Cells[i]
 	}
 	return nil
 }

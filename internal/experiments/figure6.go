@@ -21,6 +21,17 @@ type Figure6 struct {
 	// INF holds the infinite-window reference (IW = ROB = 2048, config E)
 	// per workload.
 	INF map[string]float64
+
+	// idx maps a bar segment to a Cells position; built lazily on first
+	// Lookup (Cells are write-once after RunFigure6).
+	idx map[figure6Key]int
+}
+
+type figure6Key struct {
+	workload string
+	iw       int
+	issue    core.IssueConfig
+	rob      int
 }
 
 // Figure 6 sweep axes: the paper draws bars for issue windows 16-128 with
@@ -76,13 +87,19 @@ func RunFigure6(s Setup) Figure6 {
 	return Figure6{Cells: cells, INF: inf}
 }
 
-// Lookup returns the MLP for a bar segment, or -1 when absent.
+// Lookup returns the MLP for a bar segment, or -1 when absent. The first
+// call indexes Cells so rendering is linear rather than quadratic in the
+// number of cells.
 func (f *Figure6) Lookup(workload string, iw int, ic core.IssueConfig, rob int) float64 {
-	for i := range f.Cells {
-		c := &f.Cells[i]
-		if c.Workload == workload && c.IW == iw && c.Issue == ic && c.ROB == rob {
-			return c.MLP
+	if f.idx == nil {
+		f.idx = make(map[figure6Key]int, len(f.Cells))
+		for i := range f.Cells {
+			c := &f.Cells[i]
+			f.idx[figure6Key{c.Workload, c.IW, c.Issue, c.ROB}] = i
 		}
+	}
+	if i, ok := f.idx[figure6Key{workload, iw, ic, rob}]; ok {
+		return f.Cells[i].MLP
 	}
 	return -1
 }

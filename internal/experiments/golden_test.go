@@ -1,0 +1,135 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+
+	"mlpsim/internal/annotate"
+	"mlpsim/internal/core"
+	"mlpsim/internal/cyclesim"
+	"mlpsim/internal/prefetch"
+	"mlpsim/internal/vpred"
+	"mlpsim/internal/workload"
+)
+
+// goldenSetups returns the same experiment setup twice: once routed
+// through the annotated-trace cache and once on the direct
+// annotate-per-run path.
+func goldenSetups(seed int64) (cached, direct Setup) {
+	cached = Quick(seed)
+	cached.Warmup = 200_000
+	cached.Measure = 500_000
+	cached.Parallelism = 4 // exercise the worker pool + singleflight under -race
+	direct = cached
+	direct.Cache = nil
+	return cached, direct
+}
+
+// TestCachedPathMatchesDirect is the golden determinism check of the
+// annotated-trace cache: for every workload preset, the cached-replay and
+// direct-annotation paths must produce bit-identical core.Result and
+// cyclesim.Result values.
+func TestCachedPathMatchesDirect(t *testing.T) {
+	cached, direct := goldenSetups(1)
+
+	coreConfigs := []struct {
+		name string
+		cfg  core.Config
+	}{
+		{"64C", core.Default()},
+		{"64D-runahead", core.Default().WithIssue(core.ConfigD).WithRunahead()},
+		{"inorder-stall-on-use", core.Config{Mode: core.InOrderStallOnUse}},
+	}
+	cycleConfigs := []struct {
+		name string
+		cfg  cyclesim.Config
+	}{
+		{"default", cyclesim.Default(400)},
+	}
+
+	for _, w := range cached.Workloads {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			for _, cc := range coreConfigs {
+				got := cached.RunMLPsim(w, cc.cfg, annotate.Config{})
+				want := direct.RunMLPsim(w, cc.cfg, annotate.Config{})
+				if !reflect.DeepEqual(got, want) {
+					t.Errorf("core %s: cached result differs from direct\ncached: %+v\ndirect: %+v", cc.name, got, want)
+				}
+			}
+			for _, cc := range cycleConfigs {
+				got := cached.RunCycleSim(w, cc.cfg, annotate.Config{})
+				want := direct.RunCycleSim(w, cc.cfg, annotate.Config{})
+				if !reflect.DeepEqual(got, want) {
+					t.Errorf("cyclesim %s: cached result differs from direct\ncached: %+v\ndirect: %+v", cc.name, got, want)
+				}
+			}
+		})
+	}
+}
+
+// TestCachedStatsMatchDirect checks the AnnotateStats path (Table 6 /
+// Compare) the same way.
+func TestCachedStatsMatchDirect(t *testing.T) {
+	cached, direct := goldenSetups(2)
+	w := cached.Workloads[0]
+	acfg := func() annotate.Config {
+		return annotate.Config{Value: vpred.NewLastValue(vpred.DefaultEntries)}
+	}
+	got := cached.AnnotateStats(w, acfg())
+	want := direct.AnnotateStats(w, acfg())
+	if got != want {
+		t.Errorf("cached stats %+v, want %+v", got, want)
+	}
+}
+
+// TestCacheDeduplicatesAcrossRunners asserts the tentpole property: a
+// sweep that runs many engine configurations over one workload performs
+// exactly one annotation pass per annotation config.
+func TestCacheDeduplicatesAcrossRunners(t *testing.T) {
+	s := Quick(3)
+	s.Warmup = 100_000
+	s.Measure = 250_000
+	s.Workloads = s.Workloads[:1]
+	s.Parallelism = 4
+
+	for _, cfg := range []core.Config{
+		core.Default(),
+		core.Default().WithROB(256),
+		core.Default().WithIssue(core.ConfigD),
+		core.Default().WithIssue(core.ConfigD).WithRunahead(),
+	} {
+		s.RunMLPsim(s.Workloads[0], cfg, annotate.Config{})
+	}
+	s.RunCycleSim(s.Workloads[0], cyclesim.Default(400), annotate.Config{})
+
+	st := s.Cache.Stats()
+	if st.Builds != 1 {
+		t.Errorf("5 runs performed %d annotation passes, want 1", st.Builds)
+	}
+	if st.Hits != 4 {
+		t.Errorf("cache hits %d, want 4", st.Hits)
+	}
+}
+
+// TestUncacheableConfigsFallBack: hardware-prefetcher configurations must
+// bypass the cache entirely (callers read prefetcher state after the
+// run, so the annotator has to run directly).
+func TestUncacheableConfigsFallBack(t *testing.T) {
+	s := Quick(4)
+	s.Warmup = 50_000
+	s.Measure = 100_000
+	w := workload.Strided(s.Seed)
+
+	dpf := prefetch.NewStride(1024, 4)
+	res := s.RunMLPsim(w, core.Default(), annotate.Config{DPrefetch: dpf})
+	if res.Instructions != s.Measure {
+		t.Errorf("direct-path run consumed %d instructions, want %d", res.Instructions, s.Measure)
+	}
+	if dpf.Stats().Issued == 0 {
+		t.Error("prefetcher saw no traffic; the direct path did not use the caller's instance")
+	}
+	if st := s.Cache.Stats(); st.Builds != 0 || st.Misses != 0 {
+		t.Errorf("prefetcher config touched the cache (stats %+v); must use the direct path", st)
+	}
+}

@@ -2,9 +2,13 @@
 // evaluation (§2.2, §2.3, §5): one runner per exhibit, each returning
 // typed rows plus a textual rendering in the paper's layout.
 //
-// All runners are deterministic for a fixed Setup: every simulator run
-// regenerates and re-annotates the workload from its seed, so MLPsim and
-// the cycle simulator always see identical miss and misprediction streams.
+// All runners are deterministic for a fixed Setup: the annotated stream
+// for a given (workload, annotation config, warmup, measure) is derived
+// purely from the workload seed, so MLPsim and the cycle simulator always
+// see identical miss and misprediction streams. With Setup.Cache set the
+// stream is annotated once and replayed for every engine configuration;
+// without it every run regenerates and re-annotates from the seed. Both
+// paths are bit-identical.
 package experiments
 
 import (
@@ -12,6 +16,7 @@ import (
 	"sync"
 
 	"mlpsim/internal/annotate"
+	"mlpsim/internal/atrace"
 	"mlpsim/internal/core"
 	"mlpsim/internal/cyclesim"
 	"mlpsim/internal/workload"
@@ -30,6 +35,12 @@ type Setup struct {
 	Workloads []workload.Config
 	// Parallelism bounds concurrent simulator runs (0 = GOMAXPROCS).
 	Parallelism int
+	// Cache, when non-nil, shares one annotation pass per
+	// (workload, annotation config, warmup, measure) across every engine
+	// run. The annotated stream is identical for all engine
+	// configurations, so results are bit-identical to the direct path
+	// (see TestCachedPathMatchesDirect); nil re-annotates on every run.
+	Cache *atrace.Cache
 }
 
 // Default returns the full-size setup used by cmd/experiments: the paper
@@ -42,6 +53,7 @@ func Default(seed int64) Setup {
 		Warmup:    2_000_000,
 		Measure:   8_000_000,
 		Workloads: workload.Presets(seed),
+		Cache:     atrace.NewCache(),
 	}
 }
 
@@ -52,26 +64,66 @@ func Quick(seed int64) Setup {
 		Warmup:    300_000,
 		Measure:   1_000_000,
 		Workloads: workload.Presets(seed),
+		Cache:     atrace.NewCache(),
 	}
+}
+
+// directAnnotator builds and warms a fresh annotator for one run.
+func (s Setup) directAnnotator(w workload.Config, acfg annotate.Config) *annotate.Annotator {
+	a := annotate.New(workload.MustNew(w), acfg)
+	a.Warm(s.Warmup)
+	return a
+}
+
+// cachedStream returns the shared annotated stream for (w, acfg) when the
+// configuration is cacheable, annotating at most once per key.
+func (s Setup) cachedStream(w workload.Config, acfg annotate.Config) (*atrace.Stream, bool) {
+	if s.Cache == nil {
+		return nil, false
+	}
+	akey, fresh, ok := atrace.ConfigKey(acfg)
+	if !ok {
+		return nil, false
+	}
+	key := atrace.Key{Workload: w, Annot: akey, Warmup: s.Warmup, Measure: s.Measure}
+	st := s.Cache.Get(key, func() *atrace.Stream {
+		return atrace.Capture(s.directAnnotator(w, fresh()), s.Measure)
+	})
+	return st, true
+}
+
+// annotatedSource yields the instruction stream for one engine run:
+// a zero-allocation replay of the cached stream when possible, otherwise
+// a fresh annotator.
+func (s Setup) annotatedSource(w workload.Config, acfg annotate.Config) core.AnnotatedSource {
+	if st, ok := s.cachedStream(w, acfg); ok {
+		return st.Replay()
+	}
+	return s.directAnnotator(w, acfg)
+}
+
+// AnnotateStats returns the annotator statistics over the measurement
+// window for (w, acfg), served from the shared cache when possible.
+func (s Setup) AnnotateStats(w workload.Config, acfg annotate.Config) annotate.Stats {
+	if st, ok := s.cachedStream(w, acfg); ok {
+		return st.Stats()
+	}
+	a := s.directAnnotator(w, acfg)
+	a.Collect(s.Measure)
+	return a.Stats()
 }
 
 // RunMLPsim generates, annotates and runs one MLPsim configuration.
 func (s Setup) RunMLPsim(w workload.Config, cfg core.Config, acfg annotate.Config) core.Result {
-	g := workload.MustNew(w)
-	a := annotate.New(g, acfg)
-	a.Warm(s.Warmup)
 	cfg.MaxInstructions = s.Measure
-	return core.NewEngine(a, cfg).Run()
+	return core.NewEngine(s.annotatedSource(w, acfg), cfg).Run()
 }
 
 // RunCycleSim generates, annotates and runs one cycle-simulator
 // configuration.
 func (s Setup) RunCycleSim(w workload.Config, cfg cyclesim.Config, acfg annotate.Config) cyclesim.Result {
-	g := workload.MustNew(w)
-	a := annotate.New(g, acfg)
-	a.Warm(s.Warmup)
 	cfg.MaxInstructions = s.Measure
-	return cyclesim.New(a, cfg).Run()
+	return cyclesim.New(s.annotatedSource(w, acfg), cfg).Run()
 }
 
 // parallelism resolves the worker count.

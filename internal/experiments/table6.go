@@ -3,7 +3,6 @@ package experiments
 import (
 	"mlpsim/internal/annotate"
 	"mlpsim/internal/vpred"
-	"mlpsim/internal/workload"
 )
 
 // Table6Row holds the missing-load value predictor accuracy for one
@@ -26,15 +25,8 @@ func RunTable6(s Setup) Table6 {
 	rows := make([]Table6Row, len(s.Workloads))
 	s.forEach(len(s.Workloads), func(i int) {
 		w := s.Workloads[i]
-		g := workload.MustNew(w)
-		a := annotate.New(g, annotate.Config{Value: vpred.NewLastValue(vpred.DefaultEntries)})
-		a.Warm(s.Warmup)
-		for n := int64(0); n < s.Measure; n++ {
-			if _, ok := a.Next(); !ok {
-				break
-			}
-		}
-		st := a.Stats().VP
+		acfg := annotate.Config{Value: vpred.NewLastValue(vpred.DefaultEntries)}
+		st := s.AnnotateStats(w, acfg).VP
 		c, wr, np := st.Fractions()
 		rows[i] = Table6Row{Workload: w.Name, Correct: c, Wrong: wr, NoPredict: np}
 	})

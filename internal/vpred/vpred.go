@@ -69,6 +69,7 @@ type LastValue struct {
 	tags   []uint64 // PC+1; 0 = invalid
 	values []uint64
 	conf   []uint8
+	trains uint64
 }
 
 // confPredict is the confidence threshold at which an entry predicts.
@@ -106,6 +107,7 @@ func (l *LastValue) Lookup(in *isa.Inst) (uint64, bool) {
 
 // Train implements Predictor.
 func (l *LastValue) Train(in *isa.Inst) {
+	l.trains++
 	s := l.slot(in.PC)
 	if l.tags[s] == in.PC+1 && l.values[s] == in.Value {
 		if l.conf[s] < 3 {
@@ -117,6 +119,14 @@ func (l *LastValue) Train(in *isa.Inst) {
 	l.values[s] = in.Value
 	l.conf[s] = 0
 }
+
+// Entries returns the number of predictor entries.
+func (l *LastValue) Entries() int { return len(l.tags) }
+
+// Untrained reports whether the predictor has never been trained — i.e.
+// it is still empty and interchangeable with any other freshly
+// constructed LastValue of the same size.
+func (l *LastValue) Untrained() bool { return l.trains == 0 }
 
 // Perfect is the oracle value predictor used by the limit study (perfVP):
 // every missing load's value is predicted correctly.
