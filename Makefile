@@ -1,31 +1,41 @@
 GO ?= go
 
-.PHONY: all build test race vet bench fuzz clean
+.PHONY: all build test race vet bench bench-full bench-compare fuzz clean
 
 all: build test vet
 
 build:
 	$(GO) build ./...
 
+# vet runs first so structural mistakes fail fast; the -race pass covers
+# the new cross-process / singleflight machinery in addition to the plain
+# test run.
 test:
+	$(GO) vet ./...
 	$(GO) test ./...
+	$(GO) test -race ./internal/atrace -run 'TestCacheSingleflight|TestCrossProcessSingleflight|TestCacheDiskSpill|TestCorruptSpillQuarantined|TestDiskEviction'
 
 # Concurrency-sensitive packages: the annotated-trace cache (singleflight,
-# LRU, disk spill) and the experiment worker pool that hammers it.
+# mmap, flock-coordinated disk spill) and the experiment worker pool that
+# hammers it.
 race:
 	$(GO) test -race ./internal/experiments ./internal/atrace
 
 vet:
 	$(GO) vet ./...
 
-# Performance report: micro-benchmarks plus the cached-vs-uncached
-# Figure 4+5+6 sweep. `make bench` is the quick loop; `make bench-full`
-# writes the committed BENCH_1.json at paper scale.
+# Performance report: micro-benchmarks plus the uncached / in-heap-cached
+# / memory-mapped Figure 4+5+6 sweeps. `make bench` is the quick loop;
+# `make bench-full` writes the committed BENCH_2.json at paper scale, and
+# `make bench-compare` additionally prints deltas against BENCH_1.json.
 bench:
 	$(GO) run ./cmd/bench -scale quick -out /tmp/bench_quick.json
 
 bench-full:
-	$(GO) run ./cmd/bench -scale default -out BENCH_1.json
+	$(GO) run ./cmd/bench -scale default -out BENCH_2.json
+
+bench-compare:
+	$(GO) run ./cmd/bench -scale default -out BENCH_2.json -compare BENCH_1.json
 
 fuzz:
 	$(GO) test ./internal/trace -fuzz FuzzRoundTripV2 -fuzztime 30s

@@ -1,13 +1,15 @@
 // Command bench tracks the simulator's performance trajectory: it runs
-// the annotator/replay micro-benchmarks and the Figure 4+5+6 sweep with
-// and without the annotated-trace cache, then writes a JSON report
-// (BENCH_1.json by default) with ns/op, allocs/op and headline MLP
+// the annotator/replay micro-benchmarks and the Figure 4+5+6 sweep three
+// ways — uncached, with the in-heap annotated-trace cache, and replaying
+// memory-mapped spills from a warm on-disk cache — then writes a JSON
+// report with ns/op, wall times, peak Go-heap occupancy and headline MLP
 // metrics.
 //
 // Usage:
 //
-//	go run ./cmd/bench -scale quick -out BENCH_1.json
-//	go run ./cmd/bench -scale default       # the acceptance-criteria run
+//	go run ./cmd/bench -scale quick -out BENCH_2.json
+//	go run ./cmd/bench -scale default                    # the acceptance-criteria run
+//	go run ./cmd/bench -scale default -compare BENCH_1.json
 package main
 
 import (
@@ -16,6 +18,7 @@ import (
 	"fmt"
 	"os"
 	"reflect"
+	"runtime"
 	"time"
 
 	"mlpsim/internal/annotate"
@@ -41,6 +44,18 @@ type sweepResult struct {
 	CacheBuilds     uint64   `json:"cache_builds"`
 	CacheHits       uint64   `json:"cache_hits"`
 	CacheBytes      int64    `json:"cache_bytes"`
+
+	// In-heap cached sweep peak Go-heap occupancy (sampled HeapAlloc).
+	CachedHeapPeakBytes int64 `json:"cached_heap_peak_bytes"`
+	// Warm-disk-cache sweep: every stream is a view over a memory-mapped
+	// spill, so the columns live in the OS page cache, not the heap.
+	MappedSeconds       float64 `json:"mapped_seconds"`
+	MappedHeapPeakBytes int64   `json:"mapped_heap_peak_bytes"`
+	MappedIdentical     bool    `json:"mapped_results_identical"`
+	MappedDiskHits      uint64  `json:"mapped_disk_hits"`
+	// HeapDropRatio is cached_heap_peak / mapped_heap_peak — the memory
+	// win of replaying spills from the page cache.
+	HeapDropRatio float64 `json:"heap_drop_ratio"`
 }
 
 type report struct {
@@ -52,6 +67,50 @@ type report struct {
 	Benchmarks map[string]benchResult `json:"benchmarks"`
 	Sweep      *sweepResult           `json:"sweep,omitempty"`
 	MLP        map[string]float64     `json:"mlp"`
+}
+
+// heapSampler tracks peak HeapAlloc on a background goroutine. A GC runs
+// at start so the peak reflects the phase being measured, not garbage
+// left over from the previous one.
+type heapSampler struct {
+	stop chan struct{}
+	done chan struct{}
+	peak uint64
+}
+
+func startHeapSampler() *heapSampler {
+	runtime.GC()
+	h := &heapSampler{stop: make(chan struct{}), done: make(chan struct{})}
+	go func() {
+		defer close(h.done)
+		var ms runtime.MemStats
+		tick := time.NewTicker(5 * time.Millisecond)
+		defer tick.Stop()
+		for {
+			select {
+			case <-h.stop:
+				return
+			case <-tick.C:
+				runtime.ReadMemStats(&ms)
+				if ms.HeapAlloc > h.peak {
+					h.peak = ms.HeapAlloc
+				}
+			}
+		}
+	}()
+	return h
+}
+
+// Stop ends sampling and returns the peak, folding in one final reading.
+func (h *heapSampler) Stop() int64 {
+	close(h.stop)
+	<-h.done
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	if ms.HeapAlloc > h.peak {
+		h.peak = ms.HeapAlloc
+	}
+	return int64(h.peak)
 }
 
 func toResult(r testing.BenchmarkResult) benchResult {
@@ -120,6 +179,102 @@ func runSweep(s experiments.Setup) (time.Duration, experiments.Figure4, experime
 	return time.Since(start), f4, f6
 }
 
+// runMappedSweep measures the warm-disk-cache configuration: one pass
+// populates the spill directory, then a fresh cache re-runs the sweep
+// with every stream served as a memory-mapped view of its spill.
+func runMappedSweep(s experiments.Setup, dir string, sw *sweepResult, f4u experiments.Figure4) {
+	if dir == "" {
+		tmp, err := os.MkdirTemp("", "mlpsim-bench-cache-")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bench: mapped sweep skipped: %v\n", err)
+			return
+		}
+		defer os.RemoveAll(tmp)
+		dir = tmp
+	}
+
+	warm := s
+	warm.Cache = atrace.NewCache()
+	warm.Cache.SetDir(dir)
+	fmt.Fprintln(os.Stderr, "bench: warming the disk cache...")
+	runSweep(warm)
+	warm.Cache = nil
+
+	mapped := s
+	mapped.Cache = atrace.NewCache()
+	mapped.Cache.SetDir(dir)
+	fmt.Fprintln(os.Stderr, "bench: running Figure 4+5+6 sweep with WARM disk cache (memory-mapped)...")
+	hs := startHeapSampler()
+	dm, f4m, _ := runSweep(mapped)
+	mappedPeak := hs.Stop()
+	ms := mapped.Cache.Stats()
+
+	sw.MappedSeconds = dm.Seconds()
+	sw.MappedHeapPeakBytes = mappedPeak
+	sw.MappedIdentical = sameCells(f4u, f4m)
+	sw.MappedDiskHits = ms.DiskHits
+	if mappedPeak > 0 {
+		sw.HeapDropRatio = float64(sw.CachedHeapPeakBytes) / float64(mappedPeak)
+	}
+	fmt.Fprintf(os.Stderr, "bench: mapped sweep: %.1fs, heap peak %.1f MB (%.1fx below in-heap), disk hits %d, results identical: %v\n",
+		dm.Seconds(), float64(mappedPeak)/(1<<20), sw.HeapDropRatio, ms.DiskHits, sw.MappedIdentical)
+	if ms.Builds != 0 {
+		fmt.Fprintf(os.Stderr, "bench: warning: warm sweep still performed %d annotation passes\n", ms.Builds)
+	}
+}
+
+// printComparison loads a previous report and prints headline deltas; a
+// v1 report simply lacks the heap-peak fields.
+func printComparison(path string, cur report) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bench: compare: %v\n", err)
+		return
+	}
+	var old report
+	if err := json.Unmarshal(data, &old); err != nil {
+		fmt.Fprintf(os.Stderr, "bench: compare: %s: %v\n", path, err)
+		return
+	}
+	fmt.Printf("comparison vs %s (%s):\n", path, old.Schema)
+	for name, c := range cur.Benchmarks {
+		if o, ok := old.Benchmarks[name]; ok && o.NsPerOp > 0 {
+			fmt.Printf("  %-16s %8.1f -> %8.1f ns/op  (%+.1f%%)\n",
+				name, o.NsPerOp, c.NsPerOp, 100*(c.NsPerOp-o.NsPerOp)/o.NsPerOp)
+		}
+	}
+	if old.Sweep != nil && cur.Sweep != nil {
+		o, c := old.Sweep, cur.Sweep
+		fmt.Printf("  uncached sweep   %8.1f -> %8.1f s\n", o.UncachedSeconds, c.UncachedSeconds)
+		fmt.Printf("  cached sweep     %8.1f -> %8.1f s\n", o.CachedSeconds, c.CachedSeconds)
+		fmt.Printf("  speedup          %8.2f -> %8.2f x\n", o.Speedup, c.Speedup)
+		if c.MappedSeconds > 0 {
+			fmt.Printf("  mapped sweep     %17.1f s (no baseline in %s)\n", c.MappedSeconds, old.Schema)
+		}
+		if o.CachedHeapPeakBytes > 0 && c.MappedHeapPeakBytes > 0 {
+			fmt.Printf("  heap peak        %7.1f MB -> %6.1f MB mapped (%.1fx drop)\n",
+				float64(o.CachedHeapPeakBytes)/(1<<20), float64(c.MappedHeapPeakBytes)/(1<<20),
+				float64(o.CachedHeapPeakBytes)/float64(c.MappedHeapPeakBytes))
+		} else if c.MappedHeapPeakBytes > 0 {
+			// The v1 report recorded the in-heap cache footprint, not a
+			// sampled peak; it is the closest resident-memory baseline.
+			fmt.Printf("  cache footprint  %7.1f MB in-heap -> heap peak %.1f MB mapped (%.1fx drop)\n",
+				float64(o.CacheBytes)/(1<<20), float64(c.MappedHeapPeakBytes)/(1<<20),
+				float64(o.CacheBytes)/float64(c.MappedHeapPeakBytes))
+		}
+	}
+	mismatch := false
+	for k, v := range cur.MLP {
+		if ov, ok := old.MLP[k]; ok && ov != v {
+			fmt.Printf("  MLP %-18s %.4f -> %.4f  *** CHANGED\n", k, ov, v)
+			mismatch = true
+		}
+	}
+	if !mismatch {
+		fmt.Println("  MLP metrics identical")
+	}
+}
+
 func sameCells(a, b experiments.Figure4) bool {
 	if len(a.Cells) != len(b.Cells) {
 		return false
@@ -134,9 +289,11 @@ func sameCells(a, b experiments.Figure4) bool {
 
 func main() {
 	scale := flag.String("scale", "quick", "sweep scale: quick or default")
-	out := flag.String("out", "BENCH_1.json", "output JSON path")
+	out := flag.String("out", "BENCH_2.json", "output JSON path")
 	seed := flag.Int64("seed", 1, "workload seed")
 	skipSweep := flag.Bool("skip-sweep", false, "skip the cached-vs-uncached sweep comparison")
+	compare := flag.String("compare", "", "print deltas against a previous report (e.g. BENCH_1.json)")
+	cacheDir := flag.String("cache-dir", "", "disk-cache directory for the mapped sweep (default: a temp dir, removed on exit)")
 	flag.Parse()
 
 	var s experiments.Setup
@@ -151,7 +308,7 @@ func main() {
 	}
 
 	rep := report{
-		Schema:  "mlpsim-bench/1",
+		Schema:  "mlpsim-bench/2",
 		Scale:   *scale,
 		Seed:    *seed,
 		Warmup:  s.Warmup,
@@ -174,25 +331,34 @@ func main() {
 
 		cached := s
 		cached.Cache = atrace.NewCache()
-		fmt.Fprintln(os.Stderr, "bench: running Figure 4+5+6 sweep WITH cache...")
+		fmt.Fprintln(os.Stderr, "bench: running Figure 4+5+6 sweep WITH in-heap cache...")
+		hs := startHeapSampler()
 		dc, f4c, f6c := runSweep(cached)
-		fmt.Fprintf(os.Stderr, "bench: cached sweep: %.1fs\n", dc.Seconds())
+		cachedPeak := hs.Stop()
+		fmt.Fprintf(os.Stderr, "bench: cached sweep: %.1fs, heap peak %.1f MB\n",
+			dc.Seconds(), float64(cachedPeak)/(1<<20))
 
 		cs := cached.Cache.Stats()
 		rep.Sweep = &sweepResult{
-			Exhibits:        []string{"figure4", "figure5", "figure6"},
-			UncachedSeconds: du.Seconds(),
-			CachedSeconds:   dc.Seconds(),
-			Speedup:         du.Seconds() / dc.Seconds(),
-			Identical:       sameCells(f4u, f4c),
-			CacheBuilds:     cs.Builds,
-			CacheHits:       cs.Hits,
-			CacheBytes:      cs.Bytes,
+			Exhibits:            []string{"figure4", "figure5", "figure6"},
+			UncachedSeconds:     du.Seconds(),
+			CachedSeconds:       dc.Seconds(),
+			Speedup:             du.Seconds() / dc.Seconds(),
+			Identical:           sameCells(f4u, f4c),
+			CacheBuilds:         cs.Builds,
+			CacheHits:           cs.Hits,
+			CacheBytes:          cs.Bytes,
+			CachedHeapPeakBytes: cachedPeak,
 		}
 		fmt.Fprintf(os.Stderr, "bench: speedup %.2fx, results identical: %v\n",
 			rep.Sweep.Speedup, rep.Sweep.Identical)
 
-		for _, w := range cached.Workloads {
+		// Drop the in-heap streams before the mapped sweep: its heap-peak
+		// measurement must not count streams kept alive by this cache.
+		cached.Cache = nil
+		runMappedSweep(s, *cacheDir, rep.Sweep, f4u)
+
+		for _, w := range s.Workloads {
 			if c := f4c.Lookup(w.Name, 64, core.ConfigC); c != nil {
 				rep.MLP[w.Name+"/64C"] = c.MLP
 			}
@@ -201,6 +367,10 @@ func main() {
 			}
 			rep.MLP[w.Name+"/INF"] = f6c.INF[w.Name]
 		}
+	}
+
+	if *compare != "" {
+		printComparison(*compare, rep)
 	}
 
 	data, err := json.MarshalIndent(rep, "", "  ")

@@ -31,7 +31,8 @@ func main() {
 		measure  = flag.Int64("measure", 8_000_000, "measured instructions per run")
 		par      = flag.Int("parallel", 0, "concurrent simulator runs (0 = GOMAXPROCS)")
 		csvDir   = flag.String("csv", "", "also write each exhibit's rows as CSV into this directory")
-		cacheDir = flag.String("trace-cache-dir", "", "spill annotated-trace cache entries to this directory (shared across invocations)")
+		cacheDir   = flag.String("trace-cache-dir", "", "spill annotated-trace cache entries to this directory (shared across invocations and processes)")
+		cacheBytes = flag.Int64("trace-cache-bytes", 0, "byte cap for -trace-cache-dir; least-recently-used spills are evicted (0 = default cap)")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf  = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
@@ -78,6 +79,9 @@ func main() {
 	setup.Parallelism = *par
 	if *cacheDir != "" {
 		setup.Cache.SetDir(*cacheDir)
+		if *cacheBytes > 0 {
+			setup.Cache.SetDiskCapBytes(*cacheBytes)
+		}
 	}
 
 	runners := experiments.All()

@@ -9,6 +9,7 @@
 //	mlpsim -workload database -issue D -runahead
 //	mlpsim -trace db.trc -issue E -window 2048
 //	mlpsim -trace db.atrc -issue D -runahead   # pre-annotated (v2) trace
+//	mlpsim -trace db.acol -issue D -runahead   # columnar trace, memory-mapped
 //	mlpsim -workload web -inorder use
 package main
 
@@ -57,22 +58,33 @@ func main() {
 	)
 	flag.Parse()
 
-	// A pre-annotated (v2) trace replays directly: annotation and warm-up
+	// A pre-annotated trace replays directly: annotation and warm-up
 	// already happened at tracegen time, so the annotation flags (-l2,
 	// -iprefetch, -dprefetch, -vp as a predictor) have no effect and the
 	// engine starts at the trace's first instruction. Engine-level flags
-	// (-window, -issue, -runahead, -perf-* ...) apply as usual.
+	// (-window, -issue, -runahead, -perf-* ...) apply as usual. Columnar
+	// (.acol-format) traces are memory-mapped rather than decoded, so the
+	// columns stay in the OS page cache instead of the Go heap.
 	var engineSrc core.AnnotatedSource
-	if *traceFile != "" && isAnnotatedTrace(*traceFile) {
-		st, err := atrace.ReadFile(*traceFile)
+	var pre *atrace.Stream
+	if *traceFile != "" {
+		var err error
+		switch {
+		case atrace.IsColumnarFile(*traceFile):
+			pre, err = atrace.OpenColumnarFile(*traceFile)
+		case isAnnotatedTrace(*traceFile):
+			pre, err = atrace.ReadFile(*traceFile)
+		}
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "mlpsim:", err)
 			os.Exit(1)
 		}
+	}
+	if pre != nil {
 		if *ipf > 0 || *dpf > 0 || *vp {
 			fmt.Fprintln(os.Stderr, "mlpsim: note: -iprefetch/-dprefetch/-vp annotation is baked in at tracegen time; flags ignored for annotated traces")
 		}
-		engineSrc = st.Replay()
+		engineSrc = pre.Replay()
 	} else {
 		src, err := openSource(*traceFile, *workloadName, *seed)
 		if err != nil {

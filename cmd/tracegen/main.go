@@ -11,6 +11,7 @@
 //
 //	tracegen -workload database -n 10000000 -o db.trc
 //	tracegen -workload database -annotate -warmup 2000000 -n 8000000 -o db.atrc
+//	tracegen -workload database -annotate -columnar -n 8000000 -o db.acol
 package main
 
 import (
@@ -31,6 +32,7 @@ func main() {
 		n        = flag.Int64("n", 10_000_000, "instructions to generate (post-warmup when -annotate)")
 		out      = flag.String("o", "", "output file (required)")
 		annotful = flag.Bool("annotate", false, "write a pre-annotated (version 2) trace")
+		columnar = flag.Bool("columnar", false, "with -annotate: write the columnar (.acol) format, which cmd/mlpsim memory-maps instead of decoding")
 		warmup   = flag.Int64("warmup", 2_000_000, "annotator warm-up instructions (only with -annotate)")
 	)
 	flag.Parse()
@@ -60,11 +62,19 @@ func main() {
 		os.Exit(1)
 	}
 
+	if *columnar && !*annotful {
+		fmt.Fprintln(os.Stderr, "tracegen: -columnar requires -annotate")
+		os.Exit(1)
+	}
 	if *annotful {
 		ann := annotate.New(workload.MustNew(cfg), annotate.Config{})
 		ann.Warm(*warmup)
 		st := atrace.Capture(ann, *n)
-		if err := atrace.WriteFile(*out, st); err != nil {
+		write := atrace.WriteFile
+		if *columnar {
+			write = atrace.WriteColumnarFile
+		}
+		if err := write(*out, st); err != nil {
 			fmt.Fprintln(os.Stderr, "tracegen:", err)
 			os.Exit(1)
 		}

@@ -232,6 +232,15 @@ func (a *Annotator) Stats() Stats {
 // statistics).
 func (a *Annotator) Hierarchy() *mem.Hierarchy { return a.h }
 
+// IPrefetch exposes the hardware instruction prefetcher (nil when none is
+// configured). The annotated-trace capture reads its statistics so cached
+// replays can report them without re-running the prefetcher.
+func (a *Annotator) IPrefetch() *prefetch.Sequential { return a.ipf }
+
+// DPrefetch exposes the hardware data prefetcher (nil when none is
+// configured).
+func (a *Annotator) DPrefetch() *prefetch.Stride { return a.dpf }
+
 // ResetStats zeroes the statistics while preserving all training and
 // cache state: call it at the end of the warm-up window.
 func (a *Annotator) ResetStats() {

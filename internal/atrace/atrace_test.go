@@ -11,6 +11,8 @@ import (
 	"mlpsim/internal/annotate"
 	"mlpsim/internal/bpred"
 	"mlpsim/internal/isa"
+	"mlpsim/internal/mem"
+	"mlpsim/internal/prefetch"
 	"mlpsim/internal/vpred"
 	"mlpsim/internal/workload"
 )
@@ -174,9 +176,37 @@ func TestConfigKey(t *testing.T) {
 	if _, _, ok := ConfigKey(annotate.Config{Branch: g}); ok {
 		t.Error("trained gshare must not be keyable")
 	}
-	// Prefetchers force the direct path.
+	// Prefetchers: nil and untrained deterministic instances are keyable,
+	// trained ones are not (their table state is invisible to the key).
 	if _, _, ok := ConfigKey(annotate.Config{IPrefetch: nil, DPrefetch: nil}); !ok {
 		t.Error("nil prefetchers must stay keyable")
+	}
+	pcfg := annotate.Config{
+		IPrefetch: prefetch.NewSequential(4, mem.IFetch),
+		DPrefetch: prefetch.NewStride(1024, 4),
+	}
+	kp, pFresh, ok := ConfigKey(pcfg)
+	if !ok || kp == k0 {
+		t.Errorf("untrained prefetcher config must be keyable and distinct: %q vs %q", kp, k0)
+	}
+	kp2, _, _ := ConfigKey(annotate.Config{
+		IPrefetch: prefetch.NewSequential(8, mem.IFetch),
+		DPrefetch: prefetch.NewStride(1024, 4),
+	})
+	if kp2 == kp {
+		t.Error("prefetcher depth must be part of the key")
+	}
+	pc1, pc2 := pFresh(), pFresh()
+	if pc1.IPrefetch == pc2.IPrefetch || pc1.DPrefetch == pc2.DPrefetch {
+		t.Error("fresh() must not reuse prefetcher instances")
+	}
+	if pc1.IPrefetch == pcfg.IPrefetch || pc1.DPrefetch == pcfg.DPrefetch {
+		t.Error("fresh() must not alias the caller's prefetcher instances")
+	}
+	trained := prefetch.NewStride(1024, 4)
+	trained.OnLoad(mem.NewHierarchy(mem.DefaultHierarchy()), 0x400, 0x1000)
+	if _, _, ok := ConfigKey(annotate.Config{DPrefetch: trained}); ok {
+		t.Error("trained stride prefetcher must not be keyable")
 	}
 	// Value predictors.
 	kv, _, ok := ConfigKey(annotate.Config{Value: vpred.NewLastValue(1 << 10)})

@@ -2,16 +2,14 @@ package atrace
 
 import (
 	"container/list"
-	"crypto/sha256"
-	"encoding/hex"
-	"os"
-	"path/filepath"
 	"sync"
 )
 
 // DefaultCapBytes is the default in-memory cache capacity. A Default-scale
 // (8M instruction) stream is roughly 100MB, so this holds the handful of
 // distinct annotation configurations a full experiment batch touches.
+// Memory-mapped streams account almost nothing against it: their columns
+// live in the OS page cache, not the Go heap.
 const DefaultCapBytes = 8 << 30
 
 // Cache is a keyed store of annotated streams with single-flight build
@@ -20,14 +18,19 @@ const DefaultCapBytes = 8 << 30
 // footprint; evicted streams stay valid for replays already in flight
 // (they are immutable), the cache merely drops its reference.
 //
-// With Dir set, built streams are also spilled to disk in the v2 trace
-// format and misses try the disk before annotating, so the expensive pass
-// is shared across CLI invocations.
+// With Dir set, the directory becomes a cache shared across processes:
+// misses memory-map a columnar spill file when one exists (replay then
+// reads pages from the OS page cache rather than resident heap), and
+// builders coordinate through per-key file locks so N concurrent
+// processes perform exactly one annotation pass per key. Publication is
+// atomic (temp file + rename), corrupt or truncated spills are
+// quarantined and rebuilt, and an on-disk index drives byte-cap LRU
+// eviction of the directory. See diskCache for the layout and protocol.
 type Cache struct {
 	mu       sync.Mutex
 	capBytes int64
 	size     int64
-	dir      string
+	disk     *diskCache
 	entries  map[Key]*entry
 	order    *list.List // front = most recently used
 
@@ -64,36 +67,59 @@ func (c *Cache) SetCapBytes(n int64) {
 	c.evictLocked()
 }
 
-// SetDir enables the on-disk spill path rooted at dir (created on first
-// write). An empty dir disables spilling.
+// SetDir enables the shared on-disk cache rooted at dir (created on
+// first write). An empty dir disables it.
 func (c *Cache) SetDir(dir string) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	c.dir = dir
+	if dir == "" {
+		c.disk = nil
+		return
+	}
+	c.disk = newDiskCache(dir)
+}
+
+// SetDiskCapBytes bounds the spill directory's total size (<= 0 means
+// unbounded); least-recently-used spills are evicted at publish time.
+// Takes effect only after SetDir.
+func (c *Cache) SetDiskCapBytes(n int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.disk != nil {
+		c.disk.capBytes = n
+	}
 }
 
 // Stats reports cache effectiveness counters.
 type CacheStats struct {
-	Hits     uint64 // Get calls served from memory (or by joining a build)
-	Misses   uint64 // Get calls that had to build or load
-	Builds   uint64 // annotation passes actually executed
-	DiskHits uint64 // misses served from the on-disk spill
-	Bytes    int64  // current in-memory footprint
-	Streams  int    // streams currently held
+	Hits          uint64 // Get calls served from memory (or by joining a build)
+	Misses        uint64 // Get calls that had to build or load
+	Builds        uint64 // annotation passes actually executed
+	DiskHits      uint64 // misses served from the on-disk spill
+	Quarantined   uint64 // corrupt spill files moved aside
+	DiskEvictions uint64 // spill files evicted for directory capacity
+	Bytes         int64  // current in-memory footprint
+	Streams       int    // streams currently held
 }
 
 // Stats returns a snapshot of the counters.
 func (c *Cache) Stats() CacheStats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return CacheStats{
+	st := CacheStats{
 		Hits: c.hits, Misses: c.misses, Builds: c.builds, DiskHits: c.diskHits,
 		Bytes: c.size, Streams: len(c.entries),
 	}
+	if c.disk != nil {
+		st.Quarantined = c.disk.quarantined.Load()
+		st.DiskEvictions = c.disk.evictions.Load()
+	}
+	return st
 }
 
 // Get returns the stream for key, building it with build() exactly once
-// per key no matter how many goroutines ask concurrently. A panic in
+// per key no matter how many goroutines ask concurrently — and, with a
+// cache directory set, exactly once across processes too. A panic in
 // build is propagated to every waiter and the entry is removed so a later
 // Get can retry.
 func (c *Cache) Get(key Key, build func() *Stream) *Stream {
@@ -113,7 +139,7 @@ func (c *Cache) Get(key Key, build func() *Stream) *Stream {
 	e := &entry{key: key, ready: make(chan struct{})}
 	c.entries[key] = e
 	c.misses++
-	dir := c.dir
+	disk := c.disk
 	c.mu.Unlock()
 
 	var s *Stream
@@ -129,14 +155,7 @@ func (c *Cache) Get(key Key, build func() *Stream) *Stream {
 				panic(pv)
 			}
 		}()
-		if dir != "" {
-			if loaded, err := ReadFile(c.spillPath(dir, key)); err == nil {
-				s, fromDisk = loaded, true
-			}
-		}
-		if s == nil {
-			s = build()
-		}
+		s, fromDisk = c.obtain(disk, key, build)
 	}()
 
 	e.stream = s
@@ -152,12 +171,40 @@ func (c *Cache) Get(key Key, build func() *Stream) *Stream {
 	c.evictLocked()
 	c.mu.Unlock()
 	close(e.ready)
-
-	if dir != "" && !fromDisk {
-		// Best-effort spill; a failed write only costs future re-builds.
-		_ = writeFileAtomic(c.spillPath(dir, key), s)
-	}
 	return s
+}
+
+// obtain resolves one cache miss: disk load when possible, otherwise a
+// build coordinated through the per-key cross-process lock.
+func (c *Cache) obtain(disk *diskCache, key Key, build func() *Stream) (s *Stream, fromDisk bool) {
+	if disk == nil {
+		return build(), false
+	}
+	hash := keyHash(key)
+	if loaded, err := disk.load(hash); err == nil {
+		return loaded, true
+	}
+	unlock, err := disk.lockKey(hash)
+	if err != nil {
+		// Lock machinery unavailable (read-only dir, ...): degrade to an
+		// uncoordinated local build.
+		return build(), false
+	}
+	defer unlock()
+	// Another process may have published while we waited for the lock.
+	if loaded, err := disk.load(hash); err == nil {
+		return loaded, true
+	}
+	s = build()
+	if path, err := disk.publish(hash, key, s); err == nil {
+		// Re-open the published spill memory-mapped so even the building
+		// process replays from the page cache and the heap copy can be
+		// collected. A failed re-open just keeps the heap stream.
+		if ms, merr := OpenColumnarFile(path); merr == nil {
+			s = ms
+		}
+	}
+	return s, false
 }
 
 // evictLocked drops least-recently-used completed entries until the cache
@@ -175,31 +222,4 @@ func (c *Cache) evictLocked() {
 		delete(c.entries, e.key)
 		c.size -= e.bytes
 	}
-}
-
-// spillPath derives the on-disk filename for a key: a hash of its
-// canonical string form.
-func (c *Cache) spillPath(dir string, key Key) string {
-	sum := sha256.Sum256([]byte(key.String()))
-	return filepath.Join(dir, hex.EncodeToString(sum[:16])+".atrace")
-}
-
-func writeFileAtomic(path string, s *Stream) error {
-	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
-		return err
-	}
-	tmp, err := os.CreateTemp(filepath.Dir(path), ".atrace-*")
-	if err != nil {
-		return err
-	}
-	if err := WriteStream(tmp, s); err != nil {
-		tmp.Close()
-		os.Remove(tmp.Name())
-		return err
-	}
-	if err := tmp.Close(); err != nil {
-		os.Remove(tmp.Name())
-		return err
-	}
-	return os.Rename(tmp.Name(), path)
 }

@@ -1,0 +1,236 @@
+package atrace
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync/atomic"
+	"time"
+)
+
+// DefaultDiskCapBytes bounds the spill directory; paper-scale streams run
+// to gigabytes each, so the default holds a handful before evicting.
+const DefaultDiskCapBytes = 32 << 30
+
+const (
+	spillExt      = ".acol"
+	indexName     = "index.json"
+	indexLockName = "index.lock"
+)
+
+// diskCache is the shared on-disk half of Cache: a directory of columnar
+// spill files coordinated across processes.
+//
+// Layout of the directory:
+//
+//	<hash>.acol        columnar spill (hash = sha256 of the canonical key)
+//	<hash>.lock        per-key build lock (flock); cross-process singleflight
+//	index.json         hash -> {key, bytes, last_used}; LRU eviction state
+//	index.lock         guards every index.json read-modify-write
+//	<hash>.corrupt.*   quarantined spills that failed validation
+//
+// Protocol: readers open the spill directly (no lock) and touch the index
+// on success. A miss takes <hash>.lock, re-checks the spill (another
+// process may have published while we waited), builds if still absent,
+// publishes via temp-file + rename (atomic on POSIX), then updates the
+// index and evicts over-capacity entries — all before releasing the key
+// lock. Corrupt or truncated spills are renamed aside, never trusted.
+type diskCache struct {
+	dir      string
+	capBytes int64
+
+	quarantined atomic.Uint64
+	evictions   atomic.Uint64
+}
+
+func newDiskCache(dir string) *diskCache {
+	return &diskCache{dir: dir, capBytes: DefaultDiskCapBytes}
+}
+
+// keyHash derives the on-disk name for a key: a hash of its canonical
+// string form.
+func keyHash(key Key) string {
+	sum := sha256.Sum256([]byte(key.String()))
+	return hex.EncodeToString(sum[:16])
+}
+
+func (d *diskCache) spillPath(hash string) string { return filepath.Join(d.dir, hash+spillExt) }
+
+// lockKey serializes builders of one key across processes.
+func (d *diskCache) lockKey(hash string) (unlock func(), err error) {
+	if err := os.MkdirAll(d.dir, 0o755); err != nil {
+		return nil, err
+	}
+	return lockFile(filepath.Join(d.dir, hash+".lock"))
+}
+
+// load opens the spill for key if present and valid. Corrupt files are
+// quarantined so the caller rebuilds instead of crashing; the error then
+// wraps ErrCorruptSpill.
+func (d *diskCache) load(hash string) (*Stream, error) {
+	path := d.spillPath(hash)
+	s, err := OpenColumnarFile(path)
+	if err != nil {
+		if errors.Is(err, ErrCorruptSpill) {
+			d.quarantine(hash, path)
+		}
+		return nil, err
+	}
+	d.touch(hash)
+	return s, nil
+}
+
+// quarantine moves a failed spill aside (keeping it for post-mortems) and
+// drops its index entry, so the key rebuilds cleanly.
+func (d *diskCache) quarantine(hash, path string) {
+	dst := fmt.Sprintf("%s.corrupt.%d.%d", filepath.Join(d.dir, hash), os.Getpid(), time.Now().UnixNano())
+	if err := os.Rename(path, dst); err != nil && !os.IsNotExist(err) {
+		// Could not move it aside; remove so the rebuild can publish.
+		os.Remove(path)
+	}
+	d.quarantined.Add(1)
+	d.withIndex(func(idx *indexFile) { delete(idx.Entries, hash) })
+}
+
+// publish atomically installs a freshly built stream as the spill for
+// key and records it in the index, evicting over-capacity entries.
+func (d *diskCache) publish(hash string, key Key, s *Stream) (string, error) {
+	if err := os.MkdirAll(d.dir, 0o755); err != nil {
+		return "", err
+	}
+	tmp, err := os.CreateTemp(d.dir, ".acol-tmp-*")
+	if err != nil {
+		return "", err
+	}
+	if err := WriteColumnar(tmp, s); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return "", err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return "", err
+	}
+	path := d.spillPath(hash)
+	fi, err := os.Stat(tmp.Name())
+	if err != nil {
+		os.Remove(tmp.Name())
+		return "", err
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return "", err
+	}
+	d.withIndex(func(idx *indexFile) {
+		idx.Entries[hash] = indexEntry{Key: key.String(), Bytes: fi.Size(), LastUsed: time.Now().UnixNano()}
+		d.evictIndexed(idx, hash)
+	})
+	return path, nil
+}
+
+// touch refreshes a spill's LRU position after a disk hit.
+func (d *diskCache) touch(hash string) {
+	d.withIndex(func(idx *indexFile) {
+		e, ok := idx.Entries[hash]
+		if !ok {
+			// Spill exists but predates the index (or the index was lost);
+			// adopt it so eviction accounting sees it.
+			if fi, err := os.Stat(d.spillPath(hash)); err == nil {
+				e.Bytes = fi.Size()
+			}
+		}
+		e.LastUsed = time.Now().UnixNano()
+		idx.Entries[hash] = e
+	})
+}
+
+// evictIndexed removes least-recently-used spills until the directory
+// fits capBytes, never evicting keep (the entry just published).
+func (d *diskCache) evictIndexed(idx *indexFile, keep string) {
+	if d.capBytes <= 0 {
+		return
+	}
+	var total int64
+	hashes := make([]string, 0, len(idx.Entries))
+	for h, e := range idx.Entries {
+		total += e.Bytes
+		hashes = append(hashes, h)
+	}
+	sort.Slice(hashes, func(i, j int) bool {
+		return idx.Entries[hashes[i]].LastUsed < idx.Entries[hashes[j]].LastUsed
+	})
+	for _, h := range hashes {
+		if total <= d.capBytes {
+			break
+		}
+		if h == keep {
+			continue
+		}
+		total -= idx.Entries[h].Bytes
+		delete(idx.Entries, h)
+		os.Remove(d.spillPath(h))
+		d.evictions.Add(1)
+	}
+}
+
+// indexEntry is one spill's record in index.json.
+type indexEntry struct {
+	Key      string `json:"key"`
+	Bytes    int64  `json:"bytes"`
+	LastUsed int64  `json:"last_used_unix_nano"`
+}
+
+type indexFile struct {
+	Version int                   `json:"version"`
+	Entries map[string]indexEntry `json:"entries"`
+}
+
+// withIndex runs fn over the index under the cross-process index lock,
+// then writes the result back atomically. An unreadable or corrupt index
+// is replaced rather than trusted. Index failures are deliberately
+// swallowed: the index only drives eviction accounting, and losing it
+// merely delays eviction — it never affects correctness.
+func (d *diskCache) withIndex(fn func(*indexFile)) {
+	if err := os.MkdirAll(d.dir, 0o755); err != nil {
+		return
+	}
+	unlock, err := lockFile(filepath.Join(d.dir, indexLockName))
+	if err != nil {
+		return
+	}
+	defer unlock()
+
+	idx := indexFile{Version: 1, Entries: make(map[string]indexEntry)}
+	path := filepath.Join(d.dir, indexName)
+	if data, err := os.ReadFile(path); err == nil {
+		if json.Unmarshal(data, &idx) != nil || idx.Entries == nil {
+			idx = indexFile{Version: 1, Entries: make(map[string]indexEntry)}
+		}
+	}
+	fn(&idx)
+	data, err := json.MarshalIndent(idx, "", "  ")
+	if err != nil {
+		return
+	}
+	tmp, err := os.CreateTemp(d.dir, ".index-tmp-*")
+	if err != nil {
+		return
+	}
+	if _, err := tmp.Write(append(data, '\n')); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"os"
 
 	"mlpsim/internal/annotate"
+	"mlpsim/internal/prefetch"
 	"mlpsim/internal/trace"
 	"mlpsim/internal/vpred"
 )
@@ -17,11 +18,27 @@ func vpredOutcome(v uint8) vpred.Outcome { return vpred.Outcome(v) }
 // blob carries the stream geometry and the captured-window statistics,
 // and whose per-record annotation byte carries the event flags.
 
-const metaVersion = 1
+// Meta blob versions: v1 carries geometry + annotator stats (16 uvarint
+// fields); v2 appends the hardware-prefetcher statistics captured with
+// the stream (6 more fields). Writers emit v2; readers accept both.
+const (
+	metaVersion1 = 1
+	metaVersion  = 2
+
+	metaFieldsV1 = 16
+	metaFieldsV2 = 22
+)
 
 func encodeMeta(s *Stream) []byte {
 	var b []byte
 	put := func(v uint64) { b = binary.AppendUvarint(b, v) }
+	putBool := func(v bool) {
+		if v {
+			put(1)
+		} else {
+			put(0)
+		}
+	}
 	put(metaVersion)
 	put(uint64(s.lineShift))
 	put(uint64(s.firstIndex))
@@ -34,39 +51,78 @@ func encodeMeta(s *Stream) []byte {
 	} {
 		put(v)
 	}
+	putBool(s.hasIPF)
+	put(s.ipfStats.Issued)
+	put(s.ipfStats.Useful)
+	putBool(s.hasDPF)
+	put(s.dpfStats.Issued)
+	put(s.dpfStats.Useful)
 	return b
 }
 
-func decodeMeta(b []byte) (lineShift uint8, firstIndex, n int64, stats annotate.Stats, err error) {
-	vals := make([]uint64, 0, 16)
+// metaInfo is the decoded header metadata of a stream spill.
+type metaInfo struct {
+	lineShift          uint8
+	firstIndex, n      int64
+	stats              annotate.Stats
+	ipfStats, dpfStats prefetch.Stats
+	hasIPF, hasDPF     bool
+}
+
+// apply copies the decoded metadata that is not re-derivable from the
+// records onto a stream.
+func (m *metaInfo) apply(s *Stream) {
+	s.stats = m.stats
+	s.ipfStats, s.hasIPF = m.ipfStats, m.hasIPF
+	s.dpfStats, s.hasDPF = m.dpfStats, m.hasDPF
+}
+
+func decodeMeta(b []byte) (metaInfo, error) {
+	var m metaInfo
+	vals := make([]uint64, 0, metaFieldsV2)
 	for len(b) > 0 {
 		v, sz := binary.Uvarint(b)
 		if sz <= 0 {
-			return 0, 0, 0, stats, fmt.Errorf("atrace: corrupt meta blob")
+			return m, fmt.Errorf("atrace: corrupt meta blob")
 		}
 		b = b[sz:]
 		vals = append(vals, v)
 	}
-	if len(vals) != 16 {
-		return 0, 0, 0, stats, fmt.Errorf("atrace: meta blob has %d fields (want 16)", len(vals))
+	if len(vals) < 1 {
+		return m, fmt.Errorf("atrace: empty meta blob")
 	}
-	if vals[0] != metaVersion {
-		return 0, 0, 0, stats, fmt.Errorf("atrace: unsupported meta version %d", vals[0])
+	switch vals[0] {
+	case metaVersion1:
+		if len(vals) != metaFieldsV1 {
+			return m, fmt.Errorf("atrace: v1 meta blob has %d fields (want %d)", len(vals), metaFieldsV1)
+		}
+	case metaVersion:
+		if len(vals) != metaFieldsV2 {
+			return m, fmt.Errorf("atrace: v2 meta blob has %d fields (want %d)", len(vals), metaFieldsV2)
+		}
+	default:
+		return m, fmt.Errorf("atrace: unsupported meta version %d", vals[0])
 	}
 	if vals[1] > 63 {
-		return 0, 0, 0, stats, fmt.Errorf("atrace: invalid line shift %d", vals[1])
+		return m, fmt.Errorf("atrace: invalid line shift %d", vals[1])
 	}
-	lineShift = uint8(vals[1])
-	firstIndex = int64(vals[2])
-	n = int64(vals[3])
-	stats = annotate.Stats{
+	m.lineShift = uint8(vals[1])
+	m.firstIndex = int64(vals[2])
+	m.n = int64(vals[3])
+	m.stats = annotate.Stats{
 		Instructions: vals[4], DMisses: vals[5], PMisses: vals[6],
 		IMisses: vals[7], SMisses: vals[8], Branches: vals[9],
 		Mispredicts: vals[10], Prefetches: vals[11], PrefetchUsed: vals[12],
 	}
-	stats.VP.Correct, stats.VP.Wrong, stats.VP.NoPredict = vals[13], vals[14], vals[15]
-	stats.OffChip = stats.DMisses + stats.PMisses + stats.IMisses
-	return lineShift, firstIndex, n, stats, nil
+	m.stats.VP.Correct, m.stats.VP.Wrong, m.stats.VP.NoPredict = vals[13], vals[14], vals[15]
+	m.stats.OffChip = m.stats.DMisses + m.stats.PMisses + m.stats.IMisses
+	if vals[0] >= metaVersion {
+		m.hasIPF = vals[16] != 0
+		m.ipfStats = prefetch.Stats{Issued: vals[17], Useful: vals[18]}
+		m.hasDPF = vals[19] != 0
+		m.dpfStats = prefetch.Stats{Issued: vals[20], Useful: vals[21]}
+	}
+	return m, nil
 }
 
 func annotFlagsOf(in annotate.Inst) trace.AnnotFlags {
@@ -123,12 +179,12 @@ func ReadStreamFrom(dec *trace.Decoder) (*Stream, error) {
 	if dec.Version() < 2 {
 		return nil, fmt.Errorf("atrace: trace is not annotated (version %d)", dec.Version())
 	}
-	lineShift, firstIndex, n, stats, err := decodeMeta(dec.Meta())
+	meta, err := decodeMeta(dec.Meta())
 	if err != nil {
 		return nil, err
 	}
-	b := NewBuilder(lineShift, n)
-	idx := firstIndex
+	b := NewBuilder(meta.lineShift, meta.n)
+	idx := meta.firstIndex
 	for {
 		raw, af, err := dec.DecodeAnnotated()
 		if err == io.EOF {
@@ -150,12 +206,13 @@ func ReadStreamFrom(dec *trace.Decoder) (*Stream, error) {
 		idx++
 		b.Append(in)
 	}
-	s := b.Finish(stats)
-	if s.n != n {
-		return nil, fmt.Errorf("atrace: trace holds %d records, meta promised %d", s.n, n)
+	s := b.Finish(meta.stats)
+	meta.apply(s)
+	if s.n != meta.n {
+		return nil, fmt.Errorf("atrace: trace holds %d records, meta promised %d", s.n, meta.n)
 	}
 	if s.n == 0 {
-		s.firstIndex = firstIndex
+		s.firstIndex = meta.firstIndex
 	}
 	return s, nil
 }

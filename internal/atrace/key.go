@@ -6,6 +6,7 @@ import (
 	"mlpsim/internal/annotate"
 	"mlpsim/internal/bpred"
 	"mlpsim/internal/mem"
+	"mlpsim/internal/prefetch"
 	"mlpsim/internal/vpred"
 	"mlpsim/internal/workload"
 )
@@ -30,21 +31,40 @@ func (k Key) String() string {
 
 // ConfigKey derives a canonical cache key string for an annotation
 // configuration, plus a factory that builds an equivalent fresh
-// configuration (new predictor instances, so a cached build never trains
-// or aliases the caller's objects).
+// configuration (new predictor and prefetcher instances, so a cached
+// build never trains or aliases the caller's objects).
 //
 // ok is false when the configuration cannot be keyed safely:
-//   - hardware prefetchers are attached (callers read their Stats() after
-//     the run, so the annotator must run directly), or
-//   - a stateful predictor instance has already been trained (its state is
-//     not captured by the configuration alone), or
+//   - a stateful predictor or prefetcher instance has already been trained
+//     (its state is not captured by the configuration alone), or
 //   - the predictor is of an unknown user-supplied type.
 //
-// Such configurations simply fall back to the direct annotate-per-run
-// path; correctness never depends on keyability.
+// Untrained stride/sequential hardware prefetchers are deterministic
+// functions of their configuration, so they are keyable: the capture
+// stores their statistics in the stream metadata (Stream.IPrefetchStats /
+// DPrefetchStats) for callers that would otherwise read them off the
+// instances after a direct run.
+//
+// Unkeyable configurations simply fall back to the direct
+// annotate-per-run path; correctness never depends on keyability.
 func ConfigKey(acfg annotate.Config) (key string, fresh func() annotate.Config, ok bool) {
-	if acfg.IPrefetch != nil || acfg.DPrefetch != nil {
-		return "", nil, false
+	ipfKey, ipfFresh := "none", func() *prefetch.Sequential { return nil }
+	if p := acfg.IPrefetch; p != nil {
+		if !p.Untrained() {
+			return "", nil, false
+		}
+		depth, kind := p.Depth, p.Kind
+		ipfKey = fmt.Sprintf("seq{depth:%d,kind:%d}", depth, kind)
+		ipfFresh = func() *prefetch.Sequential { return prefetch.NewSequential(depth, kind) }
+	}
+	dpfKey, dpfFresh := "none", func() *prefetch.Stride { return nil }
+	if p := acfg.DPrefetch; p != nil {
+		if !p.Untrained() {
+			return "", nil, false
+		}
+		entries, depth := p.Entries(), p.Depth
+		dpfKey = fmt.Sprintf("stride{entries:%d,depth:%d}", entries, depth)
+		dpfFresh = func() *prefetch.Stride { return prefetch.NewStride(entries, depth) }
 	}
 	h := acfg.Hierarchy
 	if h.L2.SizeBytes == 0 {
@@ -102,10 +122,13 @@ func ConfigKey(acfg annotate.Config) (key string, fresh func() annotate.Config, 
 		return "", nil, false
 	}
 
-	key = fmt.Sprintf("h{%+v}|bp{%s}|vp{%s}", h, bKey, vKey)
+	key = fmt.Sprintf("h{%+v}|bp{%s}|vp{%s}|ipf{%s}|dpf{%s}", h, bKey, vKey, ipfKey, dpfKey)
 	hCopy := h
 	fresh = func() annotate.Config {
-		return annotate.Config{Hierarchy: hCopy, Branch: bFresh(), Value: vFresh()}
+		return annotate.Config{
+			Hierarchy: hCopy, Branch: bFresh(), Value: vFresh(),
+			IPrefetch: ipfFresh(), DPrefetch: dpfFresh(),
+		}
 	}
 	return key, fresh, true
 }

@@ -1,0 +1,27 @@
+//go:build unix
+
+package atrace
+
+import (
+	"os"
+	"syscall"
+)
+
+// mmapFile maps size bytes of f read-only and shared, so replay reads hit
+// the OS page cache instead of resident Go heap. The repo takes no
+// external dependencies, hence raw syscall rather than x/sys.
+func mmapFile(f *os.File, size int64) (*mapping, error) {
+	if size <= 0 {
+		return nil, syscall.EINVAL
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, err
+	}
+	return &mapping{data: data}, nil
+}
+
+func munmap(data []byte) {
+	// Best effort: an unmap failure only leaks address space.
+	_ = syscall.Munmap(data)
+}

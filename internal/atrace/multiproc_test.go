@@ -1,0 +1,116 @@
+package atrace
+
+import (
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+
+	"mlpsim/internal/annotate"
+	"mlpsim/internal/workload"
+)
+
+// helperEnvDir names the env var that flips TestDiskCacheHelper from a
+// no-op into a cache client run by TestCrossProcessSingleflight.
+const helperEnvDir = "MLPSIM_ATRACE_HELPER_DIR"
+
+// helperKey is the one key every helper process asks for.
+func helperKey() (Key, workload.Config) {
+	w := workload.Presets(17)[0]
+	return Key{Workload: w, Annot: "multiproc", Warmup: testWarmup, Measure: testMeasure}, w
+}
+
+// TestDiskCacheHelper is the subprocess body: it opens the shared
+// directory, performs one Get, and reports how many annotation passes it
+// ran on stdout. It skips itself under normal `go test` invocations.
+func TestDiskCacheHelper(t *testing.T) {
+	dir := os.Getenv(helperEnvDir)
+	if dir == "" {
+		t.Skip("helper for TestCrossProcessSingleflight; set " + helperEnvDir + " to run")
+	}
+	c := NewCache()
+	c.SetDir(dir)
+	key, w := helperKey()
+	s := c.Get(key, func() *Stream { return captureStream(t, w, annotate.Config{}) })
+	if s.Len() != testMeasure {
+		t.Fatalf("stream length %d, want %d", s.Len(), testMeasure)
+	}
+	fmt.Printf("HELPER_BUILDS=%d\n", c.Stats().Builds)
+}
+
+// TestCrossProcessSingleflight launches N copies of this test binary
+// against one cache directory and asserts the flock protocol let exactly
+// one of them annotate; the rest must load the published spill.
+func TestCrossProcessSingleflight(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns subprocesses")
+	}
+	exe, err := os.Executable()
+	if err != nil {
+		t.Fatalf("os.Executable: %v", err)
+	}
+	dir := t.TempDir()
+
+	const procs = 4
+	outputs := make([]string, procs)
+	errs := make([]error, procs)
+	var wg sync.WaitGroup
+	for i := 0; i < procs; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			cmd := exec.Command(exe, "-test.run", "^TestDiskCacheHelper$", "-test.v")
+			cmd.Env = append(os.Environ(), helperEnvDir+"="+dir)
+			out, err := cmd.CombinedOutput()
+			outputs[i], errs[i] = string(out), err
+		}(i)
+	}
+	wg.Wait()
+
+	totalBuilds := 0
+	for i := 0; i < procs; i++ {
+		if errs[i] != nil {
+			t.Fatalf("helper %d failed: %v\n%s", i, errs[i], outputs[i])
+		}
+		n, ok := parseHelperBuilds(outputs[i])
+		if !ok {
+			t.Fatalf("helper %d printed no HELPER_BUILDS line:\n%s", i, outputs[i])
+		}
+		totalBuilds += n
+	}
+	if totalBuilds != 1 {
+		t.Errorf("%d processes performed %d annotation passes in total, want exactly 1", procs, totalBuilds)
+	}
+
+	key, _ := helperKey()
+	if _, err := os.Stat(filepath.Join(dir, keyHash(key)+spillExt)); err != nil {
+		t.Errorf("shared spill missing after the race: %v", err)
+	}
+	// All lock files must be released (flock drops with the fd; the
+	// portable fallback unlinks), so a fresh process can still build.
+	c := NewCache()
+	c.SetDir(dir)
+	var rebuilt bool
+	c.Get(key, func() *Stream { rebuilt = true; return nil })
+	if rebuilt {
+		t.Error("published spill not readable by a later process")
+	}
+}
+
+func parseHelperBuilds(out string) (int, bool) {
+	for _, line := range strings.Split(out, "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "HELPER_BUILDS="); ok {
+			n, err := strconv.Atoi(rest)
+			if err != nil {
+				return 0, false
+			}
+			return n, true
+		}
+	}
+	return 0, false
+}

@@ -14,6 +14,7 @@ import (
 
 	"mlpsim/internal/annotate"
 	"mlpsim/internal/isa"
+	"mlpsim/internal/prefetch"
 	"mlpsim/internal/vpred"
 )
 
@@ -51,6 +52,17 @@ type Stream struct {
 	val []byte
 
 	stats annotate.Stats
+
+	// Hardware-prefetcher statistics captured with the stream (zero when
+	// the annotation configuration had no prefetchers). Replays of a cached
+	// stream report these instead of re-running the engines.
+	ipfStats, dpfStats prefetch.Stats
+	hasIPF, hasDPF     bool
+
+	// mapped, when non-nil, owns the memory-mapped columnar spill file the
+	// columns above are views into; it is kept alive by this reference and
+	// unmapped by a finalizer once the stream is unreachable.
+	mapped *mapping
 }
 
 // Len returns the number of instructions in the stream.
@@ -68,9 +80,26 @@ func (s *Stream) LineShift() uint8 { return s.lineShift }
 // the same instructions post-warmup).
 func (s *Stream) Stats() annotate.Stats { return s.stats }
 
+// IPrefetchStats returns the hardware instruction prefetcher statistics
+// captured with the stream; ok is false when the annotation configuration
+// had no instruction prefetcher.
+func (s *Stream) IPrefetchStats() (prefetch.Stats, bool) { return s.ipfStats, s.hasIPF }
+
+// DPrefetchStats returns the hardware data prefetcher statistics captured
+// with the stream.
+func (s *Stream) DPrefetchStats() (prefetch.Stats, bool) { return s.dpfStats, s.hasDPF }
+
+// Mapped reports whether the stream's columns are views over a
+// memory-mapped spill file rather than resident heap.
+func (s *Stream) Mapped() bool { return s.mapped != nil && !s.mapped.heap }
+
 // MemBytes returns the approximate heap footprint of the stream, used
-// for cache accounting.
+// for cache accounting. A memory-mapped stream occupies file pages (the
+// OS page cache), not Go heap, so it accounts only a small constant.
 func (s *Stream) MemBytes() int64 {
+	if s.Mapped() {
+		return 4096
+	}
 	b := int64(cap(s.class) + cap(s.src1) + cap(s.src2) + cap(s.dst) + cap(s.vpo))
 	b += 8 * int64(cap(s.dmiss)+cap(s.pmiss)+cap(s.imiss)+cap(s.smiss)+cap(s.mispred)+cap(s.taken)+cap(s.hasTgt))
 	b += int64(cap(s.pc) + cap(s.ea) + cap(s.tgt) + cap(s.val))
@@ -187,7 +216,14 @@ func Capture(a *annotate.Annotator, max int64) *Stream {
 		}
 		b.Append(in)
 	}
-	return b.Finish(a.Stats())
+	s := b.Finish(a.Stats())
+	if p := a.IPrefetch(); p != nil {
+		s.ipfStats, s.hasIPF = p.Stats(), true
+	}
+	if p := a.DPrefetch(); p != nil {
+		s.dpfStats, s.hasDPF = p.Stats(), true
+	}
+	return s
 }
 
 func lineShiftOf(lineBytes int) uint8 {

@@ -79,7 +79,7 @@ type Engine struct {
 	eof    bool
 
 	producers                               [isa.NumRegs]int64
-	lastStore                               map[uint64]int64
+	lastStore                               *StoreTable
 	prevMemIdx, prevStoreIdx, prevBranchIdx int64
 
 	// pending holds instructions pulled from the source by the fetch
@@ -127,7 +127,7 @@ func NewEngine(src AnnotatedSource, cfg Config) *Engine {
 	e := &Engine{
 		cfg:       cfg,
 		src:       src,
-		lastStore: make(map[uint64]int64),
+		lastStore: NewStoreTable(),
 	}
 	e.srcInto, _ = src.(inPlaceSource)
 	for i := range e.producers {
@@ -267,7 +267,7 @@ func (e *Engine) fetchNext() *slot {
 	}
 	cls := ai.Class
 	if cls.IsMemRead() && cls != isa.Prefetch {
-		if p, ok := e.lastStore[ai.EA>>3]; ok {
+		if p, ok := e.lastStore.Get(ai.EA >> 3); ok {
 			s.memProd = p
 		}
 	}
@@ -278,11 +278,8 @@ func (e *Engine) fetchNext() *slot {
 	if cls.IsMemWrite() {
 		s.prevStore = e.prevStoreIdx
 		e.prevStoreIdx = j
-		e.lastStore[ai.EA>>3] = j
-		if len(e.lastStore) > 1<<16 {
-			// Bound the table; stale producers resolve as retired.
-			e.lastStore = make(map[uint64]int64)
-		}
+		// Bounded table; stale producers resolve as retired.
+		e.lastStore.Put(ai.EA>>3, j)
 	}
 	if cls == isa.Branch {
 		s.prevBranch = e.prevBranchIdx

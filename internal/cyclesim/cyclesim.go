@@ -149,10 +149,18 @@ func (h *eventHeap) Pop() interface{} {
 	return x
 }
 
+// inPlaceSource is the optional fetch fast path (mirroring the core
+// engine): sources that can decode directly into a caller-provided Inst
+// (e.g. atrace.Replay) skip the by-value copies of Next.
+type inPlaceSource interface {
+	NextInto(*annotate.Inst) bool
+}
+
 // Sim is one cycle-level simulation.
 type Sim struct {
-	cfg Config
-	src core.AnnotatedSource
+	cfg     Config
+	src     core.AnnotatedSource
+	srcInto inPlaceSource // src's fast path, nil when unsupported
 
 	cycle int64
 	// rob holds in-flight instructions; robBase is the absolute index of
@@ -170,14 +178,15 @@ type Sim struct {
 	// mispredicted branch; fetch resumes after it resolves.
 	awaitBranch int64
 	// pendingIMiss holds an instruction whose fetch is waiting for an
-	// off-chip line.
-	pendingIMiss   *annotate.Inst
-	pendingIMissAt int64
-	srcDone        bool
-	fetched        int64
+	// off-chip line (valid when havePendingIMiss).
+	pendingIMiss     annotate.Inst
+	havePendingIMiss bool
+	pendingIMissAt   int64
+	srcDone          bool
+	fetched          int64
 
 	producers [isa.NumRegs]int64
-	lastStore map[uint64]int64
+	lastStore *core.StoreTable
 
 	outstanding int
 	completions eventHeap
@@ -193,11 +202,26 @@ func New(src core.AnnotatedSource, cfg Config) *Sim {
 	if err := cfg.Validate(); err != nil {
 		panic(err)
 	}
-	s := &Sim{cfg: cfg, src: src, lastStore: make(map[uint64]int64), awaitBranch: -1}
+	s := &Sim{cfg: cfg, src: src, lastStore: core.NewStoreTable(), awaitBranch: -1}
+	s.srcInto, _ = src.(inPlaceSource)
 	for i := range s.producers {
 		s.producers[i] = -1
 	}
 	return s
+}
+
+// pull reads the next instruction from the source into *dst, using the
+// in-place fast path when the source supports it.
+func (s *Sim) pull(dst *annotate.Inst) bool {
+	if s.srcInto != nil {
+		return s.srcInto.NextInto(dst)
+	}
+	ai, ok := s.src.Next()
+	if !ok {
+		return false
+	}
+	*dst = ai
+	return true
 }
 
 func (s *Sim) robLen() int { return len(s.rob) - s.robHead }
@@ -237,7 +261,7 @@ func (s *Sim) Run() Result {
 }
 
 func (s *Sim) finished() bool {
-	return s.srcDone && s.robLen() == 0 && s.fetchQLen() == 0 && s.pendingIMiss == nil
+	return s.srcDone && s.robLen() == 0 && s.fetchQLen() == 0 && !s.havePendingIMiss
 }
 
 // entryDone reports whether an issued entry's result is available.
@@ -425,15 +449,12 @@ func (s *Sim) dispatch() int {
 		}
 		cls := ai.Class
 		if cls.IsMemRead() && cls != isa.Prefetch {
-			if p, ok := s.lastStore[ai.EA>>3]; ok {
+			if p, ok := s.lastStore.Get(ai.EA >> 3); ok {
 				e.memProd = p
 			}
 		}
 		if cls.IsMemWrite() {
-			s.lastStore[ai.EA>>3] = j
-			if len(s.lastStore) > 1<<16 {
-				s.lastStore = make(map[uint64]int64)
-			}
+			s.lastStore.Put(ai.EA>>3, j)
 		}
 		if ai.HasDst() {
 			s.producers[ai.Dst] = j
@@ -454,7 +475,7 @@ func (s *Sim) fetch() int {
 	// An off-chip instruction fetch in flight delivers its instruction
 	// when the line arrives. A fetch still waiting for a free MSHR issues
 	// its access as soon as one drains.
-	if s.pendingIMiss != nil {
+	if s.havePendingIMiss {
 		if s.pendingIMiss.IMiss {
 			if s.cfg.MSHRs > 0 && s.outstanding >= s.cfg.MSHRs {
 				return 0
@@ -467,8 +488,8 @@ func (s *Sim) fetch() int {
 		if s.cycle < s.pendingIMissAt {
 			return 0
 		}
-		s.fetchQ = append(s.fetchQ, *s.pendingIMiss)
-		s.pendingIMiss = nil
+		s.fetchQ = append(s.fetchQ, s.pendingIMiss)
+		s.havePendingIMiss = false
 		return 1
 	}
 	if s.cycle < s.fetchStall || s.awaitBranch >= 0 {
@@ -483,8 +504,8 @@ func (s *Sim) fetch() int {
 			s.srcDone = true
 			break
 		}
-		ai, ok := s.src.Next()
-		if !ok {
+		var ai annotate.Inst
+		if !s.pull(&ai) {
 			s.srcDone = true
 			break
 		}
@@ -492,7 +513,7 @@ func (s *Sim) fetch() int {
 		if ai.IMiss && !s.cfg.PerfectL2 && s.cfg.MSHRs > 0 && s.outstanding >= s.cfg.MSHRs {
 			// No MSHR free: the fetch waits (IMiss stays set; the pending
 			// branch above issues the access when a register drains).
-			s.pendingIMiss = &ai
+			s.pendingIMiss, s.havePendingIMiss = ai, true
 			return n
 		}
 		if ai.IMiss && !s.cfg.PerfectL2 {
@@ -502,7 +523,7 @@ func (s *Sim) fetch() int {
 			s.noteAccess(int64(s.cfg.MissPenalty))
 			s.pendingIMissAt = s.cycle + int64(s.cfg.MissPenalty)
 			ai.IMiss = false
-			s.pendingIMiss = &ai
+			s.pendingIMiss, s.havePendingIMiss = ai, true
 			return n + 1
 		}
 		if ai.IMiss {
@@ -537,7 +558,7 @@ func (s *Sim) leap() {
 			next = e.doneAt
 		}
 	}
-	if s.pendingIMiss != nil && !s.pendingIMiss.IMiss && s.pendingIMissAt < next {
+	if s.havePendingIMiss && !s.pendingIMiss.IMiss && s.pendingIMissAt < next {
 		next = s.pendingIMissAt
 	}
 	if len(s.completions) > 0 && s.completions[0] > s.cycle && s.completions[0] < next {

@@ -148,15 +148,14 @@ func RunExtPrefetch(s Setup) ExtPrefetch {
 			MissRate:  res.MissRatePer100(),
 			IAccesses: res.IAccesses,
 		}
-		switch {
-		case ipf != nil && dpf != nil:
-			st := ipf.Stats()
-			dt := dpf.Stats()
-			row.Accuracy = prefetch.Stats{Issued: st.Issued + dt.Issued, Useful: st.Useful + dt.Useful}.Accuracy()
-		case ipf != nil:
-			row.Accuracy = ipf.Stats().Accuracy()
-		case dpf != nil:
-			row.Accuracy = dpf.Stats().Accuracy()
+		if ipf != nil || dpf != nil {
+			// Stats come from stream metadata on the cached path and from
+			// the (then-trained) instances on the direct path.
+			ist, dst := s.PrefetchStats(wls[j.wi], acfg)
+			row.Accuracy = prefetch.Stats{
+				Issued: ist.Issued + dst.Issued,
+				Useful: ist.Useful + dst.Useful,
+			}.Accuracy()
 		}
 		rows[i] = row
 	})

@@ -112,24 +112,73 @@ func TestCacheDeduplicatesAcrossRunners(t *testing.T) {
 	}
 }
 
-// TestUncacheableConfigsFallBack: hardware-prefetcher configurations must
-// bypass the cache entirely (callers read prefetcher state after the
-// run, so the annotator has to run directly).
-func TestUncacheableConfigsFallBack(t *testing.T) {
+// TestPrefetchConfigsAreCached: untrained deterministic hardware
+// prefetchers are part of the cache key, so a prefetch configuration gets
+// one shared annotation pass like any other, and the prefetcher
+// statistics are served from the stream's metadata — identical to what a
+// direct run's instances would report.
+func TestPrefetchConfigsAreCached(t *testing.T) {
 	s := Quick(4)
+	s.Warmup = 50_000
+	s.Measure = 100_000
+	w := workload.Strided(s.Seed)
+	acfg := func() annotate.Config {
+		return annotate.Config{DPrefetch: prefetch.NewStride(1024, 4)}
+	}
+
+	res := s.RunMLPsim(w, core.Default(), acfg())
+	if res.Instructions != s.Measure {
+		t.Errorf("cached run consumed %d instructions, want %d", res.Instructions, s.Measure)
+	}
+	if st := s.Cache.Stats(); st.Builds != 1 {
+		t.Errorf("prefetch config performed %d annotation passes, want 1 (stats %+v)", st.Builds, st)
+	}
+	_, dst := s.PrefetchStats(w, acfg())
+	if dst.Issued == 0 {
+		t.Error("stream metadata carries no data-prefetcher statistics")
+	}
+	if st := s.Cache.Stats(); st.Builds != 1 {
+		t.Errorf("PrefetchStats triggered a rebuild: %d annotation passes, want 1", st.Builds)
+	}
+
+	direct := s
+	direct.Cache = nil
+	dpf := prefetch.NewStride(1024, 4)
+	dres := direct.RunMLPsim(w, core.Default(), annotate.Config{DPrefetch: dpf})
+	if !reflect.DeepEqual(res, dres) {
+		t.Errorf("cached result differs from direct\ncached: %+v\ndirect: %+v", res, dres)
+	}
+	if got := dpf.Stats(); got != dst {
+		t.Errorf("metadata stats %+v differ from direct-instance stats %+v", dst, got)
+	}
+}
+
+// TestTrainedPrefetcherBypassesCache: an instance that has already seen
+// traffic cannot be keyed (its state is not derivable from the
+// configuration), so the run must fall back to the direct path and the
+// instance itself carries the statistics.
+func TestTrainedPrefetcherBypassesCache(t *testing.T) {
+	s := Quick(5)
 	s.Warmup = 50_000
 	s.Measure = 100_000
 	w := workload.Strided(s.Seed)
 
 	dpf := prefetch.NewStride(1024, 4)
+	direct := s
+	direct.Cache = nil
+	direct.RunMLPsim(w, core.Default(), annotate.Config{DPrefetch: dpf})
+	if dpf.Untrained() {
+		t.Fatal("direct run left the prefetcher untrained")
+	}
+
 	res := s.RunMLPsim(w, core.Default(), annotate.Config{DPrefetch: dpf})
 	if res.Instructions != s.Measure {
-		t.Errorf("direct-path run consumed %d instructions, want %d", res.Instructions, s.Measure)
-	}
-	if dpf.Stats().Issued == 0 {
-		t.Error("prefetcher saw no traffic; the direct path did not use the caller's instance")
+		t.Errorf("fallback run consumed %d instructions, want %d", res.Instructions, s.Measure)
 	}
 	if st := s.Cache.Stats(); st.Builds != 0 || st.Misses != 0 {
-		t.Errorf("prefetcher config touched the cache (stats %+v); must use the direct path", st)
+		t.Errorf("trained prefetcher config touched the cache (stats %+v); must use the direct path", st)
+	}
+	if _, dst := s.PrefetchStats(w, annotate.Config{DPrefetch: dpf}); dst != dpf.Stats() {
+		t.Errorf("PrefetchStats %+v, want the instance's own %+v", dst, dpf.Stats())
 	}
 }

@@ -19,6 +19,7 @@ import (
 	"mlpsim/internal/atrace"
 	"mlpsim/internal/core"
 	"mlpsim/internal/cyclesim"
+	"mlpsim/internal/prefetch"
 	"mlpsim/internal/workload"
 )
 
@@ -111,6 +112,31 @@ func (s Setup) AnnotateStats(w workload.Config, acfg annotate.Config) annotate.S
 	a := s.directAnnotator(w, acfg)
 	a.Collect(s.Measure)
 	return a.Stats()
+}
+
+// PrefetchStats returns the instruction- and data-prefetcher statistics
+// for (w, acfg). When the configuration is cacheable the stats are served
+// from the shared stream's metadata (the prefetchers ran once, inside the
+// annotation pass that built the stream); otherwise — untracked prefetcher
+// types, already-trained instances, or no cache — the caller's instances
+// carry the statistics themselves, trained by the direct run. The two
+// dispatch arms are mutually exclusive by construction: a trained instance
+// makes atrace.ConfigKey refuse the key, which is also what forces
+// RunMLPsim down the direct path. Zero stats are returned for absent
+// prefetchers.
+func (s Setup) PrefetchStats(w workload.Config, acfg annotate.Config) (ipf, dpf prefetch.Stats) {
+	if st, ok := s.cachedStream(w, acfg); ok {
+		ipf, _ = st.IPrefetchStats()
+		dpf, _ = st.DPrefetchStats()
+		return ipf, dpf
+	}
+	if p := acfg.IPrefetch; p != nil {
+		ipf = p.Stats()
+	}
+	if p := acfg.DPrefetch; p != nil {
+		dpf = p.Stats()
+	}
+	return ipf, dpf
 }
 
 // RunMLPsim generates, annotates and runs one MLPsim configuration.

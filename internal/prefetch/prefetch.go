@@ -55,11 +55,17 @@ type Sequential struct {
 
 	lastLine uint64
 	haveLast bool
+	touched  bool
 	// issuedLines remembers recently prefetched lines for usefulness
 	// accounting (bounded).
 	issuedLines map[uint64]bool
 	stats       Stats
 }
+
+// Untrained reports whether the engine has observed no accesses yet, so a
+// fresh NewSequential(Depth, Kind) is equivalent to this instance. The
+// annotated-trace cache uses this to key prefetcher configurations.
+func (p *Sequential) Untrained() bool { return !p.touched }
 
 // NewSequential builds a sequential prefetcher of the given depth.
 func NewSequential(depth int, kind mem.AccessKind) *Sequential {
@@ -72,6 +78,7 @@ func NewSequential(depth int, kind mem.AccessKind) *Sequential {
 // OnAccess informs the prefetcher of a demand access to addr; it inserts
 // prefetched lines directly into the hierarchy.
 func (p *Sequential) OnAccess(h *mem.Hierarchy, addr uint64) {
+	p.touched = true
 	line := h.LineAddr(addr)
 	if p.haveLast && line == p.lastLine {
 		return
@@ -110,11 +117,19 @@ type Stride struct {
 	// Depth is how many strides ahead to prefetch once confident.
 	Depth int
 
-	mask   uint64
-	table  []strideEntry
-	issued map[uint64]bool
-	stats  Stats
+	mask    uint64
+	table   []strideEntry
+	touched bool
+	issued  map[uint64]bool
+	stats   Stats
 }
+
+// Entries returns the stride-table size the prefetcher was built with.
+func (p *Stride) Entries() int { return len(p.table) }
+
+// Untrained reports whether the engine has observed no loads yet, so a
+// fresh NewStride(Entries, Depth) is equivalent to this instance.
+func (p *Stride) Untrained() bool { return !p.touched }
 
 // NewStride builds a stride prefetcher with the given table size (power
 // of two) and depth.
@@ -135,6 +150,7 @@ func NewStride(entries, depth int) *Stride {
 
 // OnLoad informs the prefetcher of a demand load at pc touching addr.
 func (p *Stride) OnLoad(h *mem.Hierarchy, pc, addr uint64) {
+	p.touched = true
 	if line := h.LineAddr(addr); p.issued[line] {
 		p.stats.Useful++
 		delete(p.issued, line)
