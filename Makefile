@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet bench bench-full bench-compare fuzz clean
+.PHONY: all build test race vet bench bench-full bench-compare bench-gate bench-baseline fuzz clean
 
 all: build test vet
 
@@ -9,11 +9,23 @@ build:
 
 # vet runs first so structural mistakes fail fast; the -race pass covers
 # the new cross-process / singleflight machinery in addition to the plain
-# test run.
+# test run. The bench gate fails the build when a micro-benchmark's ns/op
+# regresses more than 50% against the committed BENCH_BASELINE.json;
+# MLPSIM_BENCH_GATE=off demotes it to report-only.
 test:
 	$(GO) vet ./...
 	$(GO) test ./...
-	$(GO) test -race ./internal/atrace -run 'TestCacheSingleflight|TestCrossProcessSingleflight|TestCacheDiskSpill|TestCorruptSpillQuarantined|TestDiskEviction'
+	$(GO) test -race ./internal/atrace -run 'TestCacheSingleflight|TestCrossProcessSingleflight|TestCacheDiskSpill|TestCorruptSpillQuarantined|TestDiskEviction|TestSegmented|TestCrashDuringPublishRecovery'
+	$(MAKE) bench-gate
+
+bench-gate:
+	$(GO) run ./cmd/bench -scale quick -skip-sweep -skip-capture \
+		-out /tmp/bench_gate.json -compare BENCH_BASELINE.json -gate-pct 50
+
+# bench-baseline refreshes the committed gate baseline. Run it on the
+# machine class the gate will run on, with the tree otherwise idle.
+bench-baseline:
+	$(GO) run ./cmd/bench -scale quick -skip-sweep -skip-capture -out BENCH_BASELINE.json
 
 # Concurrency-sensitive packages: the annotated-trace cache (singleflight,
 # mmap, flock-coordinated disk spill) and the experiment worker pool that
@@ -24,18 +36,19 @@ race:
 vet:
 	$(GO) vet ./...
 
-# Performance report: micro-benchmarks plus the uncached / in-heap-cached
-# / memory-mapped Figure 4+5+6 sweeps. `make bench` is the quick loop;
-# `make bench-full` writes the committed BENCH_2.json at paper scale, and
-# `make bench-compare` additionally prints deltas against BENCH_1.json.
+# Performance report: micro-benchmarks, the monolithic-vs-segmented
+# capture comparison, plus the uncached / in-heap-cached / memory-mapped
+# Figure 4+5+6 sweeps. `make bench` is the quick loop; `make bench-full`
+# writes the committed BENCH_3.json at paper scale, and `make
+# bench-compare` additionally prints deltas against BENCH_2.json.
 bench:
 	$(GO) run ./cmd/bench -scale quick -out /tmp/bench_quick.json
 
 bench-full:
-	$(GO) run ./cmd/bench -scale default -out BENCH_2.json
+	$(GO) run ./cmd/bench -scale default -out BENCH_3.json
 
 bench-compare:
-	$(GO) run ./cmd/bench -scale default -out BENCH_2.json -compare BENCH_1.json
+	$(GO) run ./cmd/bench -scale default -out BENCH_3.json -compare BENCH_2.json
 
 fuzz:
 	$(GO) test ./internal/trace -fuzz FuzzRoundTripV2 -fuzztime 30s

@@ -1,15 +1,22 @@
 // Command bench tracks the simulator's performance trajectory: it runs
-// the annotator/replay micro-benchmarks and the Figure 4+5+6 sweep three
-// ways — uncached, with the in-heap annotated-trace cache, and replaying
-// memory-mapped spills from a warm on-disk cache — then writes a JSON
-// report with ns/op, wall times, peak Go-heap occupancy and headline MLP
-// metrics.
+// the annotator/replay micro-benchmarks, a monolithic-vs-segmented
+// capture comparison (the pipelined parallel writer behind MLPCOLS2),
+// and the Figure 4+5+6 sweep three ways — uncached, with the in-heap
+// annotated-trace cache, and replaying memory-mapped spills from a warm
+// on-disk cache — then writes a JSON report with ns/op, wall times, peak
+// Go-heap occupancy and headline MLP metrics.
+//
+// With -compare and -gate-pct the command doubles as a regression gate:
+// it exits non-zero when any micro-benchmark's ns/op or a sweep heap
+// peak grew more than the threshold over the baseline report. Setting
+// MLPSIM_BENCH_GATE=off turns the gate into a report-only comparison.
 //
 // Usage:
 //
 //	go run ./cmd/bench -scale quick -out BENCH_2.json
 //	go run ./cmd/bench -scale default                    # the acceptance-criteria run
 //	go run ./cmd/bench -scale default -compare BENCH_1.json
+//	go run ./cmd/bench -scale quick -skip-sweep -compare BENCH_BASELINE.json -gate-pct 50
 package main
 
 import (
@@ -17,8 +24,10 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"reflect"
 	"runtime"
+	"sort"
 	"time"
 
 	"mlpsim/internal/annotate"
@@ -58,6 +67,27 @@ type sweepResult struct {
 	HeapDropRatio float64 `json:"heap_drop_ratio"`
 }
 
+// captureResult records the monolithic-vs-segmented capture comparison.
+// The speedup scales with cores (each worker runs an independent
+// generation->annotation->encoding pipeline); NumCPU records the machine
+// context so a 1.0x speedup on a 1-CPU box is interpretable. The
+// time-to-first-replay win is real on any core count: replay can consume
+// segment 0 as soon as it is published, long before the final segment
+// (and the manifest) exist.
+type captureResult struct {
+	Workload             string  `json:"workload"`
+	SegmentInsts         int64   `json:"segment_insts"`
+	Segments             int     `json:"segments"`
+	Workers              int     `json:"workers"`
+	NumCPU               int     `json:"num_cpu"`
+	MonolithicSeconds    float64 `json:"monolithic_seconds"`
+	SegmentedSeconds     float64 `json:"segmented_seconds"`
+	Speedup              float64 `json:"speedup"`
+	FirstSegmentSeconds  float64 `json:"first_segment_seconds"`
+	TimeToFirstReplayWin float64 `json:"time_to_first_replay_win"`
+	Identical            bool    `json:"bit_identical"`
+}
+
 type report struct {
 	Schema     string                 `json:"schema"`
 	Scale      string                 `json:"scale"`
@@ -65,6 +95,7 @@ type report struct {
 	Warmup     int64                  `json:"warmup"`
 	Measure    int64                  `json:"measure"`
 	Benchmarks map[string]benchResult `json:"benchmarks"`
+	Capture    *captureResult         `json:"capture,omitempty"`
 	Sweep      *sweepResult           `json:"sweep,omitempty"`
 	MLP        map[string]float64     `json:"mlp"`
 }
@@ -169,6 +200,104 @@ func microBenchmarks(w workload.Config) map[string]benchResult {
 	return out
 }
 
+// runCaptureBench times the same annotated-trace build done two ways:
+// one monolithic Capture+WriteColumnarFile pass, and the segmented
+// pipelined writer (CaptureSegmentedToFile, workers = GOMAXPROCS). It
+// also verifies the two spills replay bit-identically.
+func runCaptureBench(s experiments.Setup, segInsts int64) *captureResult {
+	w := s.Workloads[0]
+	dir, err := os.MkdirTemp("", "mlpsim-bench-capture-")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bench: capture comparison skipped: %v\n", err)
+		return nil
+	}
+	defer os.RemoveAll(dir)
+	newAnn := func() *annotate.Annotator {
+		return annotate.New(workload.MustNew(w), annotate.Config{})
+	}
+
+	mono := filepath.Join(dir, "mono.acol")
+	start := time.Now()
+	a := newAnn()
+	a.Warm(s.Warmup)
+	if err := atrace.WriteColumnarFile(mono, atrace.Capture(a, s.Measure)); err != nil {
+		fmt.Fprintf(os.Stderr, "bench: capture comparison skipped: %v\n", err)
+		return nil
+	}
+	monoDur := time.Since(start)
+
+	spec := atrace.SegSpec{
+		NewAnnotator: newAnn,
+		Warmup:       s.Warmup,
+		Measure:      s.Measure,
+		SegmentInsts: segInsts,
+	}
+	seg := filepath.Join(dir, "seg.acol")
+	start = time.Now()
+	p := atrace.CaptureSegmentedToFile(seg, spec)
+	if _, err := p.Segment(0); err != nil {
+		fmt.Fprintf(os.Stderr, "bench: capture comparison skipped: %v\n", err)
+		return nil
+	}
+	firstDur := time.Since(start)
+	if _, err := p.Wait(); err == nil {
+		err = p.PublishErr()
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bench: capture comparison skipped: %v\n", err)
+		return nil
+	}
+	segDur := time.Since(start)
+
+	c := &captureResult{
+		Workload:             w.Name,
+		SegmentInsts:         segInsts,
+		Segments:             p.Segments(),
+		Workers:              runtime.GOMAXPROCS(0),
+		NumCPU:               runtime.NumCPU(),
+		MonolithicSeconds:    monoDur.Seconds(),
+		SegmentedSeconds:     segDur.Seconds(),
+		Speedup:              monoDur.Seconds() / segDur.Seconds(),
+		FirstSegmentSeconds:  firstDur.Seconds(),
+		TimeToFirstReplayWin: monoDur.Seconds() / firstDur.Seconds(),
+		Identical:            sameSpills(mono, seg),
+	}
+	fmt.Fprintf(os.Stderr, "bench: capture: monolithic %.1fs, segmented %.1fs (%d segments, %d workers on %d CPUs, %.2fx), first segment replayable after %.1fs (%.1fx win), identical: %v\n",
+		c.MonolithicSeconds, c.SegmentedSeconds, c.Segments, c.Workers, c.NumCPU,
+		c.Speedup, c.FirstSegmentSeconds, c.TimeToFirstReplayWin, c.Identical)
+	return c
+}
+
+// sameSpills replays both on-disk traces and compares every instruction
+// and the aggregate statistics.
+func sameSpills(a, b string) bool {
+	ta, err := atrace.OpenSpill(a)
+	if err != nil {
+		return false
+	}
+	tb, err := atrace.OpenSpill(b)
+	if err != nil {
+		return false
+	}
+	if ta.Len() != tb.Len() || ta.FirstIndex() != tb.FirstIndex() || ta.Stats() != tb.Stats() {
+		return false
+	}
+	ra, rb := ta.Source(), tb.Source()
+	var ia, ib annotate.Inst
+	for {
+		oka, okb := ra.NextInto(&ia), rb.NextInto(&ib)
+		if oka != okb {
+			return false
+		}
+		if !oka {
+			return true
+		}
+		if ia != ib {
+			return false
+		}
+	}
+}
+
 // runSweep executes the Figure 4+5+6 sweep and returns elapsed time plus
 // the Figure 4 results (for the equality check and MLP metrics).
 func runSweep(s experiments.Setup) (time.Duration, experiments.Figure4, experiments.Figure6) {
@@ -223,19 +352,67 @@ func runMappedSweep(s experiments.Setup, dir string, sw *sweepResult, f4u experi
 	}
 }
 
-// printComparison loads a previous report and prints headline deltas; a
-// v1 report simply lacks the heap-peak fields.
-func printComparison(path string, cur report) {
+// loadReport reads a previous JSON report; older schemas simply leave
+// the newer fields zero.
+func loadReport(path string) (report, error) {
+	var old report
 	data, err := os.ReadFile(path)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "bench: compare: %v\n", err)
-		return
+		return old, err
 	}
-	var old report
 	if err := json.Unmarshal(data, &old); err != nil {
-		fmt.Fprintf(os.Stderr, "bench: compare: %s: %v\n", path, err)
-		return
+		return old, fmt.Errorf("%s: %w", path, err)
 	}
+	return old, nil
+}
+
+// gateViolations compares cur against a baseline and lists every metric
+// that regressed beyond pct percent: per-benchmark ns/op, and the
+// cached/mapped sweep heap peaks when both reports carry them. Wall
+// times are deliberately excluded — they depend on machine load — while
+// ns/op comes from testing.Benchmark's calibrated loops and heap peaks
+// are allocation-driven, so both are stable enough to gate on.
+func gateViolations(old, cur report, pct float64) []string {
+	var out []string
+	for _, name := range sortedNames(old.Benchmarks) {
+		o := old.Benchmarks[name]
+		c, ok := cur.Benchmarks[name]
+		if !ok || o.NsPerOp <= 0 {
+			continue
+		}
+		if growth := 100 * (c.NsPerOp - o.NsPerOp) / o.NsPerOp; growth > pct {
+			out = append(out, fmt.Sprintf("%s: %.1f -> %.1f ns/op (+%.1f%%, limit %.0f%%)",
+				name, o.NsPerOp, c.NsPerOp, growth, pct))
+		}
+	}
+	if old.Sweep != nil && cur.Sweep != nil {
+		heap := func(label string, o, c int64) {
+			if o <= 0 || c <= 0 {
+				return
+			}
+			if growth := 100 * float64(c-o) / float64(o); growth > pct {
+				out = append(out, fmt.Sprintf("%s heap peak: %.1f -> %.1f MB (+%.1f%%, limit %.0f%%)",
+					label, float64(o)/(1<<20), float64(c)/(1<<20), growth, pct))
+			}
+		}
+		heap("cached sweep", old.Sweep.CachedHeapPeakBytes, cur.Sweep.CachedHeapPeakBytes)
+		heap("mapped sweep", old.Sweep.MappedHeapPeakBytes, cur.Sweep.MappedHeapPeakBytes)
+	}
+	return out
+}
+
+func sortedNames(m map[string]benchResult) []string {
+	names := make([]string, 0, len(m))
+	for name := range m {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// printComparison prints headline deltas against a previous report; a
+// v1 report simply lacks the heap-peak fields.
+func printComparison(path string, old, cur report) {
 	fmt.Printf("comparison vs %s (%s):\n", path, old.Schema)
 	for name, c := range cur.Benchmarks {
 		if o, ok := old.Benchmarks[name]; ok && o.NsPerOp > 0 {
@@ -289,10 +466,12 @@ func sameCells(a, b experiments.Figure4) bool {
 
 func main() {
 	scale := flag.String("scale", "quick", "sweep scale: quick or default")
-	out := flag.String("out", "BENCH_2.json", "output JSON path")
+	out := flag.String("out", "BENCH_3.json", "output JSON path")
 	seed := flag.Int64("seed", 1, "workload seed")
 	skipSweep := flag.Bool("skip-sweep", false, "skip the cached-vs-uncached sweep comparison")
+	skipCapture := flag.Bool("skip-capture", false, "skip the monolithic-vs-segmented capture comparison")
 	compare := flag.String("compare", "", "print deltas against a previous report (e.g. BENCH_1.json)")
+	gatePct := flag.Float64("gate-pct", 0, "with -compare: exit 1 if any ns/op or heap-peak metric grew more than this percent (0 = report only; MLPSIM_BENCH_GATE=off disables)")
 	cacheDir := flag.String("cache-dir", "", "disk-cache directory for the mapped sweep (default: a temp dir, removed on exit)")
 	flag.Parse()
 
@@ -308,7 +487,7 @@ func main() {
 	}
 
 	rep := report{
-		Schema:  "mlpsim-bench/2",
+		Schema:  "mlpsim-bench/3",
 		Scale:   *scale,
 		Seed:    *seed,
 		Warmup:  s.Warmup,
@@ -320,6 +499,11 @@ func main() {
 	rep.Benchmarks = microBenchmarks(s.Workloads[0])
 	for name, r := range rep.Benchmarks {
 		fmt.Fprintf(os.Stderr, "bench: %-16s %8.1f ns/op  %d allocs/op\n", name, r.NsPerOp, r.AllocsPerOp)
+	}
+
+	if !*skipCapture {
+		fmt.Fprintln(os.Stderr, "bench: comparing monolithic vs segmented capture...")
+		rep.Capture = runCaptureBench(s, s.Measure/8)
 	}
 
 	if !*skipSweep {
@@ -369,8 +553,17 @@ func main() {
 		}
 	}
 
+	var violations []string
 	if *compare != "" {
-		printComparison(*compare, rep)
+		old, err := loadReport(*compare)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bench: compare: %v\n", err)
+		} else {
+			printComparison(*compare, old, rep)
+			if *gatePct > 0 {
+				violations = gateViolations(old, rep, *gatePct)
+			}
+		}
 	}
 
 	data, err := json.MarshalIndent(rep, "", "  ")
@@ -384,4 +577,17 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Fprintf(os.Stderr, "bench: wrote %s\n", *out)
+
+	if len(violations) > 0 {
+		for _, v := range violations {
+			fmt.Fprintf(os.Stderr, "bench: gate: %s\n", v)
+		}
+		if os.Getenv("MLPSIM_BENCH_GATE") == "off" {
+			fmt.Fprintln(os.Stderr, "bench: gate: MLPSIM_BENCH_GATE=off, reporting only")
+			return
+		}
+		fmt.Fprintf(os.Stderr, "bench: gate: %d regression(s) beyond %.0f%% vs %s\n",
+			len(violations), *gatePct, *compare)
+		os.Exit(1)
+	}
 }

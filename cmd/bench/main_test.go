@@ -1,0 +1,83 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func sweepWithPeaks(cached, mapped int64) *sweepResult {
+	return &sweepResult{CachedHeapPeakBytes: cached, MappedHeapPeakBytes: mapped}
+}
+
+func TestGateViolations(t *testing.T) {
+	old := report{
+		Benchmarks: map[string]benchResult{
+			"AnnotateStream": {NsPerOp: 100},
+			"ReplayStream":   {NsPerOp: 10},
+		},
+		Sweep: sweepWithPeaks(1000, 100),
+	}
+
+	t.Run("clean", func(t *testing.T) {
+		cur := report{
+			Benchmarks: map[string]benchResult{
+				"AnnotateStream": {NsPerOp: 110},
+				"ReplayStream":   {NsPerOp: 9},
+			},
+			Sweep: sweepWithPeaks(1100, 100),
+		}
+		if v := gateViolations(old, cur, 50); len(v) != 0 {
+			t.Errorf("expected no violations, got %v", v)
+		}
+	})
+
+	t.Run("nsPerOpRegression", func(t *testing.T) {
+		cur := report{
+			Benchmarks: map[string]benchResult{
+				"AnnotateStream": {NsPerOp: 100},
+				"ReplayStream":   {NsPerOp: 20}, // +100%
+			},
+			Sweep: sweepWithPeaks(1000, 100),
+		}
+		v := gateViolations(old, cur, 50)
+		if len(v) != 1 || !strings.Contains(v[0], "ReplayStream") {
+			t.Errorf("expected one ReplayStream violation, got %v", v)
+		}
+	})
+
+	t.Run("heapPeakRegression", func(t *testing.T) {
+		cur := report{
+			Benchmarks: map[string]benchResult{"AnnotateStream": {NsPerOp: 100}},
+			Sweep:      sweepWithPeaks(1000, 200), // mapped peak doubled
+		}
+		v := gateViolations(old, cur, 50)
+		if len(v) != 1 || !strings.Contains(v[0], "mapped sweep") {
+			t.Errorf("expected one mapped-sweep violation, got %v", v)
+		}
+	})
+
+	t.Run("missingFieldsTolerated", func(t *testing.T) {
+		// Baselines from older schemas have no sweep and new benchmarks
+		// have no baseline entry: both must pass, never panic.
+		v := gateViolations(report{}, report{
+			Benchmarks: map[string]benchResult{"New": {NsPerOp: 1e9}},
+			Sweep:      sweepWithPeaks(1, 1),
+		}, 1)
+		if len(v) != 0 {
+			t.Errorf("expected no violations with empty baseline, got %v", v)
+		}
+	})
+
+	t.Run("deterministicOrder", func(t *testing.T) {
+		cur := report{
+			Benchmarks: map[string]benchResult{
+				"AnnotateStream": {NsPerOp: 1000},
+				"ReplayStream":   {NsPerOp: 1000},
+			},
+		}
+		v := gateViolations(old, cur, 50)
+		if len(v) != 2 || !strings.Contains(v[0], "AnnotateStream") || !strings.Contains(v[1], "ReplayStream") {
+			t.Errorf("expected sorted AnnotateStream,ReplayStream violations, got %v", v)
+		}
+	})
+}

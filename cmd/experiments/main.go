@@ -33,6 +33,8 @@ func main() {
 		csvDir   = flag.String("csv", "", "also write each exhibit's rows as CSV into this directory")
 		cacheDir   = flag.String("trace-cache-dir", "", "spill annotated-trace cache entries to this directory (shared across invocations and processes)")
 		cacheBytes = flag.Int64("trace-cache-bytes", 0, "byte cap for -trace-cache-dir; least-recently-used spills are evicted (0 = default cap)")
+		segInsts   = flag.Int64("trace-segment-insts", 0, "capture annotated traces as N-instruction segments built by parallel pipelines (0 = monolithic)")
+		segWorkers = flag.Int("trace-capture-workers", 0, "parallel capture workers with -trace-segment-insts (0 = GOMAXPROCS)")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf  = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
@@ -82,6 +84,9 @@ func main() {
 		if *cacheBytes > 0 {
 			setup.Cache.SetDiskCapBytes(*cacheBytes)
 		}
+	}
+	if *segInsts > 0 {
+		setup.Cache.SetSegments(*segInsts, *segWorkers)
 	}
 
 	runners := experiments.All()

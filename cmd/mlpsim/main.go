@@ -10,6 +10,8 @@
 //	mlpsim -trace db.trc -issue E -window 2048
 //	mlpsim -trace db.atrc -issue D -runahead   # pre-annotated (v2) trace
 //	mlpsim -trace db.acol -issue D -runahead   # columnar trace, memory-mapped
+//	                                           # (monolithic MLPCOLS1 or a segmented
+//	                                           #  MLPCOLS2 manifest + .segNNNN files)
 //	mlpsim -workload web -inorder use
 package main
 
@@ -66,10 +68,12 @@ func main() {
 	// (.acol-format) traces are memory-mapped rather than decoded, so the
 	// columns stay in the OS page cache instead of the Go heap.
 	var engineSrc core.AnnotatedSource
-	var pre *atrace.Stream
+	var pre atrace.Trace
 	if *traceFile != "" {
 		var err error
 		switch {
+		case atrace.IsSegmentedFile(*traceFile):
+			pre, err = atrace.OpenSegmentedFile(*traceFile)
 		case atrace.IsColumnarFile(*traceFile):
 			pre, err = atrace.OpenColumnarFile(*traceFile)
 		case isAnnotatedTrace(*traceFile):
@@ -84,7 +88,7 @@ func main() {
 		if *ipf > 0 || *dpf > 0 || *vp {
 			fmt.Fprintln(os.Stderr, "mlpsim: note: -iprefetch/-dprefetch/-vp annotation is baked in at tracegen time; flags ignored for annotated traces")
 		}
-		engineSrc = pre.Replay()
+		engineSrc = pre.Source()
 	} else {
 		src, err := openSource(*traceFile, *workloadName, *seed)
 		if err != nil {

@@ -7,17 +7,27 @@
 // post-warmup instructions are captured. cmd/mlpsim replays annotated
 // traces directly, skipping its own annotation and warm-up.
 //
+// With -columnar -segment N the capture is segmented: the window splits
+// into N-instruction segments built by -workers parallel pipelines
+// (generation -> annotation -> columnar encoding per segment, exploiting
+// the seed-deterministic generator), each segment file published the
+// moment it completes and an MLPCOLS2 manifest written last. Replay can
+// open segment 0 while later segments are still being captured; the
+// result is bit-identical to a monolithic -columnar capture.
+//
 // Examples:
 //
 //	tracegen -workload database -n 10000000 -o db.trc
 //	tracegen -workload database -annotate -warmup 2000000 -n 8000000 -o db.atrc
 //	tracegen -workload database -annotate -columnar -n 8000000 -o db.acol
+//	tracegen -workload database -annotate -columnar -segment 1000000 -workers 4 -n 8000000 -o db.acol
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"mlpsim/internal/annotate"
 	"mlpsim/internal/atrace"
@@ -34,6 +44,8 @@ func main() {
 		annotful = flag.Bool("annotate", false, "write a pre-annotated (version 2) trace")
 		columnar = flag.Bool("columnar", false, "with -annotate: write the columnar (.acol) format, which cmd/mlpsim memory-maps instead of decoding")
 		warmup   = flag.Int64("warmup", 2_000_000, "annotator warm-up instructions (only with -annotate)")
+		segment  = flag.Int64("segment", 0, "with -columnar: instructions per segment (0 = one monolithic file)")
+		workers  = flag.Int("workers", 0, "with -segment: parallel capture workers (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
 	if *out == "" {
@@ -65,6 +77,14 @@ func main() {
 	if *columnar && !*annotful {
 		fmt.Fprintln(os.Stderr, "tracegen: -columnar requires -annotate")
 		os.Exit(1)
+	}
+	if *segment > 0 && !*columnar {
+		fmt.Fprintln(os.Stderr, "tracegen: -segment requires -columnar")
+		os.Exit(1)
+	}
+	if *segment > 0 {
+		writeSegmented(cfg, *out, *warmup, *n, *segment, *workers)
+		return
 	}
 	if *annotful {
 		ann := annotate.New(workload.MustNew(cfg), annotate.Config{})
@@ -123,4 +143,52 @@ func main() {
 	}
 	fmt.Printf("wrote %d instructions to %s (%d bytes, %.2f bytes/inst)\n",
 		enc.Count(), *out, info.Size(), float64(info.Size())/float64(enc.Count()))
+}
+
+// writeSegmented runs the pipelined parallel capture, printing each
+// segment as it is published so the time-to-first-replay win is visible.
+func writeSegmented(cfg workload.Config, out string, warmup, n, segment int64, workers int) {
+	start := time.Now()
+	p := atrace.CaptureSegmentedToFile(out, atrace.SegSpec{
+		NewAnnotator: func() *annotate.Annotator {
+			return annotate.New(workload.MustNew(cfg), annotate.Config{})
+		},
+		Warmup:       warmup,
+		Measure:      n,
+		SegmentInsts: segment,
+		Workers:      workers,
+	})
+	for k := 0; k < p.Segments(); k++ {
+		s, err := p.Segment(k)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tracegen:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("segment %04d: %d instructions published after %.2fs\n",
+			k, s.Len(), time.Since(start).Seconds())
+	}
+	ss, err := p.Wait()
+	if err == nil {
+		err = p.PublishErr()
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tracegen:", err)
+		os.Exit(1)
+	}
+	var bytes int64
+	for _, path := range append([]string{out}, segmentFilesOf(out, ss.Segments())...) {
+		if fi, serr := os.Stat(path); serr == nil {
+			bytes += fi.Size()
+		}
+	}
+	fmt.Printf("wrote %d annotated instructions to %s (%d segments, %d bytes, %.2f bytes/inst, warmup %d, %.2fs)\n",
+		ss.Len(), out, ss.Segments(), bytes, float64(bytes)/float64(ss.Len()), ss.FirstIndex(), time.Since(start).Seconds())
+}
+
+func segmentFilesOf(base string, k int) []string {
+	var out []string
+	for i := 0; i < k; i++ {
+		out = append(out, fmt.Sprintf("%s.seg%04d", base, i))
+	}
+	return out
 }

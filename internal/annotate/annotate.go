@@ -241,6 +241,15 @@ func (a *Annotator) IPrefetch() *prefetch.Sequential { return a.ipf }
 // configured).
 func (a *Annotator) DPrefetch() *prefetch.Stride { return a.dpf }
 
+// Position returns the dynamic index of the next instruction the
+// annotator will yield — the number of instructions consumed since New.
+// Segmented captures use it to validate segment boundaries: an annotator
+// warmed over the prefix [0, k) is in exactly the state a monolithic
+// pass has after k instructions (generation is deterministic and
+// ResetStats preserves all training state), so Position is the resume
+// point.
+func (a *Annotator) Position() int64 { return a.idx }
+
 // ResetStats zeroes the statistics while preserving all training and
 // cache state: call it at the end of the warm-up window.
 func (a *Annotator) ResetStats() {

@@ -231,7 +231,7 @@ func TestCacheSingleflight(t *testing.T) {
 		return captureStream(t, w, annotate.Config{})
 	}
 	const goroutines = 8
-	streams := make([]*Stream, goroutines)
+	streams := make([]Trace, goroutines)
 	var wg sync.WaitGroup
 	for i := 0; i < goroutines; i++ {
 		wg.Add(1)

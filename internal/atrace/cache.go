@@ -2,7 +2,10 @@ package atrace
 
 import (
 	"container/list"
+	"os"
 	"sync"
+
+	"mlpsim/internal/annotate"
 )
 
 // DefaultCapBytes is the default in-memory cache capacity. A Default-scale
@@ -12,10 +15,10 @@ import (
 // live in the OS page cache, not the Go heap.
 const DefaultCapBytes = 8 << 30
 
-// Cache is a keyed store of annotated streams with single-flight build
+// Cache is a keyed store of annotated traces with single-flight build
 // deduplication: concurrent Get calls for the same key block on one build
 // instead of annotating in parallel. Eviction is LRU by approximate byte
-// footprint; evicted streams stay valid for replays already in flight
+// footprint; evicted traces stay valid for replays already in flight
 // (they are immutable), the cache merely drops its reference.
 //
 // With Dir set, the directory becomes a cache shared across processes:
@@ -26,13 +29,19 @@ const DefaultCapBytes = 8 << 30
 // atomic (temp file + rename), corrupt or truncated spills are
 // quarantined and rebuilt, and an on-disk index drives byte-cap LRU
 // eviction of the directory. See diskCache for the layout and protocol.
+//
+// With SetSegments configured, GetTrace builds split the measured window
+// into fixed-size segments captured by parallel workers (see SegSpec)
+// and spill as an MLPCOLS2 manifest plus per-segment files.
 type Cache struct {
-	mu       sync.Mutex
-	capBytes int64
-	size     int64
-	disk     *diskCache
-	entries  map[Key]*entry
-	order    *list.List // front = most recently used
+	mu         sync.Mutex
+	capBytes   int64
+	size       int64
+	disk       *diskCache
+	entries    map[Key]*entry
+	order      *list.List // front = most recently used
+	segInsts   int64
+	segWorkers int
 
 	hits     uint64
 	misses   uint64
@@ -41,12 +50,12 @@ type Cache struct {
 }
 
 type entry struct {
-	key    Key
-	ready  chan struct{} // closed when stream (or panic) is set
-	stream *Stream
-	pval   any // panic value propagated to waiters
-	elem   *list.Element
-	bytes  int64
+	key   Key
+	ready chan struct{} // closed when trace (or panic) is set
+	trace Trace
+	pval  any // panic value propagated to waiters
+	elem  *list.Element
+	bytes int64
 }
 
 // NewCache returns an in-memory cache with DefaultCapBytes capacity.
@@ -90,6 +99,17 @@ func (c *Cache) SetDiskCapBytes(n int64) {
 	}
 }
 
+// SetSegments configures segmented capture for GetTrace builds: the
+// measured window splits into segments of insts instructions captured by
+// up to workers parallel workers (0 = GOMAXPROCS). insts <= 0 restores
+// the monolithic single-pass capture.
+func (c *Cache) SetSegments(insts int64, workers int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.segInsts = insts
+	c.segWorkers = workers
+}
+
 // Stats reports cache effectiveness counters.
 type CacheStats struct {
 	Hits          uint64 // Get calls served from memory (or by joining a build)
@@ -98,8 +118,9 @@ type CacheStats struct {
 	DiskHits      uint64 // misses served from the on-disk spill
 	Quarantined   uint64 // corrupt spill files moved aside
 	DiskEvictions uint64 // spill files evicted for directory capacity
+	Swept         uint64 // litter files reclaimed by the directory sweep
 	Bytes         int64  // current in-memory footprint
-	Streams       int    // streams currently held
+	Streams       int    // traces currently held
 }
 
 // Stats returns a snapshot of the counters.
@@ -113,16 +134,65 @@ func (c *Cache) Stats() CacheStats {
 	if c.disk != nil {
 		st.Quarantined = c.disk.quarantined.Load()
 		st.DiskEvictions = c.disk.evictions.Load()
+		st.Swept = c.disk.swept.Load()
 	}
 	return st
 }
 
-// Get returns the stream for key, building it with build() exactly once
+// BuildSpec tells the cache how to reconstruct the annotation pass for a
+// key, so segmented builds can run independent workers (each worker gets
+// its own fresh annotator and re-warms the prefix before its segments).
+type BuildSpec struct {
+	// NewAnnotator returns a fresh, unwarmed annotator at instruction 0;
+	// it must be safe to call concurrently.
+	NewAnnotator func() *annotate.Annotator
+	// Warmup and Measure fix the captured window, matching the key.
+	Warmup, Measure int64
+}
+
+// capture is the monolithic build: warm once, drain the window.
+func (spec BuildSpec) capture() *Stream {
+	a := spec.NewAnnotator()
+	a.Warm(spec.Warmup)
+	return Capture(a, spec.Measure)
+}
+
+// Get returns the trace for key, building it with build() exactly once
 // per key no matter how many goroutines ask concurrently — and, with a
 // cache directory set, exactly once across processes too. A panic in
 // build is propagated to every waiter and the entry is removed so a later
 // Get can retry.
-func (c *Cache) Get(key Key, build func() *Stream) *Stream {
+func (c *Cache) Get(key Key, build func() *Stream) Trace {
+	return c.get(key, func(disk *diskCache) (Trace, bool) {
+		return c.obtain(disk, key, func() Trace { return build() })
+	})
+}
+
+// GetTrace returns the trace for key, building it from spec on a miss
+// with the same single-flight guarantees as Get. When segmented capture
+// is configured (SetSegments), the build shards the window across
+// parallel workers and spills a segmented MLPCOLS2 trace.
+func (c *Cache) GetTrace(key Key, spec BuildSpec) Trace {
+	c.mu.Lock()
+	segInsts, segWorkers := c.segInsts, c.segWorkers
+	c.mu.Unlock()
+	segmented := segInsts > 0 && segInsts < spec.Measure
+	return c.get(key, func(disk *diskCache) (Trace, bool) {
+		if !segmented {
+			return c.obtain(disk, key, func() Trace { return spec.capture() })
+		}
+		return c.obtainSegmented(disk, key, SegSpec{
+			NewAnnotator: spec.NewAnnotator,
+			Warmup:       spec.Warmup,
+			Measure:      spec.Measure,
+			SegmentInsts: segInsts,
+			Workers:      segWorkers,
+		})
+	})
+}
+
+// get is the single-flight core shared by Get and GetTrace.
+func (c *Cache) get(key Key, obtain func(disk *diskCache) (Trace, bool)) Trace {
 	c.mu.Lock()
 	if e, ok := c.entries[key]; ok {
 		c.hits++
@@ -134,7 +204,7 @@ func (c *Cache) Get(key Key, build func() *Stream) *Stream {
 		if e.pval != nil {
 			panic(e.pval)
 		}
-		return e.stream
+		return e.trace
 	}
 	e := &entry{key: key, ready: make(chan struct{})}
 	c.entries[key] = e
@@ -142,7 +212,7 @@ func (c *Cache) Get(key Key, build func() *Stream) *Stream {
 	disk := c.disk
 	c.mu.Unlock()
 
-	var s *Stream
+	var t Trace
 	var fromDisk bool
 	func() {
 		defer func() {
@@ -155,11 +225,11 @@ func (c *Cache) Get(key Key, build func() *Stream) *Stream {
 				panic(pv)
 			}
 		}()
-		s, fromDisk = c.obtain(disk, key, build)
+		t, fromDisk = obtain(disk)
 	}()
 
-	e.stream = s
-	e.bytes = s.MemBytes()
+	e.trace = t
+	e.bytes = t.MemBytes()
 	c.mu.Lock()
 	if fromDisk {
 		c.diskHits++
@@ -171,12 +241,13 @@ func (c *Cache) Get(key Key, build func() *Stream) *Stream {
 	c.evictLocked()
 	c.mu.Unlock()
 	close(e.ready)
-	return s
+	return t
 }
 
-// obtain resolves one cache miss: disk load when possible, otherwise a
-// build coordinated through the per-key cross-process lock.
-func (c *Cache) obtain(disk *diskCache, key Key, build func() *Stream) (s *Stream, fromDisk bool) {
+// obtain resolves one cache miss with a monolithic build: disk load when
+// possible, otherwise a build coordinated through the per-key
+// cross-process lock.
+func (c *Cache) obtain(disk *diskCache, key Key, build func() Trace) (t Trace, fromDisk bool) {
 	if disk == nil {
 		return build(), false
 	}
@@ -195,16 +266,60 @@ func (c *Cache) obtain(disk *diskCache, key Key, build func() *Stream) (s *Strea
 	if loaded, err := disk.load(hash); err == nil {
 		return loaded, true
 	}
-	s = build()
-	if path, err := disk.publish(hash, key, s); err == nil {
-		// Re-open the published spill memory-mapped so even the building
-		// process replays from the page cache and the heap copy can be
-		// collected. A failed re-open just keeps the heap stream.
-		if ms, merr := OpenColumnarFile(path); merr == nil {
-			s = ms
+	t = build()
+	if s, ok := t.(*Stream); ok {
+		if path, err := disk.publish(hash, key, s); err == nil {
+			// Re-open the published spill memory-mapped so even the building
+			// process replays from the page cache and the heap copy can be
+			// collected. A failed re-open just keeps the heap stream.
+			if ms, merr := OpenColumnarFile(path); merr == nil {
+				t = ms
+			}
 		}
 	}
-	return s, false
+	return t, false
+}
+
+// obtainSegmented resolves one cache miss with a pipelined segmented
+// build: segments are captured by parallel workers and published to the
+// spill directory as they complete, the manifest landing last.
+func (c *Cache) obtainSegmented(disk *diskCache, key Key, spec SegSpec) (Trace, bool) {
+	buildInMemory := func() Trace {
+		ss, err := CaptureSegmented(spec).Wait()
+		if err != nil {
+			panic(err)
+		}
+		return ss
+	}
+	if disk == nil {
+		return buildInMemory(), false
+	}
+	hash := keyHash(key)
+	if loaded, err := disk.load(hash); err == nil {
+		return loaded, true
+	}
+	unlock, err := disk.lockKey(hash)
+	if err != nil {
+		return buildInMemory(), false
+	}
+	defer unlock()
+	if loaded, err := disk.load(hash); err == nil {
+		return loaded, true
+	}
+	if err := os.MkdirAll(disk.dir, 0o755); err != nil {
+		return buildInMemory(), false
+	}
+	p := CaptureSegmentedToFile(disk.spillPath(hash), spec)
+	ss, err := p.Wait()
+	if err != nil {
+		panic(err)
+	}
+	// A publish failure (disk full, ...) leaves no manifest behind; the
+	// heap-backed trace is still good, it just is not shared on disk.
+	if p.PublishErr() == nil {
+		disk.recordPublished(hash, key, disk.spillBytes(hash))
+	}
+	return ss, false
 }
 
 // evictLocked drops least-recently-used completed entries until the cache

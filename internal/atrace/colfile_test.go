@@ -41,7 +41,7 @@ func openColumnarHeap(t *testing.T, path string) *Stream {
 }
 
 // assertSameReplay drains both streams and fails on the first difference.
-func assertSameReplay(t *testing.T, want, got *Stream) {
+func assertSameReplay(t *testing.T, want, got Trace) {
 	t.Helper()
 	if got.Len() != want.Len() {
 		t.Fatalf("stream length %d, want %d", got.Len(), want.Len())
@@ -49,7 +49,7 @@ func assertSameReplay(t *testing.T, want, got *Stream) {
 	if got.Stats() != want.Stats() {
 		t.Errorf("stats %+v, want %+v", got.Stats(), want.Stats())
 	}
-	rw, rg := want.Replay(), got.Replay()
+	rw, rg := want.Source(), got.Source()
 	for i := int64(0); ; i++ {
 		wi, wok := rw.Next()
 		gi, gok := rg.Next()

@@ -9,6 +9,7 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strings"
 	"sync/atomic"
 	"time"
 )
@@ -21,35 +22,106 @@ const (
 	spillExt      = ".acol"
 	indexName     = "index.json"
 	indexLockName = "index.lock"
+
+	tmpPrefix      = ".acol-tmp-"
+	indexTmpPrefix = ".index-tmp-"
+	corruptMark    = ".corrupt."
+
+	// sweepTmpMaxAge bounds how long abandoned temp files (and orphaned
+	// segment files whose manifest never landed) survive: long enough that
+	// no live builder's in-flight file is ever reclaimed, short enough
+	// that crashed builders do not leak disk.
+	sweepTmpMaxAge = time.Hour
+	// sweepCorruptMaxAge bounds how long quarantined spills are kept for
+	// post-mortems before the sweep reclaims them. Until then their bytes
+	// count against the directory capacity.
+	sweepCorruptMaxAge = 24 * time.Hour
 )
+
+// testCrashBeforeRename, when set (by the multi-process crash test),
+// runs between writing a publish temp file and renaming it into place.
+var testCrashBeforeRename func()
+
+// writeAtomic writes dst via a temp file in dir plus an atomic rename,
+// returning the published size. On any failure the temp file is removed
+// and dst is untouched.
+func writeAtomic(dir, tmpPattern, dst string, write func(*os.File) error) (int64, error) {
+	tmp, err := os.CreateTemp(dir, tmpPattern)
+	if err != nil {
+		return 0, err
+	}
+	if err := write(tmp); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return 0, err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return 0, err
+	}
+	fi, err := os.Stat(tmp.Name())
+	if err != nil {
+		os.Remove(tmp.Name())
+		return 0, err
+	}
+	if testCrashBeforeRename != nil {
+		testCrashBeforeRename()
+	}
+	if err := os.Rename(tmp.Name(), dst); err != nil {
+		os.Remove(tmp.Name())
+		return 0, err
+	}
+	return fi.Size(), nil
+}
 
 // diskCache is the shared on-disk half of Cache: a directory of columnar
 // spill files coordinated across processes.
 //
 // Layout of the directory:
 //
-//	<hash>.acol        columnar spill (hash = sha256 of the canonical key)
-//	<hash>.lock        per-key build lock (flock); cross-process singleflight
-//	index.json         hash -> {key, bytes, last_used}; LRU eviction state
-//	index.lock         guards every index.json read-modify-write
-//	<hash>.corrupt.*   quarantined spills that failed validation
+//	<hash>.acol          spill (hash = sha256 of the canonical key): a
+//	                     monolithic MLPCOLS1 stream or an MLPCOLS2 manifest
+//	<hash>.acol.segNNNN  segment files of a segmented spill
+//	<hash>.lock          per-key build lock (flock); cross-process singleflight
+//	index.json           hash -> {key, bytes, last_used}; LRU eviction state
+//	index.lock           guards every index.json read-modify-write
+//	*.corrupt.*          quarantined spills that failed validation
 //
 // Protocol: readers open the spill directly (no lock) and touch the index
 // on success. A miss takes <hash>.lock, re-checks the spill (another
 // process may have published while we waited), builds if still absent,
 // publishes via temp-file + rename (atomic on POSIX), then updates the
 // index and evicts over-capacity entries — all before releasing the key
-// lock. Corrupt or truncated spills are renamed aside, never trusted.
+// lock. Segmented builds publish each segment file as it completes and
+// the manifest last, so cross-process visibility is still all-or-nothing.
+// Corrupt or truncated spills are renamed aside, never trusted.
+//
+// Lifecycle of litter: every publish also sweeps the directory (under the
+// index lock) — abandoned temp files and manifest-less segment files
+// older than tmpMaxAge are removed, quarantined *.corrupt.* files are
+// kept for corruptMaxAge (their bytes counting against capBytes) and then
+// removed, and lock files whose spill is gone are unlinked when provably
+// unheld (see sweepLockFile).
 type diskCache struct {
 	dir      string
 	capBytes int64
 
+	// Sweep age bounds; fields so tests can force immediate reclamation.
+	tmpMaxAge     time.Duration
+	corruptMaxAge time.Duration
+
 	quarantined atomic.Uint64
 	evictions   atomic.Uint64
+	swept       atomic.Uint64
 }
 
 func newDiskCache(dir string) *diskCache {
-	return &diskCache{dir: dir, capBytes: DefaultDiskCapBytes}
+	return &diskCache{
+		dir:           dir,
+		capBytes:      DefaultDiskCapBytes,
+		tmpMaxAge:     sweepTmpMaxAge,
+		corruptMaxAge: sweepCorruptMaxAge,
+	}
 }
 
 // keyHash derives the on-disk name for a key: a hash of its canonical
@@ -60,6 +132,32 @@ func keyHash(key Key) string {
 }
 
 func (d *diskCache) spillPath(hash string) string { return filepath.Join(d.dir, hash+spillExt) }
+
+// spillFiles lists the files making up one key's spill: the manifest (or
+// monolithic spill) plus any segment files.
+func (d *diskCache) spillFiles(hash string) []string {
+	base := d.spillPath(hash)
+	files := []string{base}
+	files = append(files, segmentFiles(base)...)
+	return files
+}
+
+// spillBytes sums the on-disk size of one key's spill; 0 when the spill
+// is gone.
+func (d *diskCache) spillBytes(hash string) int64 {
+	var total int64
+	if fi, err := os.Stat(d.spillPath(hash)); err != nil {
+		return 0
+	} else {
+		total = fi.Size()
+	}
+	for _, p := range segmentFiles(d.spillPath(hash)) {
+		if fi, err := os.Stat(p); err == nil {
+			total += fi.Size()
+		}
+	}
+	return total
+}
 
 // lockKey serializes builders of one key across processes.
 func (d *diskCache) lockKey(hash string) (unlock func(), err error) {
@@ -72,65 +170,60 @@ func (d *diskCache) lockKey(hash string) (unlock func(), err error) {
 // load opens the spill for key if present and valid. Corrupt files are
 // quarantined so the caller rebuilds instead of crashing; the error then
 // wraps ErrCorruptSpill.
-func (d *diskCache) load(hash string) (*Stream, error) {
+func (d *diskCache) load(hash string) (Trace, error) {
 	path := d.spillPath(hash)
-	s, err := OpenColumnarFile(path)
+	t, err := OpenSpill(path)
 	if err != nil {
 		if errors.Is(err, ErrCorruptSpill) {
-			d.quarantine(hash, path)
+			d.quarantine(hash)
 		}
 		return nil, err
 	}
 	d.touch(hash)
-	return s, nil
+	return t, nil
 }
 
-// quarantine moves a failed spill aside (keeping it for post-mortems) and
-// drops its index entry, so the key rebuilds cleanly.
-func (d *diskCache) quarantine(hash, path string) {
-	dst := fmt.Sprintf("%s.corrupt.%d.%d", filepath.Join(d.dir, hash), os.Getpid(), time.Now().UnixNano())
-	if err := os.Rename(path, dst); err != nil && !os.IsNotExist(err) {
-		// Could not move it aside; remove so the rebuild can publish.
-		os.Remove(path)
+// quarantine moves a failed spill — manifest and any segment files —
+// aside (keeping them for post-mortems; the sweep reclaims them after
+// corruptMaxAge) and drops its index entry, so the key rebuilds cleanly.
+func (d *diskCache) quarantine(hash string) {
+	mark := fmt.Sprintf("%s%d.%d", corruptMark, os.Getpid(), time.Now().UnixNano())
+	for _, p := range d.spillFiles(hash) {
+		if err := os.Rename(p, p+mark); err != nil && !os.IsNotExist(err) {
+			// Could not move it aside; remove so the rebuild can publish.
+			os.Remove(p)
+		}
 	}
 	d.quarantined.Add(1)
 	d.withIndex(func(idx *indexFile) { delete(idx.Entries, hash) })
 }
 
-// publish atomically installs a freshly built stream as the spill for
-// key and records it in the index, evicting over-capacity entries.
+// publish atomically installs a freshly built monolithic stream as the
+// spill for key and records it in the index, evicting over-capacity
+// entries.
 func (d *diskCache) publish(hash string, key Key, s *Stream) (string, error) {
 	if err := os.MkdirAll(d.dir, 0o755); err != nil {
 		return "", err
 	}
-	tmp, err := os.CreateTemp(d.dir, ".acol-tmp-*")
-	if err != nil {
-		return "", err
-	}
-	if err := WriteColumnar(tmp, s); err != nil {
-		tmp.Close()
-		os.Remove(tmp.Name())
-		return "", err
-	}
-	if err := tmp.Close(); err != nil {
-		os.Remove(tmp.Name())
-		return "", err
-	}
 	path := d.spillPath(hash)
-	fi, err := os.Stat(tmp.Name())
-	if err != nil {
-		os.Remove(tmp.Name())
-		return "", err
-	}
-	if err := os.Rename(tmp.Name(), path); err != nil {
-		os.Remove(tmp.Name())
-		return "", err
-	}
-	d.withIndex(func(idx *indexFile) {
-		idx.Entries[hash] = indexEntry{Key: key.String(), Bytes: fi.Size(), LastUsed: time.Now().UnixNano()}
-		d.evictIndexed(idx, hash)
+	size, err := writeAtomic(d.dir, tmpPrefix+"*", path, func(f *os.File) error {
+		return WriteColumnar(f, s)
 	})
+	if err != nil {
+		return "", err
+	}
+	d.recordPublished(hash, key, size)
 	return path, nil
+}
+
+// recordPublished indexes a just-published spill, sweeps directory
+// litter, and evicts over-capacity entries.
+func (d *diskCache) recordPublished(hash string, key Key, bytes int64) {
+	d.withIndex(func(idx *indexFile) {
+		litter := d.sweepLocked(idx)
+		idx.Entries[hash] = indexEntry{Key: key.String(), Bytes: bytes, LastUsed: time.Now().UnixNano()}
+		d.evictIndexed(idx, hash, litter)
+	})
 }
 
 // touch refreshes a spill's LRU position after a disk hit.
@@ -139,23 +232,29 @@ func (d *diskCache) touch(hash string) {
 		e, ok := idx.Entries[hash]
 		if !ok {
 			// Spill exists but predates the index (or the index was lost);
-			// adopt it so eviction accounting sees it.
-			if fi, err := os.Stat(d.spillPath(hash)); err == nil {
-				e.Bytes = fi.Size()
+			// adopt it so eviction accounting sees it. If the spill is
+			// already gone (a concurrent eviction won the race), do NOT
+			// insert: a phantom zero-byte entry would never count toward,
+			// nor be reclaimed by, byte-cap eviction.
+			b := d.spillBytes(hash)
+			if b <= 0 {
+				return
 			}
+			e.Bytes = b
 		}
 		e.LastUsed = time.Now().UnixNano()
 		idx.Entries[hash] = e
 	})
 }
 
-// evictIndexed removes least-recently-used spills until the directory
+// evictIndexed removes least-recently-used spills until the directory —
+// including litterBytes of unindexed litter (young quarantined files) —
 // fits capBytes, never evicting keep (the entry just published).
-func (d *diskCache) evictIndexed(idx *indexFile, keep string) {
+func (d *diskCache) evictIndexed(idx *indexFile, keep string, litterBytes int64) {
 	if d.capBytes <= 0 {
 		return
 	}
-	var total int64
+	total := litterBytes
 	hashes := make([]string, 0, len(idx.Entries))
 	for h, e := range idx.Entries {
 		total += e.Bytes
@@ -173,9 +272,73 @@ func (d *diskCache) evictIndexed(idx *indexFile, keep string) {
 		}
 		total -= idx.Entries[h].Bytes
 		delete(idx.Entries, h)
-		os.Remove(d.spillPath(h))
+		for _, p := range d.spillFiles(h) {
+			os.Remove(p)
+		}
 		d.evictions.Add(1)
 	}
+}
+
+// sweepLocked reclaims directory litter; the caller holds the index
+// lock. Removed: temp files and orphaned segment files (no manifest)
+// older than tmpMaxAge, quarantined *.corrupt.* files older than
+// corruptMaxAge, and lock files whose spill is gone when provably
+// unheld. Returns the byte total of litter that was kept (young corrupt
+// and temp files), so eviction can charge it against the capacity.
+func (d *diskCache) sweepLocked(idx *indexFile) (litterBytes int64) {
+	ents, err := os.ReadDir(d.dir)
+	if err != nil {
+		return 0
+	}
+	now := time.Now()
+	manifests := make(map[string]bool)
+	for _, de := range ents {
+		if name := de.Name(); strings.HasSuffix(name, spillExt) {
+			manifests[name] = true
+		}
+	}
+	reap := func(de os.DirEntry, maxAge time.Duration) {
+		fi, err := de.Info()
+		if err != nil {
+			return
+		}
+		if now.Sub(fi.ModTime()) > maxAge {
+			if os.Remove(filepath.Join(d.dir, de.Name())) == nil {
+				d.swept.Add(1)
+			}
+			return
+		}
+		litterBytes += fi.Size()
+	}
+	for _, de := range ents {
+		name := de.Name()
+		if de.IsDir() || name == indexName || name == indexLockName {
+			continue
+		}
+		switch {
+		case strings.HasPrefix(name, tmpPrefix) || strings.HasPrefix(name, indexTmpPrefix):
+			reap(de, d.tmpMaxAge)
+		case strings.Contains(name, corruptMark):
+			reap(de, d.corruptMaxAge)
+		case strings.HasSuffix(name, ".lock"):
+			// A lock file is litter only once its spill is gone (evicted or
+			// never built); live keys keep theirs for reuse. Unlinking is
+			// delegated to the platform shim, which only removes locks no
+			// process holds.
+			if !manifests[strings.TrimSuffix(name, ".lock")+spillExt] {
+				if sweepLockFile(filepath.Join(d.dir, name)) {
+					d.swept.Add(1)
+				}
+			}
+		case segSuffixRe.MatchString(name):
+			// Segment file whose manifest never landed (builder crashed
+			// between segment publication and the manifest rename).
+			if i := strings.LastIndex(name, ".seg"); i > 0 && !manifests[name[:i]] {
+				reap(de, d.tmpMaxAge)
+			}
+		}
+	}
+	return litterBytes
 }
 
 // indexEntry is one spill's record in index.json.
@@ -217,7 +380,7 @@ func (d *diskCache) withIndex(fn func(*indexFile)) {
 	if err != nil {
 		return
 	}
-	tmp, err := os.CreateTemp(d.dir, ".index-tmp-*")
+	tmp, err := os.CreateTemp(d.dir, indexTmpPrefix+"*")
 	if err != nil {
 		return
 	}

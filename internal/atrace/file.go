@@ -30,6 +30,13 @@ const (
 )
 
 func encodeMeta(s *Stream) []byte {
+	return encodeMetaInfo(metaInfo{
+		lineShift: s.lineShift, firstIndex: s.firstIndex, n: s.n, stats: s.stats,
+		ipfStats: s.ipfStats, dpfStats: s.dpfStats, hasIPF: s.hasIPF, hasDPF: s.hasDPF,
+	})
+}
+
+func encodeMetaInfo(m metaInfo) []byte {
 	var b []byte
 	put := func(v uint64) { b = binary.AppendUvarint(b, v) }
 	putBool := func(v bool) {
@@ -40,10 +47,10 @@ func encodeMeta(s *Stream) []byte {
 		}
 	}
 	put(metaVersion)
-	put(uint64(s.lineShift))
-	put(uint64(s.firstIndex))
-	put(uint64(s.n))
-	st := s.stats
+	put(uint64(m.lineShift))
+	put(uint64(m.firstIndex))
+	put(uint64(m.n))
+	st := m.stats
 	for _, v := range []uint64{
 		st.Instructions, st.DMisses, st.PMisses, st.IMisses, st.SMisses,
 		st.Branches, st.Mispredicts, st.Prefetches, st.PrefetchUsed,
@@ -51,12 +58,12 @@ func encodeMeta(s *Stream) []byte {
 	} {
 		put(v)
 	}
-	putBool(s.hasIPF)
-	put(s.ipfStats.Issued)
-	put(s.ipfStats.Useful)
-	putBool(s.hasDPF)
-	put(s.dpfStats.Issued)
-	put(s.dpfStats.Useful)
+	putBool(m.hasIPF)
+	put(m.ipfStats.Issued)
+	put(m.ipfStats.Useful)
+	putBool(m.hasDPF)
+	put(m.dpfStats.Issued)
+	put(m.dpfStats.Useful)
 	return b
 }
 

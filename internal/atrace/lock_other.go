@@ -33,3 +33,14 @@ func lockFile(path string) (unlock func(), err error) {
 		time.Sleep(25 * time.Millisecond)
 	}
 }
+
+// sweepLockFile removes a stale fallback lock file. Existence IS the
+// lock here, so only files past the stale age (which lockFile would
+// break anyway) are safe to unlink.
+func sweepLockFile(path string) bool {
+	fi, err := os.Stat(path)
+	if err != nil || time.Since(fi.ModTime()) <= staleLockAge {
+		return false
+	}
+	return os.Remove(path) == nil
+}

@@ -27,3 +27,20 @@ func lockFile(path string) (unlock func(), err error) {
 		f.Close()
 	}, nil
 }
+
+// sweepLockFile removes a stale lock file, but only when no process
+// holds it: a non-blocking flock must be grantable first. Unlinking
+// while holding the lock means any process that raced us to open the
+// old inode will serialize against it and then rebuild harmlessly —
+// publication stays atomic either way.
+func sweepLockFile(path string) bool {
+	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
+	if err != nil {
+		return false
+	}
+	defer f.Close()
+	if err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB); err != nil {
+		return false // held by a live process
+	}
+	return os.Remove(path) == nil
+}

@@ -1,6 +1,7 @@
 package atrace
 
 import (
+	"errors"
 	"fmt"
 	"os"
 	"os/exec"
@@ -98,6 +99,123 @@ func TestCrossProcessSingleflight(t *testing.T) {
 	c.Get(key, func() *Stream { rebuilt = true; return nil })
 	if rebuilt {
 		t.Error("published spill not readable by a later process")
+	}
+}
+
+const (
+	// segHelperEnvDir points TestSegmentedBuildHelper at a shared cache
+	// directory; segHelperEnvCrash additionally makes it exit mid-publish.
+	segHelperEnvDir   = "MLPSIM_ATRACE_SEG_HELPER_DIR"
+	segHelperEnvCrash = "MLPSIM_ATRACE_SEG_HELPER_CRASH"
+)
+
+// TestSegmentedBuildHelper is the subprocess body for the crash-recovery
+// test: one segmented GetTrace against the shared directory. With the
+// crash env set it installs the writeAtomic hook and dies (os.Exit)
+// between writing the second publish temp file and renaming it — after
+// segment 0 landed, before segment 1 and the manifest.
+func TestSegmentedBuildHelper(t *testing.T) {
+	dir := os.Getenv(segHelperEnvDir)
+	if dir == "" {
+		t.Skip("helper for TestCrashDuringPublishRecovery; set " + segHelperEnvDir + " to run")
+	}
+	if os.Getenv(segHelperEnvCrash) != "" {
+		writes := 0
+		testCrashBeforeRename = func() {
+			if writes++; writes == 2 {
+				os.Exit(42)
+			}
+		}
+	}
+	c := NewCache()
+	c.SetDir(dir)
+	c.SetSegments(testMeasure/3, 1)
+	key, w := helperKey()
+	s := c.GetTrace(key, BuildSpec{
+		NewAnnotator: func() *annotate.Annotator {
+			return annotate.New(workload.MustNew(w), annotate.Config{})
+		},
+		Warmup:  testWarmup,
+		Measure: testMeasure,
+	})
+	if os.Getenv(segHelperEnvCrash) != "" {
+		t.Fatal("helper survived its crash point")
+	}
+	if s.Len() != testMeasure {
+		t.Fatalf("trace length %d, want %d", s.Len(), testMeasure)
+	}
+	fmt.Printf("HELPER_BUILDS=%d\n", c.Stats().Builds)
+}
+
+// TestCrashDuringPublishRecovery kills a builder process between writing
+// a publish temp file and its rename, then asserts the protocol's crash
+// guarantees: no partial trace is ever visible, the litter (published
+// orphan segment + abandoned temp file) is reclaimed by the sweep, and
+// the next process simply rebuilds.
+func TestCrashDuringPublishRecovery(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns subprocesses")
+	}
+	exe, err := os.Executable()
+	if err != nil {
+		t.Fatalf("os.Executable: %v", err)
+	}
+	dir := t.TempDir()
+	key, _ := helperKey()
+	manifest := filepath.Join(dir, keyHash(key)+spillExt)
+
+	cmd := exec.Command(exe, "-test.run", "^TestSegmentedBuildHelper$", "-test.v")
+	cmd.Env = append(os.Environ(), segHelperEnvDir+"="+dir, segHelperEnvCrash+"=1")
+	out, err := cmd.CombinedOutput()
+	var exit *exec.ExitError
+	if !errors.As(err, &exit) || exit.ExitCode() != 42 {
+		t.Fatalf("crash helper exited with %v, want code 42\n%s", err, out)
+	}
+
+	// No manifest may exist — the crash happened before it was written, so
+	// other processes must see "no trace at all".
+	if _, err := os.Stat(manifest); !os.IsNotExist(err) {
+		t.Fatalf("manifest visible after a mid-publish crash: %v", err)
+	}
+	// The crash left exactly the litter the sweep is for: segment 0
+	// published as an orphan, and segment 1's abandoned temp file.
+	if _, err := os.Stat(segmentPath(manifest, 0)); err != nil {
+		t.Fatalf("expected orphan segment 0 from the crashed builder: %v", err)
+	}
+	tmps, _ := filepath.Glob(filepath.Join(dir, tmpPrefix+"*"))
+	if len(tmps) != 1 {
+		t.Fatalf("expected 1 abandoned temp file, found %v", tmps)
+	}
+
+	// An aged sweep reclaims all three pieces of litter: the orphan
+	// segment, the abandoned temp file, and the dead builder's lock file
+	// (its manifest never landed, and no process holds the flock).
+	d := newDiskCache(dir)
+	d.tmpMaxAge = -1
+	d.withIndex(func(idx *indexFile) { d.sweepLocked(idx) })
+	if got := d.swept.Load(); got != 3 {
+		t.Errorf("sweep reclaimed %d files, want 3 (orphan segment + temp + stale lock)", got)
+	}
+	for _, p := range append([]string{segmentPath(manifest, 0)}, tmps...) {
+		if _, err := os.Stat(p); !os.IsNotExist(err) {
+			t.Errorf("sweep left %s behind", p)
+		}
+	}
+
+	// The next process rebuilds from scratch and publishes a full trace.
+	cmd = exec.Command(exe, "-test.run", "^TestSegmentedBuildHelper$", "-test.v")
+	cmd.Env = append(os.Environ(), segHelperEnvDir+"="+dir)
+	out, err = cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("rebuild helper failed: %v\n%s", err, out)
+	}
+	if n, ok := parseHelperBuilds(string(out)); !ok || n != 1 {
+		t.Fatalf("rebuild helper reported %d builds (ok=%v), want 1\n%s", n, ok, out)
+	}
+	if tr, err := OpenSpill(manifest); err != nil {
+		t.Errorf("republished trace unreadable: %v", err)
+	} else if tr.Len() != testMeasure {
+		t.Errorf("republished trace holds %d instructions, want %d", tr.Len(), testMeasure)
 	}
 }
 

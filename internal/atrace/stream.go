@@ -18,6 +18,31 @@ import (
 	"mlpsim/internal/vpred"
 )
 
+// Source is a sequential cursor over an annotated instruction window.
+// NextInto is the zero-copy variant the engines' fetch paths detect and
+// prefer; both methods yield the exact annotate.Inst values the annotator
+// emitted.
+type Source interface {
+	Next() (annotate.Inst, bool)
+	NextInto(*annotate.Inst) bool
+}
+
+// Trace is a replayable annotated instruction window: either a single
+// monolithic Stream or a SegStream chaining fixed-size segments. Every
+// implementation is immutable and safe for concurrent use once built;
+// Source returns an independent cursor per call.
+type Trace interface {
+	Len() int64
+	FirstIndex() int64
+	LineShift() uint8
+	Stats() annotate.Stats
+	IPrefetchStats() (prefetch.Stats, bool)
+	DPrefetchStats() (prefetch.Stats, bool)
+	MemBytes() int64
+	Mapped() bool
+	Source() Source
+}
+
 // Stream is an immutable struct-of-arrays encoding of an annotated
 // instruction window. All replays decode the same columns; a Stream is
 // safe for concurrent use once built.
@@ -256,6 +281,9 @@ type Replay struct {
 // Replay returns a fresh replay cursor positioned at the first
 // instruction.
 func (s *Stream) Replay() *Replay { return &Replay{s: s} }
+
+// Source returns a fresh replay cursor, satisfying the Trace interface.
+func (s *Stream) Source() Source { return s.Replay() }
 
 // Next returns the next annotated instruction in the stream.
 func (r *Replay) Next() (annotate.Inst, bool) {

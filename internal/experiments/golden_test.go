@@ -68,6 +68,41 @@ func TestCachedPathMatchesDirect(t *testing.T) {
 	}
 }
 
+// TestSegmentedCacheMatchesDirect re-runs the golden determinism check
+// with segmented parallel capture enabled: sharding the annotation pass
+// across workers and replaying across segment boundaries must stay
+// bit-identical to the direct annotate-per-run path.
+func TestSegmentedCacheMatchesDirect(t *testing.T) {
+	cached, direct := goldenSetups(1)
+	// 500k / 150k -> 4 segments (the last one short) built by 2 workers.
+	cached.Cache.SetSegments(150_000, 2)
+
+	cfgs := []core.Config{
+		core.Default(),
+		core.Default().WithIssue(core.ConfigD).WithRunahead(),
+	}
+	for _, w := range cached.Workloads {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			for _, cfg := range cfgs {
+				got := cached.RunMLPsim(w, cfg, annotate.Config{})
+				want := direct.RunMLPsim(w, cfg, annotate.Config{})
+				if !reflect.DeepEqual(got, want) {
+					t.Errorf("segmented cached result differs from direct\ncached: %+v\ndirect: %+v", got, want)
+				}
+			}
+			got := cached.RunCycleSim(w, cyclesim.Default(400), annotate.Config{})
+			want := direct.RunCycleSim(w, cyclesim.Default(400), annotate.Config{})
+			if !reflect.DeepEqual(got, want) {
+				t.Errorf("segmented cached cyclesim result differs from direct\ncached: %+v\ndirect: %+v", got, want)
+			}
+		})
+	}
+	if st := cached.Cache.Stats(); st.Builds != uint64(len(cached.Workloads)) {
+		t.Errorf("segmented cache performed %d builds for %d workloads", st.Builds, len(cached.Workloads))
+	}
+}
+
 // TestCachedStatsMatchDirect checks the AnnotateStats path (Table 6 /
 // Compare) the same way.
 func TestCachedStatsMatchDirect(t *testing.T) {

@@ -76,9 +76,11 @@ func (s Setup) directAnnotator(w workload.Config, acfg annotate.Config) *annotat
 	return a
 }
 
-// cachedStream returns the shared annotated stream for (w, acfg) when the
-// configuration is cacheable, annotating at most once per key.
-func (s Setup) cachedStream(w workload.Config, acfg annotate.Config) (*atrace.Stream, bool) {
+// cachedStream returns the shared annotated trace for (w, acfg) when the
+// configuration is cacheable, annotating at most once per key. The cache
+// decides the capture strategy (monolithic or segmented-parallel via
+// Cache.SetSegments); every strategy yields a bit-identical trace.
+func (s Setup) cachedStream(w workload.Config, acfg annotate.Config) (atrace.Trace, bool) {
 	if s.Cache == nil {
 		return nil, false
 	}
@@ -87,18 +89,22 @@ func (s Setup) cachedStream(w workload.Config, acfg annotate.Config) (*atrace.St
 		return nil, false
 	}
 	key := atrace.Key{Workload: w, Annot: akey, Warmup: s.Warmup, Measure: s.Measure}
-	st := s.Cache.Get(key, func() *atrace.Stream {
-		return atrace.Capture(s.directAnnotator(w, fresh()), s.Measure)
+	st := s.Cache.GetTrace(key, atrace.BuildSpec{
+		Warmup:  s.Warmup,
+		Measure: s.Measure,
+		NewAnnotator: func() *annotate.Annotator {
+			return annotate.New(workload.MustNew(w), fresh())
+		},
 	})
 	return st, true
 }
 
 // annotatedSource yields the instruction stream for one engine run:
-// a zero-allocation replay of the cached stream when possible, otherwise
+// a zero-allocation replay of the cached trace when possible, otherwise
 // a fresh annotator.
 func (s Setup) annotatedSource(w workload.Config, acfg annotate.Config) core.AnnotatedSource {
 	if st, ok := s.cachedStream(w, acfg); ok {
-		return st.Replay()
+		return st.Source()
 	}
 	return s.directAnnotator(w, acfg)
 }
