@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet bench bench-full bench-compare bench-gate bench-baseline fuzz clean
+.PHONY: all build test race vet bench bench-full bench-compare bench-gate bench-baseline fuzz serve-smoke clean
 
 all: build test vet
 
@@ -16,6 +16,7 @@ test:
 	$(GO) vet ./...
 	$(GO) test ./...
 	$(GO) test -race ./internal/atrace -run 'TestCacheSingleflight|TestCrossProcessSingleflight|TestCacheDiskSpill|TestCorruptSpillQuarantined|TestDiskEviction|TestSegmented|TestCrashDuringPublishRecovery'
+	$(GO) test -race ./internal/server
 	$(MAKE) bench-gate
 
 bench-gate:
@@ -52,6 +53,13 @@ bench-compare:
 
 fuzz:
 	$(GO) test ./internal/trace -fuzz FuzzRoundTripV2 -fuzztime 30s
+	$(GO) test ./internal/atrace -fuzz FuzzOpenSegmentManifest -fuzztime 30s
+
+# serve-smoke boots the real daemon binary on an ephemeral port, diffs
+# one exhibit's CSV against the plain CLI's output and asserts a clean
+# SIGTERM drain. See scripts/serve-smoke.sh.
+serve-smoke:
+	sh scripts/serve-smoke.sh
 
 clean:
 	$(GO) clean ./...

@@ -8,11 +8,13 @@
 //	experiments -warmup 5000000 -measure 20000000   # bigger runs
 //	experiments -only figure4 -cpuprofile cpu.prof  # profile a sweep
 //	experiments -trace-cache-dir /tmp/atrace        # reuse annotations across invocations
+//	experiments -serve 127.0.0.1:8080               # long-lived HTTP daemon
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"runtime"
@@ -24,19 +26,22 @@ import (
 
 func main() {
 	var (
-		only     = flag.String("only", "", "run a single exhibit (e.g. table3, figure8)")
-		list     = flag.Bool("list", false, "list available exhibits")
-		seed     = flag.Int64("seed", 1, "workload generation seed")
-		warmup   = flag.Int64("warmup", 2_000_000, "warm-up instructions per run")
-		measure  = flag.Int64("measure", 8_000_000, "measured instructions per run")
-		par      = flag.Int("parallel", 0, "concurrent simulator runs (0 = GOMAXPROCS)")
-		csvDir   = flag.String("csv", "", "also write each exhibit's rows as CSV into this directory")
-		cacheDir   = flag.String("trace-cache-dir", "", "spill annotated-trace cache entries to this directory (shared across invocations and processes)")
-		cacheBytes = flag.Int64("trace-cache-bytes", 0, "byte cap for -trace-cache-dir; least-recently-used spills are evicted (0 = default cap)")
-		segInsts   = flag.Int64("trace-segment-insts", 0, "capture annotated traces as N-instruction segments built by parallel pipelines (0 = monolithic)")
-		segWorkers = flag.Int("trace-capture-workers", 0, "parallel capture workers with -trace-segment-insts (0 = GOMAXPROCS)")
-		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
-		memProf  = flag.String("memprofile", "", "write a heap profile to this file on exit")
+		only         = flag.String("only", "", "run a single exhibit (e.g. table3, figure8)")
+		list         = flag.Bool("list", false, "list available exhibits")
+		seed         = flag.Int64("seed", 1, "workload generation seed")
+		warmup       = flag.Int64("warmup", 2_000_000, "warm-up instructions per run")
+		measure      = flag.Int64("measure", 8_000_000, "measured instructions per run")
+		par          = flag.Int("parallel", 0, "concurrent simulator runs (0 = GOMAXPROCS)")
+		csvDir       = flag.String("csv", "", "also write each exhibit's rows as CSV into this directory")
+		jsonDir      = flag.String("json", "", "also write each exhibit's rows as JSON into this directory")
+		serveAddr    = flag.String("serve", "", "serve exhibits over HTTP on this address instead of running once (e.g. 127.0.0.1:8080)")
+		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "with -serve: how long SIGTERM waits for in-flight requests")
+		cacheDir     = flag.String("trace-cache-dir", "", "spill annotated-trace cache entries to this directory (shared across invocations and processes)")
+		cacheBytes   = flag.Int64("trace-cache-bytes", 0, "byte cap for -trace-cache-dir; least-recently-used spills are evicted (0 = default cap)")
+		segInsts     = flag.Int64("trace-segment-insts", 0, "capture annotated traces as N-instruction segments built by parallel pipelines (0 = monolithic)")
+		segWorkers   = flag.Int("trace-capture-workers", 0, "parallel capture workers with -trace-segment-insts (0 = GOMAXPROCS)")
+		cpuProf      = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf      = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
 
@@ -89,6 +94,14 @@ func main() {
 		setup.Cache.SetSegments(*segInsts, *segWorkers)
 	}
 
+	if *serveAddr != "" {
+		if err := serve(*serveAddr, setup, *drainTimeout); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
 	runners := experiments.All()
 	if *only != "" {
 		r := experiments.Find(*only)
@@ -99,10 +112,12 @@ func main() {
 		runners = []experiments.Runner{*r}
 	}
 
-	if *csvDir != "" {
-		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
-			fmt.Fprintln(os.Stderr, "experiments:", err)
-			os.Exit(1)
+	for _, dir := range []string{*csvDir, *jsonDir} {
+		if dir != "" {
+			if err := os.MkdirAll(dir, 0o755); err != nil {
+				fmt.Fprintln(os.Stderr, "experiments:", err)
+				os.Exit(1)
+			}
 		}
 	}
 	for _, r := range runners {
@@ -111,19 +126,24 @@ func main() {
 		fmt.Println(out)
 		fmt.Printf("[%s completed in %s]\n\n", r.ID, time.Since(start).Round(time.Millisecond))
 		if *csvDir != "" {
-			if err := writeCSV(filepath.Join(*csvDir, r.ID+".csv"), out); err != nil {
+			if err := writeRows(filepath.Join(*csvDir, r.ID+".csv"), out, experiments.WriteCSV); err != nil {
 				fmt.Fprintln(os.Stderr, "experiments: csv:", err)
+			}
+		}
+		if *jsonDir != "" {
+			if err := writeRows(filepath.Join(*jsonDir, r.ID+".json"), out, experiments.WriteJSON); err != nil {
+				fmt.Fprintln(os.Stderr, "experiments: json:", err)
 			}
 		}
 	}
 }
 
-// writeCSV stores one exhibit's rows.
-func writeCSV(path string, exhibit interface{}) error {
+// writeRows stores one exhibit's rows with the given encoder.
+func writeRows(path string, exhibit interface{}, write func(io.Writer, interface{}) error) error {
 	f, err := os.Create(path)
 	if err != nil {
 		return err
 	}
 	defer f.Close()
-	return experiments.WriteCSV(f, exhibit)
+	return write(f, exhibit)
 }

@@ -1,0 +1,57 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"mlpsim/internal/experiments"
+	"mlpsim/internal/server"
+)
+
+// serve runs the experiment daemon on addr until SIGTERM/SIGINT, then
+// drains: /healthz flips to 503 immediately, in-flight requests get up
+// to drainTimeout to finish, and a clean drain exits 0.
+func serve(addr string, setup experiments.Setup, drainTimeout time.Duration) error {
+	srv := server.New(server.Options{Setup: setup})
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+
+	// Printed before serving so scripts (and make serve-smoke) can poll
+	// for the resolved address, ":0" included.
+	fmt.Printf("experiments: serving on http://%s\n", ln.Addr())
+
+	errc := make(chan error, 1)
+	go func() {
+		if err := hs.Serve(ln); !errors.Is(err, http.ErrServerClosed) {
+			errc <- err
+		}
+	}()
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGTERM, syscall.SIGINT)
+	select {
+	case err := <-errc:
+		return err
+	case sig := <-sigc:
+		fmt.Printf("experiments: %s; draining (up to %s)\n", sig, drainTimeout)
+	}
+
+	srv.BeginDrain()
+	ctx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+	defer cancel()
+	if err := hs.Shutdown(ctx); err != nil {
+		return fmt.Errorf("drain: %w", err)
+	}
+	fmt.Println("experiments: drained, bye")
+	return nil
+}

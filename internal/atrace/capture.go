@@ -122,7 +122,7 @@ func CaptureSegmented(spec SegSpec) *PendingCapture {
 	// annotator warmed once over the prefix before lo.
 	lo := 0
 	for w := 0; w < workers; w++ {
-		hi := (count*(w + 1) + workers - 1) / workers
+		hi := (count*(w+1) + workers - 1) / workers
 		if hi > count {
 			hi = count
 		}

@@ -109,6 +109,9 @@ type diskCache struct {
 	// Sweep age bounds; fields so tests can force immediate reclamation.
 	tmpMaxAge     time.Duration
 	corruptMaxAge time.Duration
+	// now is the sweep's clock; a field so tests can pin litter ages
+	// exactly at the young/aged boundary.
+	now func() time.Time
 
 	quarantined atomic.Uint64
 	evictions   atomic.Uint64
@@ -121,6 +124,7 @@ func newDiskCache(dir string) *diskCache {
 		capBytes:      DefaultDiskCapBytes,
 		tmpMaxAge:     sweepTmpMaxAge,
 		corruptMaxAge: sweepCorruptMaxAge,
+		now:           time.Now,
 	}
 }
 
@@ -290,7 +294,7 @@ func (d *diskCache) sweepLocked(idx *indexFile) (litterBytes int64) {
 	if err != nil {
 		return 0
 	}
-	now := time.Now()
+	now := d.now()
 	manifests := make(map[string]bool)
 	for _, de := range ents {
 		if name := de.Name(); strings.HasSuffix(name, spillExt) {

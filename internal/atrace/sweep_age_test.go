@@ -1,0 +1,127 @@
+package atrace
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// litterFile drops one file with an exact modification time into dir.
+func litterFile(t *testing.T, dir, name string, size int, mtime time.Time) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, make([]byte, size), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Chtimes(path, mtime, mtime); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// sweepAt runs one directory sweep with the cache clock pinned to now,
+// returning the kept-litter byte total.
+func sweepAt(d *diskCache, now time.Time) (litterBytes int64) {
+	d.now = func() time.Time { return now }
+	d.withIndex(func(idx *indexFile) { litterBytes = d.sweepLocked(idx) })
+	return litterBytes
+}
+
+// TestSweepAgeBoundaryExact pins the reclamation rule at the exact
+// young/aged threshold: litter whose age equals the bound is still
+// young (kept, its bytes charged against the capacity); one nanosecond
+// older and it is reclaimed. Covered for both litter classes — temp
+// files (tmpMaxAge) and quarantined spills (corruptMaxAge).
+func TestSweepAgeBoundaryExact(t *testing.T) {
+	base := time.Now().Truncate(time.Second) // whole seconds survive every filesystem's mtime granularity
+	cases := []struct {
+		name string
+		file string
+		age  func(d *diskCache) time.Duration
+	}{
+		{"temp file", tmpPrefix + "boundary", func(d *diskCache) time.Duration { return d.tmpMaxAge }},
+		{"orphan segment", "feedbeef" + spillExt + ".seg0000", func(d *diskCache) time.Duration { return d.tmpMaxAge }},
+		{"quarantined spill", "deadbeef" + spillExt + corruptMark + "1.2", func(d *diskCache) time.Duration { return d.corruptMaxAge }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			d := newDiskCache(dir)
+			const size = 1024
+			path := litterFile(t, dir, tc.file, size, base)
+			maxAge := tc.age(d)
+
+			// Age == bound exactly: young. Kept, and its bytes count.
+			if got := sweepAt(d, base.Add(maxAge)); got != size {
+				t.Errorf("litter aged exactly maxAge: charged %d bytes, want %d (kept)", got, size)
+			}
+			if _, err := os.Stat(path); err != nil {
+				t.Fatalf("litter aged exactly maxAge was reclaimed: %v", err)
+			}
+			if n := d.swept.Load(); n != 0 {
+				t.Errorf("swept counter %d after a keep-everything sweep, want 0", n)
+			}
+
+			// One nanosecond past the bound: aged. Reclaimed, zero charge.
+			if got := sweepAt(d, base.Add(maxAge+time.Nanosecond)); got != 0 {
+				t.Errorf("aged litter still charged %d bytes after reclamation", got)
+			}
+			if _, err := os.Stat(path); !os.IsNotExist(err) {
+				t.Errorf("litter aged past maxAge survived the sweep: %v", err)
+			}
+			if n := d.swept.Load(); n != 1 {
+				t.Errorf("swept counter %d, want 1", n)
+			}
+		})
+	}
+}
+
+// TestSweepSparesLockHeldByLiveProcess: a lock file whose spill is gone
+// is normally litter, but never while a live process holds the flock —
+// unlinking it would let two builders publish the same key through
+// different inodes. Only after release may the sweep reclaim it.
+func TestSweepSparesLockHeldByLiveProcess(t *testing.T) {
+	dir := t.TempDir()
+	d := newDiskCache(dir)
+	lockPath := filepath.Join(dir, "cafef00d.lock")
+
+	// Hold the lock the way a live builder does (no spill beside it, so
+	// the sweep sees a candidate). lockFile keeps its own descriptor, so
+	// this models any live PID, in-process or not.
+	unlock, err := lockFile(lockPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aged := time.Now().Add(365 * 24 * time.Hour) // far past every age bound
+	sweepAt(d, aged)
+	if _, err := os.Stat(lockPath); err != nil {
+		t.Fatalf("sweep reclaimed a lock held by a live process: %v", err)
+	}
+	if n := d.swept.Load(); n != 0 {
+		t.Errorf("swept counter %d while the lock was held, want 0", n)
+	}
+
+	// Released: now it is provably unheld and reclaimable.
+	unlock()
+	sweepAt(d, aged)
+	if _, err := os.Stat(lockPath); !os.IsNotExist(err) {
+		t.Errorf("released stale lock survived the sweep: %v", err)
+	}
+}
+
+// TestSweepKeepsLockWithLiveSpill: a lock whose spill still exists is
+// not litter at all, held or not — live keys keep their locks for
+// reuse.
+func TestSweepKeepsLockWithLiveSpill(t *testing.T) {
+	dir := t.TempDir()
+	d := newDiskCache(dir)
+	old := time.Now().Add(-48 * time.Hour)
+	litterFile(t, dir, "0123abcd"+spillExt, 64, old)
+	lockPath := litterFile(t, dir, "0123abcd.lock", 0, old)
+
+	sweepAt(d, time.Now().Add(365*24*time.Hour))
+	if _, err := os.Stat(lockPath); err != nil {
+		t.Errorf("sweep reclaimed the lock of a live spill: %v", err)
+	}
+}

@@ -1,0 +1,88 @@
+package experiments
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// waitGoroutines polls until the goroutine count falls back to at most
+// want, tolerating the runtime's own background churn.
+func waitGoroutines(t *testing.T, want int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if n := runtime.NumGoroutine(); n <= want {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutine count stuck at %d, want <= %d (worker pool leaked)", runtime.NumGoroutine(), want)
+		}
+		runtime.Gosched()
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestCancelMidSweepDrains is the fault-injection check of the sweep
+// pool: cancelling the Setup's context mid-sweep must stop the dispatch
+// of further points, let in-flight points finish, and fully drain the
+// worker goroutines — never leak them, never deadlock.
+func TestCancelMidSweepDrains(t *testing.T) {
+	s := Quick(1)
+	s.Parallelism = 4
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	s.Ctx = ctx
+
+	before := runtime.NumGoroutine()
+	var ran atomic.Int64
+	var once sync.Once
+	const points = 10_000
+	s.forEach(points, func(i int) {
+		once.Do(cancel) // fault injection: the first point kills the sweep
+		ran.Add(1)
+		time.Sleep(time.Millisecond)
+	})
+
+	if n := ran.Load(); n >= points {
+		t.Fatalf("sweep ran all %d points despite cancellation", n)
+	} else if n == 0 {
+		t.Fatal("sweep ran no points at all")
+	}
+	waitGoroutines(t, before)
+}
+
+// TestCancelSequentialSweep covers the workers<=1 path of forEach.
+func TestCancelSequentialSweep(t *testing.T) {
+	s := Quick(1)
+	s.Parallelism = 1
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	s.Ctx = ctx
+
+	var ran int
+	s.forEach(100, func(i int) {
+		ran++
+		if ran == 3 {
+			cancel()
+		}
+	})
+	if ran != 3 {
+		t.Fatalf("sequential sweep ran %d points after cancellation at 3", ran)
+	}
+}
+
+// TestNilContextRunsToCompletion pins the default: no context means the
+// sweep is uncancellable and visits every point exactly once.
+func TestNilContextRunsToCompletion(t *testing.T) {
+	s := Quick(1)
+	s.Parallelism = 3
+	var ran atomic.Int64
+	s.forEach(257, func(i int) { ran.Add(1) })
+	if ran.Load() != 257 {
+		t.Fatalf("sweep ran %d points, want 257", ran.Load())
+	}
+}

@@ -1,0 +1,32 @@
+package experiments
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// WriteJSON renders an exhibit's typed rows as a JSON document
+//
+//	{"rows": [ {<row fields>}, ... ]}
+//
+// It accepts the same shapes as WriteCSV: any struct with exactly one
+// exported slice-of-structs field (Rows, Cells or Series). Row structs
+// marshal with encoding/json field order (declaration order), so the
+// output is deterministic byte-for-byte for a fixed Setup — the HTTP
+// server and the CLI's -json flag both call this, and the golden
+// equivalence test in cmd/experiments holds them to identical bytes.
+func WriteJSON(w io.Writer, exhibit interface{}) error {
+	rows, err := rowsOf(exhibit)
+	if err != nil {
+		return err
+	}
+	out := make([]interface{}, rows.Len())
+	for i := 0; i < rows.Len(); i++ {
+		out[i] = rows.Index(i).Interface()
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(struct {
+		Rows []interface{} `json:"rows"`
+	}{Rows: out})
+}

@@ -1,0 +1,63 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestWriteJSONShape(t *testing.T) {
+	type row struct {
+		Name string
+		MLP  float64
+	}
+	exhibit := struct{ Rows []row }{Rows: []row{{"db", 1.25}, {"web", 2}}}
+	var b bytes.Buffer
+	if err := WriteJSON(&b, exhibit); err != nil {
+		t.Fatal(err)
+	}
+	want := `{
+ "rows": [
+  {
+   "Name": "db",
+   "MLP": 1.25
+  },
+  {
+   "Name": "web",
+   "MLP": 2
+  }
+ ]
+}
+`
+	if b.String() != want {
+		t.Errorf("WriteJSON output:\n%s\nwant:\n%s", b.String(), want)
+	}
+}
+
+func TestWriteJSONRejectsRowless(t *testing.T) {
+	var b bytes.Buffer
+	err := WriteJSON(&b, struct{ X int }{1})
+	if err == nil || !strings.Contains(err.Error(), "Rows/Cells/Series") {
+		t.Errorf("err = %v, want rows-shape complaint", err)
+	}
+}
+
+// TestWriteJSONDeterministic: two renderings of the same exhibit value
+// must be byte-identical — the server's result cache and the CLI both
+// rely on this.
+func TestWriteJSONDeterministic(t *testing.T) {
+	s := Quick(1)
+	s.Warmup, s.Measure = 20_000, 60_000
+	s.Workloads = s.Workloads[:1]
+	out := RunTable5(s)
+	var a, b bytes.Buffer
+	if err := WriteJSON(&a, out); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteJSON(&b, out); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Error("two renderings of one exhibit differ")
+	}
+}

@@ -12,6 +12,7 @@
 package experiments
 
 import (
+	"context"
 	"runtime"
 	"sync"
 
@@ -42,6 +43,20 @@ type Setup struct {
 	// configurations, so results are bit-identical to the direct path
 	// (see TestCachedPathMatchesDirect); nil re-annotates on every run.
 	Cache *atrace.Cache
+	// Ctx, when non-nil, cancels a sweep early: forEach stops handing out
+	// new points once Ctx is done, lets in-flight runs finish, and drains
+	// its worker pool. A cancelled sweep returns partial rows; callers
+	// that care (e.g. the HTTP server) must check Ctx.Err() and discard
+	// the result. Nil means run to completion.
+	Ctx context.Context
+}
+
+// Context returns the sweep's cancellation context, never nil.
+func (s Setup) Context() context.Context {
+	if s.Ctx != nil {
+		return s.Ctx
+	}
+	return context.Background()
 }
 
 // Default returns the full-size setup used by cmd/experiments: the paper
@@ -166,14 +181,24 @@ func (s Setup) parallelism() int {
 	return runtime.GOMAXPROCS(0)
 }
 
-// forEach runs fn(i) for i in [0, n) with bounded parallelism.
+// forEach runs fn(i) for i in [0, n) with bounded parallelism. When the
+// Setup carries a context, cancellation stops the dispatch of further
+// points; runs already in flight complete and the worker pool always
+// drains before forEach returns, so a cancelled sweep never leaks
+// goroutines (see TestCancelMidSweepDrains).
 func (s Setup) forEach(n int, fn func(i int)) {
+	done := s.Context().Done()
 	workers := s.parallelism()
 	if workers > n {
 		workers = n
 	}
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
+			select {
+			case <-done:
+				return
+			default:
+			}
 			fn(i)
 		}
 		return
@@ -189,8 +214,13 @@ func (s Setup) forEach(n int, fn func(i int)) {
 			}
 		}()
 	}
+dispatch:
 	for i := 0; i < n; i++ {
-		next <- i
+		select {
+		case next <- i:
+		case <-done:
+			break dispatch
+		}
 	}
 	close(next)
 	wg.Wait()

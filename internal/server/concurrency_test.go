@@ -1,0 +1,152 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"mlpsim/internal/experiments"
+)
+
+// TestConcurrentRequestsSingleSweep hammers one exhibit key from N
+// goroutines and asserts exactly one sweep executed underneath: the
+// rest either joined the in-flight computation or hit the completed
+// result. Run under -race via `make test`; it also pins that every
+// response carries identical bytes.
+func TestConcurrentRequestsSingleSweep(t *testing.T) {
+	s, ts := testServer(t)
+
+	const n = 8
+	bodies := make([][]byte, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, err := ts.Client().Get(ts.URL + "/v1/exhibits/table5?format=csv")
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				errs[i] = fmt.Errorf("status %s", resp.Status)
+				return
+			}
+			bodies[i], errs[i] = io.ReadAll(resp.Body)
+		}(i)
+	}
+	wg.Wait()
+
+	for i := 0; i < n; i++ {
+		if errs[i] != nil {
+			t.Fatalf("request %d: %v", i, errs[i])
+		}
+		if !bytes.Equal(bodies[i], bodies[0]) {
+			t.Errorf("request %d returned different bytes", i)
+		}
+	}
+	if runs := s.metrics.runsStarted.Load(); runs != 1 {
+		t.Errorf("%d concurrent requests executed %d sweeps, want exactly 1", n, runs)
+	}
+	hits, misses, _, _ := s.results.stats()
+	if misses != 1 || hits != n-1 {
+		t.Errorf("result cache hits=%d misses=%d, want %d/1", hits, misses, n-1)
+	}
+}
+
+// TestClientDisconnectCancelsSweep is the fault-injection test at the
+// HTTP layer: the only client interested in a sweep hangs up mid-sweep;
+// the result cache must cancel the underlying run, the sweep's worker
+// pool must drain, and the daemon must return to a fully idle state
+// with no goroutine left behind.
+func TestClientDisconnectCancelsSweep(t *testing.T) {
+	setup := experiments.Quick(1)
+	setup.Warmup = 50_000
+	setup.Measure = 200_000
+	setup.Parallelism = 2
+	s := New(Options{Setup: setup, RequestTimeout: time.Minute})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	before := runtime.NumGoroutine()
+
+	// figure4 is a 75-point sweep — long enough that cancellation lands
+	// mid-sweep (the annotation pass alone outlives the 50ms fuse).
+	ctx, cancel := context.WithCancel(context.Background())
+	req, err := http.NewRequestWithContext(ctx, "GET", ts.URL+"/v1/exhibits/figure4", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		resp, err := ts.Client().Do(req)
+		if err == nil {
+			resp.Body.Close()
+		}
+		done <- err
+	}()
+
+	// Hang up once the sweep has actually started executing.
+	waitFor(t, 10*time.Second, func() bool { return s.metrics.runsStarted.Load() > 0 })
+	cancel()
+	if err := <-done; err == nil {
+		t.Fatal("request succeeded despite the client hanging up mid-sweep")
+	}
+
+	// The abandoned sweep must notice, stop, and drain.
+	waitFor(t, 30*time.Second, func() bool { return s.metrics.inflight.Load() == 0 })
+	waitFor(t, 10*time.Second, func() bool {
+		_, _, abandoned, _ := s.results.stats()
+		return abandoned == 1
+	})
+	if errors := s.metrics.runErrors.Load(); errors != 1 {
+		t.Errorf("runErrors = %d, want 1 (the cancelled sweep)", errors)
+	}
+
+	// Goroutine-count delta check: once idle connections are gone the
+	// daemon must be back to its pre-request goroutine population.
+	ts.Client().CloseIdleConnections()
+	deadline := time.Now().Add(10 * time.Second)
+	for runtime.NumGoroutine() > before {
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked: %d now vs %d before the cancelled request", runtime.NumGoroutine(), before)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// The daemon is still healthy and can serve the same exhibit fresh
+	// (failed builds are forgotten, not cached).
+	if code, _ := get(t, ts, "/healthz"); code != http.StatusOK {
+		t.Errorf("daemon unhealthy after a cancelled sweep: %d", code)
+	}
+	if code, _ := get(t, ts, "/v1/exhibits/table5"); code != http.StatusOK {
+		t.Errorf("daemon cannot run new sweeps after a cancelled one: %d", code)
+	}
+}
+
+// TestRequestTimeout: a request whose budget expires gets a 504 and the
+// abandoned sweep is cancelled rather than left running.
+func TestRequestTimeout(t *testing.T) {
+	setup := experiments.Quick(1)
+	setup.Warmup = 50_000
+	setup.Measure = 200_000
+	setup.Parallelism = 2
+	s := New(Options{Setup: setup, RequestTimeout: 30 * time.Millisecond})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	code, body := get(t, ts, "/v1/exhibits/figure4")
+	if code != http.StatusGatewayTimeout {
+		t.Fatalf("status %d, want 504\n%s", code, body)
+	}
+	waitFor(t, 30*time.Second, func() bool { return s.metrics.inflight.Load() == 0 })
+}

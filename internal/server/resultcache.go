@@ -1,0 +1,162 @@
+package server
+
+import (
+	"container/list"
+	"context"
+	"fmt"
+	"sync"
+)
+
+// resultKey identifies one computed exhibit: the runner plus every Setup
+// field that can change its rows. Workloads derive from Seed and the
+// trace cache is keyed independently, so (exhibit, seed, warmup,
+// measure) pins the result bytes exactly; Parallelism is deliberately
+// absent because results are bit-identical at any worker count (the
+// golden tests in internal/experiments pin that).
+type resultKey struct {
+	Exhibit string
+	Seed    int64
+	Warmup  int64
+	Measure int64
+}
+
+func (k resultKey) String() string {
+	return fmt.Sprintf("%s?seed=%d&warmup=%d&measure=%d", k.Exhibit, k.Seed, k.Warmup, k.Measure)
+}
+
+// resultEntry is one in-flight or completed exhibit computation.
+type resultEntry struct {
+	key   resultKey
+	ready chan struct{} // closed when val/err are set
+	val   fmt.Stringer
+	err   error
+
+	// waiters counts requests currently joined to an in-flight build;
+	// when the last one walks away the build's context is cancelled so
+	// the sweep stops burning CPU for nobody (see abandon).
+	waiters int
+	cancel  context.CancelFunc
+	elem    *list.Element // LRU position; completed successes only
+}
+
+// resultCache is the in-memory singleflight store of computed exhibits:
+// concurrent requests for the same resultKey join exactly one
+// computation, completed results are kept LRU-bounded, and failed or
+// abandoned computations are forgotten so a later request retries.
+type resultCache struct {
+	mu      sync.Mutex
+	max     int // completed entries kept; <= 0 means unbounded
+	entries map[resultKey]*resultEntry
+	order   *list.List // front = most recently used
+
+	hits      uint64 // served from memory, or joined an in-flight build
+	misses    uint64 // had to start a computation
+	abandoned uint64 // builds cancelled because every waiter left
+}
+
+func newResultCache(max int) *resultCache {
+	return &resultCache{
+		max:     max,
+		entries: make(map[resultKey]*resultEntry),
+		order:   list.New(),
+	}
+}
+
+// do returns the cached result for key, computing it with run at most
+// once no matter how many requests arrive concurrently. ctx is the
+// *caller's* context: when it ends, the caller detaches; the underlying
+// run keeps going as long as at least one request still wants it and is
+// cancelled when the last one leaves.
+func (c *resultCache) do(ctx context.Context, key resultKey, run func(context.Context) (fmt.Stringer, error)) (fmt.Stringer, error) {
+	c.mu.Lock()
+	if e, ok := c.entries[key]; ok {
+		c.hits++
+		select {
+		case <-e.ready:
+			if e.elem != nil {
+				c.order.MoveToFront(e.elem)
+			}
+			c.mu.Unlock()
+			return e.val, e.err
+		default:
+		}
+		e.waiters++
+		c.mu.Unlock()
+		return c.wait(ctx, e)
+	}
+
+	runCtx, cancel := context.WithCancel(context.Background())
+	e := &resultEntry{key: key, ready: make(chan struct{}), waiters: 1, cancel: cancel}
+	c.entries[key] = e
+	c.misses++
+	c.mu.Unlock()
+
+	go func() {
+		val, err := run(runCtx)
+		c.mu.Lock()
+		e.val, e.err = val, err
+		if err != nil {
+			// Failed (or cancelled) builds are forgotten so the next
+			// request retries instead of replaying the error forever.
+			delete(c.entries, key)
+		} else {
+			e.elem = c.order.PushFront(e)
+			c.evictLocked()
+		}
+		c.mu.Unlock()
+		cancel()
+		close(e.ready)
+	}()
+	return c.wait(ctx, e)
+}
+
+// wait blocks until the entry completes or the caller's context ends.
+func (c *resultCache) wait(ctx context.Context, e *resultEntry) (fmt.Stringer, error) {
+	select {
+	case <-e.ready:
+		return e.val, e.err
+	case <-ctx.Done():
+		c.abandon(e)
+		return nil, ctx.Err()
+	}
+}
+
+// abandon detaches one waiter from an in-flight build; the last one out
+// cancels the build's context, which stops the sweep's dispatch loop and
+// drains its worker pool (experiments.Setup.forEach).
+func (c *resultCache) abandon(e *resultEntry) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e.waiters--
+	if e.waiters > 0 {
+		return
+	}
+	select {
+	case <-e.ready:
+		// Completed while we were timing out; keep the result.
+	default:
+		e.cancel()
+		c.abandoned++
+	}
+}
+
+// evictLocked drops least-recently-used completed results over capacity.
+func (c *resultCache) evictLocked() {
+	if c.max <= 0 {
+		return
+	}
+	for c.order.Len() > c.max {
+		back := c.order.Back()
+		e := back.Value.(*resultEntry)
+		c.order.Remove(back)
+		e.elem = nil
+		delete(c.entries, e.key)
+	}
+}
+
+// stats snapshots the counters.
+func (c *resultCache) stats() (hits, misses, abandoned uint64, entries int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses, c.abandoned, c.order.Len()
+}
