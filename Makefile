@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet bench bench-full bench-compare bench-gate bench-baseline fuzz serve-smoke clean
+.PHONY: all build test race vet bench bench-full bench-compare bench-gate bench-baseline profile fuzz serve-smoke clean
 
 all: build test vet
 
@@ -17,16 +17,17 @@ test:
 	$(GO) test ./...
 	$(GO) test -race ./internal/atrace -run 'TestCacheSingleflight|TestCrossProcessSingleflight|TestCacheDiskSpill|TestCorruptSpillQuarantined|TestDiskEviction|TestSegmented|TestCrashDuringPublishRecovery'
 	$(GO) test -race ./internal/server
+	$(GO) test -race ./internal/experiments -run 'TestGangMatchesSequential'
 	$(MAKE) bench-gate
 
 bench-gate:
-	$(GO) run ./cmd/bench -scale quick -skip-sweep -skip-capture \
+	$(GO) run ./cmd/bench -scale quick -skip-sweep -skip-capture -skip-gang \
 		-out /tmp/bench_gate.json -compare BENCH_BASELINE.json -gate-pct 50
 
 # bench-baseline refreshes the committed gate baseline. Run it on the
 # machine class the gate will run on, with the tree otherwise idle.
 bench-baseline:
-	$(GO) run ./cmd/bench -scale quick -skip-sweep -skip-capture -out BENCH_BASELINE.json
+	$(GO) run ./cmd/bench -scale quick -skip-sweep -skip-capture -skip-gang -out BENCH_BASELINE.json
 
 # Concurrency-sensitive packages: the annotated-trace cache (singleflight,
 # mmap, flock-coordinated disk spill) and the experiment worker pool that
@@ -37,19 +38,31 @@ race:
 vet:
 	$(GO) vet ./...
 
-# Performance report: micro-benchmarks, the monolithic-vs-segmented
-# capture comparison, plus the uncached / in-heap-cached / memory-mapped
+# Performance report: micro-benchmarks (engine, gang dispatch at K=1/4/16),
+# the monolithic-vs-segmented capture comparison, the sequential-vs-gang
+# Figure 4 sweep, plus the uncached / in-heap-cached / memory-mapped
 # Figure 4+5+6 sweeps. `make bench` is the quick loop; `make bench-full`
-# writes the committed BENCH_3.json at paper scale, and `make
-# bench-compare` additionally prints deltas against BENCH_2.json.
+# writes the committed BENCH_5.json at paper scale, and `make
+# bench-compare` additionally prints deltas against BENCH_3.json.
 bench:
 	$(GO) run ./cmd/bench -scale quick -out /tmp/bench_quick.json
 
 bench-full:
-	$(GO) run ./cmd/bench -scale default -out BENCH_3.json
+	$(GO) run ./cmd/bench -scale default -out BENCH_5.json
 
 bench-compare:
-	$(GO) run ./cmd/bench -scale default -out BENCH_3.json -compare BENCH_2.json
+	$(GO) run ./cmd/bench -scale default -out BENCH_5.json -compare BENCH_3.json
+
+# profile writes CPU and heap profiles for the engine hot loop and the
+# gang sweep into profiles/. Inspect with e.g.
+#   go tool pprof -http=:8080 profiles/engine.cpu.prof
+profile:
+	mkdir -p profiles
+	$(GO) test -run '^$$' -bench 'BenchmarkMLPsimEngine$$' -benchtime 5s \
+		-cpuprofile profiles/engine.cpu.prof -memprofile profiles/engine.mem.prof .
+	$(GO) test -run '^$$' -bench 'BenchmarkGangSweep$$' -benchtime 5s \
+		-cpuprofile profiles/gang.cpu.prof -memprofile profiles/gang.mem.prof .
+	rm -f mlpsim.test
 
 fuzz:
 	$(GO) test ./internal/trace -fuzz FuzzRoundTripV2 -fuzztime 30s

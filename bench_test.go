@@ -11,6 +11,7 @@ import (
 
 	"mlpsim"
 	"mlpsim/internal/annotate"
+	"mlpsim/internal/atrace"
 	"mlpsim/internal/core"
 	"mlpsim/internal/cyclesim"
 	"mlpsim/internal/experiments"
@@ -191,6 +192,37 @@ func BenchmarkMLPsimRunahead(b *testing.B) {
 	res := core.NewEngine(a, cfg).Run()
 	if res.Instructions != int64(b.N) {
 		b.Fatalf("simulated %d of %d", res.Instructions, b.N)
+	}
+}
+
+// BenchmarkGangSweep measures gang dispatch: 16 engine configurations
+// stepped in lock-step over one shared decode of a captured stream. One
+// op is one config·instruction, directly comparable to
+// BenchmarkMLPsimEngine's per-instruction cost. This is the `make
+// profile` entry point for the gang hot loop.
+func BenchmarkGangSweep(b *testing.B) {
+	const k = 16
+	a := annotate.New(workload.MustNew(workload.Database(1)), annotate.Config{})
+	a.Warm(150_000)
+	s := atrace.Capture(a, 400_000)
+	sizes := []int{16, 32, 64, 128, 256}
+	issues := []core.IssueConfig{core.ConfigA, core.ConfigB, core.ConfigC, core.ConfigD, core.ConfigE}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for remaining := int64(b.N); remaining > 0; {
+		n := s.Len()
+		if per := (remaining + k - 1) / k; per < n {
+			n = per
+		}
+		cfgs := make([]core.Config, k)
+		for i := range cfgs {
+			cfgs[i] = core.Default().
+				WithWindow(sizes[i%len(sizes)]).
+				WithIssue(issues[(i/len(sizes))%len(issues)])
+			cfgs[i].MaxInstructions = n
+		}
+		core.RunGang(s.Replay(), cfgs)
+		remaining -= k * n
 	}
 }
 

@@ -1,10 +1,11 @@
 // Command bench tracks the simulator's performance trajectory: it runs
-// the annotator/replay micro-benchmarks, a monolithic-vs-segmented
-// capture comparison (the pipelined parallel writer behind MLPCOLS2),
-// and the Figure 4+5+6 sweep three ways — uncached, with the in-heap
-// annotated-trace cache, and replaying memory-mapped spills from a warm
-// on-disk cache — then writes a JSON report with ns/op, wall times, peak
-// Go-heap occupancy and headline MLP metrics.
+// the annotator/replay/engine/gang micro-benchmarks, a
+// monolithic-vs-segmented capture comparison (the pipelined parallel
+// writer behind MLPCOLS2), the Figure 4+5+6 sweep three ways — uncached,
+// with the in-heap annotated-trace cache, and replaying memory-mapped
+// spills from a warm on-disk cache — and a sequential-vs-gang-dispatch
+// comparison of the Figure 4 sweep, then writes a JSON report with
+// ns/op, wall times, peak Go-heap occupancy and headline MLP metrics.
 //
 // With -compare and -gate-pct the command doubles as a regression gate:
 // it exits non-zero when any micro-benchmark's ns/op or a sweep heap
@@ -13,9 +14,9 @@
 //
 // Usage:
 //
-//	go run ./cmd/bench -scale quick -out BENCH_2.json
+//	go run ./cmd/bench -scale quick -out /tmp/bench.json
 //	go run ./cmd/bench -scale default                    # the acceptance-criteria run
-//	go run ./cmd/bench -scale default -compare BENCH_1.json
+//	go run ./cmd/bench -scale default -compare BENCH_3.json
 //	go run ./cmd/bench -scale quick -skip-sweep -compare BENCH_BASELINE.json -gate-pct 50
 package main
 
@@ -67,6 +68,20 @@ type sweepResult struct {
 	HeapDropRatio float64 `json:"heap_drop_ratio"`
 }
 
+// gangSweepResult records the sequential-vs-gang dispatch comparison of
+// one multi-config sweep. Both sides replay the same warm annotated-trace
+// cache, so the delta is pure per-point work: one decode plus dependence
+// binding per gang versus one per point.
+type gangSweepResult struct {
+	Exhibit           string  `json:"exhibit"`
+	Points            int     `json:"points"`
+	Gangs             uint64  `json:"gangs"`
+	SequentialSeconds float64 `json:"sequential_seconds"`
+	GangSeconds       float64 `json:"gang_seconds"`
+	Speedup           float64 `json:"speedup"`
+	Identical         bool    `json:"results_identical"`
+}
+
 // captureResult records the monolithic-vs-segmented capture comparison.
 // The speedup scales with cores (each worker runs an independent
 // generation->annotation->encoding pipeline); NumCPU records the machine
@@ -97,6 +112,7 @@ type report struct {
 	Benchmarks map[string]benchResult `json:"benchmarks"`
 	Capture    *captureResult         `json:"capture,omitempty"`
 	Sweep      *sweepResult           `json:"sweep,omitempty"`
+	GangSweep  *gangSweepResult       `json:"gang_sweep,omitempty"`
 	MLP        map[string]float64     `json:"mlp"`
 }
 
@@ -186,18 +202,64 @@ func microBenchmarks(w workload.Config) map[string]benchResult {
 		b.ReportAllocs()
 		b.ResetTimer()
 		// One op = one instruction through the engine; restart the replay
-		// whenever b.N exceeds the captured stream.
+		// whenever b.N exceeds the captured stream. Engine construction
+		// happens off the clock so the numbers are steady-state: the hot
+		// loop itself is zero-allocation.
 		for remaining := int64(b.N); remaining > 0; {
 			n := s.Len()
 			if remaining < n {
 				n = remaining
 			}
 			cfg.MaxInstructions = n
-			core.NewEngine(s.Replay(), cfg).Run()
+			b.StopTimer()
+			e := core.NewEngine(s.Replay(), cfg)
+			b.StartTimer()
+			e.Run()
 			remaining -= n
 		}
 	}))
+
+	// Gang dispatch at K = 1, 4, 16 engines over one shared decode. One
+	// op = one config·instruction, so ns/op falling with K is the win:
+	// the per-instruction decode+bind cost amortizes across the gang.
+	for _, k := range []int{1, 4, 16} {
+		k := k
+		out[fmt.Sprintf("GangSweepK%d", k)] = toResult(testing.Benchmark(func(b *testing.B) {
+			cfgs := gangConfigs(k)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for remaining := int64(b.N); remaining > 0; {
+				n := s.Len()
+				if per := (remaining + int64(k) - 1) / int64(k); per < n {
+					n = per
+				}
+				b.StopTimer()
+				run := make([]core.Config, k)
+				for i := range cfgs {
+					run[i] = cfgs[i]
+					run[i].MaxInstructions = n
+				}
+				b.StartTimer()
+				core.RunGang(s.Replay(), run)
+				remaining -= int64(k) * n
+			}
+		}))
+	}
 	return out
+}
+
+// gangConfigs builds K distinct engine configurations cycling the
+// Figure 4 axes (window size x issue policy).
+func gangConfigs(k int) []core.Config {
+	sizes := []int{16, 32, 64, 128, 256}
+	issues := []core.IssueConfig{core.ConfigA, core.ConfigB, core.ConfigC, core.ConfigD, core.ConfigE}
+	cfgs := make([]core.Config, k)
+	for i := range cfgs {
+		cfgs[i] = core.Default().
+			WithWindow(sizes[i%len(sizes)]).
+			WithIssue(issues[(i/len(sizes))%len(issues)])
+	}
+	return cfgs
 }
 
 // runCaptureBench times the same annotated-trace build done two ways:
@@ -352,6 +414,52 @@ func runMappedSweep(s experiments.Setup, dir string, sw *sweepResult, f4u experi
 	}
 }
 
+// runGangSweep times the Figure 4 sweep point-at-a-time (GangSize 1,
+// the pre-gang dispatch path) and gang-dispatched (GangSize 0: every
+// config sharing a workload's annotated stream steps in lock-step over
+// one decode). A warm-up pass populates the in-heap trace cache first so
+// both timed runs replay identical streams and the delta is pure
+// dispatch cost.
+func runGangSweep(s experiments.Setup) *gangSweepResult {
+	s.Cache = atrace.NewCache()
+	fmt.Fprintln(os.Stderr, "bench: gang sweep: warming the trace cache...")
+	runSweepExhibit(s)
+
+	seq := s
+	seq.GangSize = 1
+	fmt.Fprintln(os.Stderr, "bench: running figure4 point-at-a-time (gang off, warm cache)...")
+	start := time.Now()
+	f4s := runSweepExhibit(seq)
+	ds := time.Since(start)
+
+	gang := s
+	gang.GangSize = 0
+	gang.GangStats = &experiments.GangStats{}
+	fmt.Fprintln(os.Stderr, "bench: running figure4 gang-dispatched (warm cache)...")
+	start = time.Now()
+	f4g := runSweepExhibit(gang)
+	dg := time.Since(start)
+
+	st := gang.GangStats
+	g := &gangSweepResult{
+		Exhibit:           "figure4",
+		Points:            int(st.Configs.Load() + st.Solo.Load()),
+		Gangs:             st.Gangs.Load(),
+		SequentialSeconds: ds.Seconds(),
+		GangSeconds:       dg.Seconds(),
+		Speedup:           ds.Seconds() / dg.Seconds(),
+		Identical:         sameCells(f4s, f4g),
+	}
+	fmt.Fprintf(os.Stderr, "bench: gang sweep: %d points in %d gangs, %.1fs -> %.1fs (%.2fx), results identical: %v\n",
+		g.Points, g.Gangs, g.SequentialSeconds, g.GangSeconds, g.Speedup, g.Identical)
+	return g
+}
+
+// runSweepExhibit runs the gang comparison's exhibit once.
+func runSweepExhibit(s experiments.Setup) experiments.Figure4 {
+	return experiments.RunFigure4(s)
+}
+
 // loadReport reads a previous JSON report; older schemas simply leave
 // the newer fields zero.
 func loadReport(path string) (report, error) {
@@ -440,6 +548,15 @@ func printComparison(path string, old, cur report) {
 				float64(o.CacheBytes)/float64(c.MappedHeapPeakBytes))
 		}
 	}
+	if cur.GangSweep != nil {
+		c := cur.GangSweep
+		if old.GangSweep != nil {
+			fmt.Printf("  gang dispatch    %8.2f -> %8.2f x over sequential\n", old.GangSweep.Speedup, c.Speedup)
+		} else {
+			fmt.Printf("  gang dispatch    %8.1f s -> %6.1f s (%.2fx, no baseline in %s)\n",
+				c.SequentialSeconds, c.GangSeconds, c.Speedup, old.Schema)
+		}
+	}
 	mismatch := false
 	for k, v := range cur.MLP {
 		if ov, ok := old.MLP[k]; ok && ov != v {
@@ -466,10 +583,11 @@ func sameCells(a, b experiments.Figure4) bool {
 
 func main() {
 	scale := flag.String("scale", "quick", "sweep scale: quick or default")
-	out := flag.String("out", "BENCH_3.json", "output JSON path")
+	out := flag.String("out", "BENCH_5.json", "output JSON path")
 	seed := flag.Int64("seed", 1, "workload seed")
 	skipSweep := flag.Bool("skip-sweep", false, "skip the cached-vs-uncached sweep comparison")
 	skipCapture := flag.Bool("skip-capture", false, "skip the monolithic-vs-segmented capture comparison")
+	skipGang := flag.Bool("skip-gang", false, "skip the sequential-vs-gang dispatch comparison")
 	compare := flag.String("compare", "", "print deltas against a previous report (e.g. BENCH_1.json)")
 	gatePct := flag.Float64("gate-pct", 0, "with -compare: exit 1 if any ns/op or heap-peak metric grew more than this percent (0 = report only; MLPSIM_BENCH_GATE=off disables)")
 	cacheDir := flag.String("cache-dir", "", "disk-cache directory for the mapped sweep (default: a temp dir, removed on exit)")
@@ -487,7 +605,7 @@ func main() {
 	}
 
 	rep := report{
-		Schema:  "mlpsim-bench/3",
+		Schema:  "mlpsim-bench/5",
 		Scale:   *scale,
 		Seed:    *seed,
 		Warmup:  s.Warmup,
@@ -504,6 +622,10 @@ func main() {
 	if !*skipCapture {
 		fmt.Fprintln(os.Stderr, "bench: comparing monolithic vs segmented capture...")
 		rep.Capture = runCaptureBench(s, s.Measure/8)
+	}
+
+	if !*skipGang {
+		rep.GangSweep = runGangSweep(s)
 	}
 
 	if !*skipSweep {

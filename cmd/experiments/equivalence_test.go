@@ -55,19 +55,28 @@ func runCLI(t *testing.T, args string) string {
 // CLI writes with -json/-csv for the same seed, warmup and measure.
 // The two sides share one on-disk trace-cache directory, so this also
 // exercises the CLI-publishes / daemon-mmaps cross-process path.
+//
+// For table5 the CLI side runs with -gang 1 (gang dispatch off) while
+// the daemon gangs by default, so byte equality here also pins
+// gang-dispatched sweeps identical to sequential ones across the
+// process boundary.
 func TestServerMatchesCLI(t *testing.T) {
 	if testing.Short() {
 		t.Skip("spawns subprocesses and runs Quick-scale sweeps")
 	}
 	outDir := t.TempDir()
 	cacheDir := filepath.Join(outDir, "atrace")
-	exhibits := []string{"figure2", "table5", "table6"}
+	exhibits := []struct{ name, extraArgs string }{
+		{"figure2", ""},
+		{"table5", "-gang 1"}, // sequential CLI vs ganged daemon
+		{"table6", ""},
+	}
 
 	// CLI side: Quick scale (seed 1, 300k warm-up, 1M measured).
 	for _, ex := range exhibits {
-		runCLI(t, fmt.Sprintf(
-			"-only %s -seed 1 -warmup 300000 -measure 1000000 -csv %s -json %s -trace-cache-dir %s",
-			ex, outDir, outDir, cacheDir))
+		runCLI(t, strings.TrimSpace(fmt.Sprintf(
+			"-only %s -seed 1 -warmup 300000 -measure 1000000 -csv %s -json %s -trace-cache-dir %s %s",
+			ex.name, outDir, outDir, cacheDir, ex.extraArgs)))
 	}
 
 	// Server side: same defaults, same shared spill directory.
@@ -78,6 +87,7 @@ func TestServerMatchesCLI(t *testing.T) {
 	defer ts.Close()
 
 	for _, ex := range exhibits {
+		ex := ex.name
 		for _, f := range []struct{ format, ext string }{{"json", ".json"}, {"csv", ".csv"}} {
 			t.Run(ex+"/"+f.format, func(t *testing.T) {
 				url := fmt.Sprintf("%s/v1/exhibits/%s?seed=1&warmup=300000&measure=1000000&format=%s",

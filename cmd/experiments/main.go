@@ -32,6 +32,7 @@ func main() {
 		warmup       = flag.Int64("warmup", 2_000_000, "warm-up instructions per run")
 		measure      = flag.Int64("measure", 8_000_000, "measured instructions per run")
 		par          = flag.Int("parallel", 0, "concurrent simulator runs (0 = GOMAXPROCS)")
+		gang         = flag.Int("gang", 0, "gang size: engines stepped together over one annotated stream (0 = auto, 1 = off, N = cap)")
 		csvDir       = flag.String("csv", "", "also write each exhibit's rows as CSV into this directory")
 		jsonDir      = flag.String("json", "", "also write each exhibit's rows as JSON into this directory")
 		serveAddr    = flag.String("serve", "", "serve exhibits over HTTP on this address instead of running once (e.g. 127.0.0.1:8080)")
@@ -84,6 +85,7 @@ func main() {
 	setup.Warmup = *warmup
 	setup.Measure = *measure
 	setup.Parallelism = *par
+	setup.GangSize = *gang
 	if *cacheDir != "" {
 		setup.Cache.SetDir(*cacheDir)
 		if *cacheBytes > 0 {

@@ -1,0 +1,109 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"mlpsim/internal/annotate"
+	"mlpsim/internal/atrace"
+)
+
+// replayStream builds an annotated-trace stream from a random
+// instruction mix so the engine runs against the real replay decoder
+// (the production fetch path).
+func replayStream(n int) *atrace.Stream {
+	rng := rand.New(rand.NewSource(1234))
+	insts := randomStream(rng, n, 0.05, 0.01, 0.04, 0.02)
+	b := atrace.NewBuilder(6, int64(n))
+	for i := range insts {
+		b.Append(insts[i])
+	}
+	return b.Finish(annotate.Stats{})
+}
+
+// TestEngineRunZeroAllocSteadyState asserts the satellite guarantee
+// behind BENCH_5: with the slot ring and pending buffer preallocated
+// from the Config window bounds, replay-driven Run is exactly 0 allocs
+// and 0 bytes per op in steady state — engine construction excluded.
+func TestEngineRunZeroAllocSteadyState(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race-detector instrumentation allocates")
+	}
+	st := replayStream(200_000)
+	configs := []Config{
+		Default(),
+		Default().WithWindow(256).WithIssue(ConfigA),
+		func() Config {
+			c := Default()
+			c.Runahead, c.MaxRunahead = true, 512
+			return c
+		}(),
+		func() Config {
+			c := Default()
+			c.Mode = InOrderStallOnUse
+			return c
+		}(),
+	}
+	for _, cfg := range configs {
+		cfg := cfg
+		r := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				e := NewEngine(st.Replay(), cfg)
+				b.StartTimer()
+				e.Run()
+			}
+		})
+		if a, bytes := r.AllocsPerOp(), r.AllocedBytesPerOp(); a != 0 || bytes != 0 {
+			t.Errorf("%s: Run = %d allocs/op, %d B/op; want exactly 0/0", cfg.Name(), a, bytes)
+		}
+	}
+}
+
+// TestRunGangZeroAllocSteadyState extends the guarantee to the gang
+// path: once the ring, cursors and engines exist, stepping a gang over
+// the replay stream allocates nothing (ring growth aside, which the
+// min-cursor schedule avoids on miss-bearing streams).
+func TestRunGangZeroAllocSteadyState(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race-detector instrumentation allocates")
+	}
+	st := replayStream(200_000)
+	cfgs := []Config{
+		Default(),
+		Default().WithWindow(32),
+		Default().WithWindow(128).WithIssue(ConfigA),
+	}
+	r := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			ring := newGangRing(st.Replay())
+			engines := make([]*Engine, len(cfgs))
+			for k, cfg := range cfgs {
+				engines[k] = NewEngine(ring.newCursor(), cfg)
+			}
+			b.StartTimer()
+			live := len(engines)
+			for live > 0 {
+				pick := -1
+				for k, eng := range engines {
+					if eng == nil {
+						continue
+					}
+					if pick < 0 || ring.cursors[k].pos < ring.cursors[pick].pos {
+						pick = k
+					}
+				}
+				if !engines[pick].step() {
+					engines[pick].finish()
+					ring.cursors[pick].done = true
+					engines[pick] = nil
+					live--
+				}
+			}
+		}
+	})
+	if a, bytes := r.AllocsPerOp(), r.AllocedBytesPerOp(); a != 0 || bytes != 0 {
+		t.Errorf("gang loop = %d allocs/op, %d B/op; want exactly 0/0", a, bytes)
+	}
+}

@@ -21,11 +21,35 @@ type inPlaceSource interface {
 	NextInto(*annotate.Inst) bool
 }
 
-// slot is one in-flight dynamic instruction.
-type slot struct {
-	ai annotate.Inst
+// linkedSource is the gang fast path: a source that delivers each
+// instruction together with its pre-computed dependence links. Engines
+// fed by one skip their own binder (and its StoreTable) entirely — the
+// links are a pure function of the stream, so a gang computes them once
+// and broadcasts (see gang.go).
+type linkedSource interface {
+	NextLinked(*annotate.Inst, *links) bool
+}
 
-	executed bool
+// links are one instruction's dependence edges, bound in program order.
+// They depend only on the instruction stream, never on the engine
+// configuration.
+type links struct {
+	// prod1, prod2 are the register producers (renaming).
+	prod1, prod2 int64
+	// memProd is the most recent earlier store to the same address.
+	memProd int64
+	// prevMem / prevStore / prevBranch chain same-class predecessors for
+	// the issue-ordering policies.
+	prevMem, prevStore, prevBranch int64
+}
+
+// slotState is the hot, per-engine mutable half of an in-flight dynamic
+// instruction. The decoded annotate.Inst (cold after fetch: mostly read
+// once per execution attempt) lives in a parallel ring so the per-step
+// working set stays small.
+type slotState struct {
+	links
+
 	// avail is the epoch from which the slot's result can be consumed
 	// (valid once executed). On-chip results are available in their
 	// execution epoch; missing loads deliver data one epoch later — unless
@@ -35,6 +59,8 @@ type slot struct {
 	// load completes one epoch after issue even when value-predicted: the
 	// prediction frees its consumers, not its reorder-buffer entry.
 	complete int64
+
+	executed bool
 	// counted marks that the slot's off-chip access has been recorded.
 	counted bool
 	// countedS marks that the slot's off-chip *store* access has been
@@ -51,24 +77,89 @@ type slot struct {
 	vpWrong bool
 	// vpHandled marks that the wrong prediction's flush already happened.
 	vpHandled bool
+}
 
-	// Producer links, bound at fetch time (register renaming).
-	prod1, prod2 int64
-	// memProd is the most recent earlier store to the same address.
-	memProd int64
-	// prevMem / prevStore / prevBranch chain same-class predecessors for
-	// the issue-ordering policies.
-	prevMem, prevStore, prevBranch int64
+// binder computes dependence links in program order: register renaming
+// via the producers table, store forwarding via the bounded StoreTable,
+// and the same-class predecessor chains. One binder serves either a
+// single engine or a whole gang — binding at pull time is equivalent to
+// binding at window entry because instructions enter the window in pull
+// order.
+type binder struct {
+	producers                               [isa.NumRegs]int64
+	lastStore                               *StoreTable
+	prevMemIdx, prevStoreIdx, prevBranchIdx int64
+}
+
+func newBinder() *binder {
+	b := &binder{lastStore: NewStoreTable()}
+	for i := range b.producers {
+		b.producers[i] = -1
+	}
+	b.prevMemIdx, b.prevStoreIdx, b.prevBranchIdx = -1, -1, -1
+	return b
+}
+
+// bind fills in instruction j's links and updates the binding state.
+func (b *binder) bind(ai *annotate.Inst, j int64, ln *links) {
+	ln.prod1, ln.prod2, ln.memProd = -1, -1, -1
+	ln.prevMem, ln.prevStore, ln.prevBranch = -1, -1, -1
+
+	if ai.Src1 != isa.NoReg && ai.Src1 != isa.RegZero {
+		ln.prod1 = b.producers[ai.Src1]
+	}
+	if ai.Src2 != isa.NoReg && ai.Src2 != isa.RegZero {
+		ln.prod2 = b.producers[ai.Src2]
+	}
+	cls := ai.Class
+	if cls.IsMemRead() && cls != isa.Prefetch {
+		if p, ok := b.lastStore.Get(ai.EA >> 3); ok {
+			ln.memProd = p
+		}
+	}
+	if cls == isa.Load || cls == isa.Store || cls == isa.CASA || cls == isa.LDSTUB {
+		ln.prevMem = b.prevMemIdx
+		b.prevMemIdx = j
+	}
+	if cls.IsMemWrite() {
+		ln.prevStore = b.prevStoreIdx
+		b.prevStoreIdx = j
+		// Bounded table; stale producers resolve as retired.
+		b.lastStore.Put(ai.EA>>3, j)
+	}
+	if cls == isa.Branch {
+		ln.prevBranch = b.prevBranchIdx
+		b.prevBranchIdx = j
+	}
+	if ai.HasDst() {
+		b.producers[ai.Dst] = j
+	}
+}
+
+// pendInst is one fetched-but-undispatched instruction in the pending
+// ring (filled by the fetch-buffer scan).
+type pendInst struct {
+	ai annotate.Inst
+	ln links
 }
 
 // Engine is the MLPsim epoch-model engine.
 type Engine struct {
-	cfg     Config
-	src     AnnotatedSource
-	srcInto inPlaceSource // src's fast path, nil when unsupported
+	cfg       Config
+	src       AnnotatedSource
+	srcInto   inPlaceSource // src's fast path, nil when unsupported
+	srcLinked linkedSource  // gang fast path, nil when unsupported
 
-	buf  []slot
-	base int64 // absolute index of buf[0]
+	// The window is a power-of-two ring of live slots [retire, fetchEnd),
+	// indexed by absolute instruction index & mask. Decoded instructions
+	// and mutable state live in parallel rings (hot/cold split). Capacity
+	// is sized from the Config window bounds at NewEngine time and only
+	// grows (doubling) if the live set outruns it, so the steady-state
+	// fetch path never allocates.
+	insts []annotate.Inst
+	state []slotState
+	mask  int64
+
 	// fetchEnd is one past the last fetched instruction.
 	fetchEnd int64
 	// retire is the commit frontier: every slot below it has executed and
@@ -78,37 +169,54 @@ type Engine struct {
 	unexec int
 	eof    bool
 
-	producers                               [isa.NumRegs]int64
-	lastStore                               *StoreTable
-	prevMemIdx, prevStoreIdx, prevBranchIdx int64
+	// bind is the engine's private binder; nil when srcLinked delivers
+	// pre-bound links.
+	bind *binder
 
 	// pending holds instructions pulled from the source by the fetch
-	// buffer scan but not yet dispatched into the window.
-	pending   []annotate.Inst
+	// buffer scan but not yet dispatched into the window: a power-of-two
+	// ring of at most FetchBuffer entries, preallocated at NewEngine.
+	pending            []pendInst
+	pendMask           int64
+	pendHead, pendTail int64
+
 	srcPulled int64
 
 	epoch int64
-	res   Result
+	// ep is the current epoch's accumulator, hoisted out of step so the
+	// hot loop reuses one instance.
+	ep  epochState
+	res Result
 }
 
-// pullSource reads one instruction from the underlying source into *dst,
-// honouring MaxInstructions and applying the perfect-feature rewrites.
-func (e *Engine) pullSource(dst *annotate.Inst) bool {
+// pullSource reads one instruction (and its links) from the underlying
+// source, honouring MaxInstructions and applying the perfect-feature
+// rewrites.
+func (e *Engine) pullSource(dst *annotate.Inst, ln *links) bool {
 	if e.cfg.MaxInstructions > 0 && e.srcPulled >= e.cfg.MaxInstructions {
 		return false
 	}
-	if e.srcInto != nil {
+	switch {
+	case e.srcLinked != nil:
+		if !e.srcLinked.NextLinked(dst, ln) {
+			return false
+		}
+	case e.srcInto != nil:
 		if !e.srcInto.NextInto(dst) {
 			return false
 		}
-	} else {
+		e.bind.bind(dst, e.srcPulled, ln)
+	default:
 		ai, ok := e.src.Next()
 		if !ok {
 			return false
 		}
 		*dst = ai
+		e.bind.bind(dst, e.srcPulled, ln)
 	}
 	e.srcPulled++
+	// The rewrites only touch IMiss/Mispred, which the binder never
+	// reads, so binding before them is safe.
 	if e.cfg.PerfectIFetch {
 		dst.IMiss = false
 	}
@@ -118,6 +226,31 @@ func (e *Engine) pullSource(dst *annotate.Inst) bool {
 	return true
 }
 
+// ringSize returns the slot-ring capacity for cfg: enough for the
+// largest possible live set where the window bound is known (out of
+// order), a modest start the ring grows from where it is workload-
+// dependent (in order: outstanding prefetches can pile up behind a
+// stalled tail).
+func ringSize(cfg Config) int {
+	switch {
+	case cfg.Mode == OutOfOrder && cfg.Runahead:
+		return pow2ceil(cfg.MaxRunahead + 1)
+	case cfg.Mode == OutOfOrder:
+		return pow2ceil(cfg.ROB + 1)
+	default:
+		return 256
+	}
+}
+
+// pow2ceil returns the smallest power of two >= n (minimum 1).
+func pow2ceil(n int) int {
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
+
 // NewEngine builds an engine; it panics on invalid configurations
 // (configurations are produced by code, not end users).
 func NewEngine(src AnnotatedSource, cfg Config) *Engine {
@@ -125,15 +258,21 @@ func NewEngine(src AnnotatedSource, cfg Config) *Engine {
 		panic(err)
 	}
 	e := &Engine{
-		cfg:       cfg,
-		src:       src,
-		lastStore: NewStoreTable(),
+		cfg: cfg,
+		src: src,
 	}
 	e.srcInto, _ = src.(inPlaceSource)
-	for i := range e.producers {
-		e.producers[i] = -1
+	e.srcLinked, _ = src.(linkedSource)
+	if e.srcLinked == nil {
+		e.bind = newBinder()
 	}
-	e.prevMemIdx, e.prevStoreIdx, e.prevBranchIdx = -1, -1, -1
+	n := ringSize(cfg)
+	e.insts = make([]annotate.Inst, n)
+	e.state = make([]slotState, n)
+	e.mask = int64(n) - 1
+	p := pow2ceil(cfg.FetchBuffer + 1)
+	e.pending = make([]pendInst, p)
+	e.pendMask = int64(p) - 1
 	return e
 }
 
@@ -142,6 +281,12 @@ func NewEngine(src AnnotatedSource, cfg Config) *Engine {
 func (e *Engine) Run() Result {
 	for e.step() {
 	}
+	return e.finish()
+}
+
+// finish seals and returns the accumulated result. Used by Run and by
+// the gang runner, which drives step directly.
+func (e *Engine) finish() Result {
 	e.res.Config = e.cfg
 	e.res.Instructions = e.fetchEnd
 	return e.res
@@ -156,14 +301,13 @@ func (e *Engine) step() bool {
 	e.epoch++
 	before := e.fetchEnd
 	executedBefore := e.unexec
-	var ep epochState
-	ep.firstUnresolvedStore = -1
-	ep.blockIdx = -1
+	e.ep = epochState{firstUnresolvedStore: -1, blockIdx: -1}
+	ep := &e.ep
 
 	if e.cfg.Mode == OutOfOrder {
-		e.runEpochOoO(&ep)
+		e.runEpochOoO(ep)
 	} else {
-		e.runEpochInOrder(&ep)
+		e.runEpochInOrder(ep)
 	}
 
 	if ep.sAccesses > 0 {
@@ -215,102 +359,84 @@ type epochState struct {
 	epoch                Epoch
 }
 
-// at returns the slot at absolute index j.
-func (e *Engine) at(j int64) *slot {
-	if j < e.base {
-		panic(fmt.Sprintf("core: slot %d below window base %d", j, e.base))
-	}
-	return &e.buf[j-e.base]
+// stateAt returns the mutable state of the slot at absolute index j.
+// Valid only for live indices [retire, fetchEnd); below retire the ring
+// position may have been reused (callers guard with p < e.retire).
+func (e *Engine) stateAt(j int64) *slotState {
+	return &e.state[j&e.mask]
 }
 
-// fetchNext pulls the next instruction into the window, binding its
-// producer links. It returns nil at (or beyond) end of stream.
-func (e *Engine) fetchNext() *slot {
+// instAt returns the decoded instruction at absolute index j (same
+// validity rule as stateAt).
+func (e *Engine) instAt(j int64) *annotate.Inst {
+	return &e.insts[j&e.mask]
+}
+
+// growRing doubles the window ring, re-placing the live slots.
+func (e *Engine) growRing() {
+	n := 2 * len(e.state)
+	insts := make([]annotate.Inst, n)
+	state := make([]slotState, n)
+	mask := int64(n) - 1
+	for j := e.retire; j < e.fetchEnd; j++ {
+		insts[j&mask] = e.insts[j&e.mask]
+		state[j&mask] = e.state[j&e.mask]
+	}
+	e.insts, e.state, e.mask = insts, state, mask
+}
+
+// fetchNext pulls the next instruction into the window; its links were
+// bound at pull time. It returns nils at (or beyond) end of stream.
+func (e *Engine) fetchNext() (*annotate.Inst, *slotState) {
 	if e.eof {
-		return nil
+		return nil, nil
 	}
-	// Reserve the slot and decode into it in place: a slot (and the Inst
-	// inside it) is large enough that staging it in locals costs a
-	// per-instruction memcpy.
-	e.buf = append(e.buf, slot{})
-	s := &e.buf[len(e.buf)-1]
-	if len(e.pending) > 0 {
-		s.ai = e.pending[0]
-		e.pending = e.pending[1:]
-	} else if !e.pullSource(&s.ai) {
-		e.eof = true
-		e.buf = e.buf[:len(e.buf)-1]
-		return nil
-	}
-	s.prod1, s.prod2, s.memProd = -1, -1, -1
-	s.prevMem, s.prevStore, s.prevBranch = -1, -1, -1
-	ai := &s.ai
 	j := e.fetchEnd
+	if j-e.retire >= int64(len(e.state)) {
+		e.growRing()
+	}
+	ai := &e.insts[j&e.mask]
+	st := &e.state[j&e.mask]
+	if e.pendHead < e.pendTail {
+		p := &e.pending[e.pendHead&e.pendMask]
+		e.pendHead++
+		*ai = p.ai
+		st.links = p.ln
+	} else if !e.pullSource(ai, &st.links) {
+		e.eof = true
+		return nil, nil
+	}
+	// The ring slot is being reused: reset the per-engine state (the
+	// decode above fully overwrote ai and links).
+	st.avail, st.complete = 0, 0
+	st.executed, st.counted, st.countedS = false, false, false
+	st.imissDone, st.vpCut, st.vpWrong, st.vpHandled = false, false, false, false
 
 	if ai.DMiss {
 		switch {
 		case e.cfg.PerfectVP:
-			s.vpCut = true
+			st.vpCut = true
 		case e.cfg.ValuePredict && ai.VPOutcome == vpred.Correct:
-			s.vpCut = true
+			st.vpCut = true
 		case e.cfg.ValuePredict && ai.VPOutcome == vpred.Wrong:
-			s.vpWrong = true
+			st.vpWrong = true
 		}
-	}
-
-	// Bind register producers in program order.
-	if ai.Src1 != isa.NoReg && ai.Src1 != isa.RegZero {
-		s.prod1 = e.producers[ai.Src1]
-	}
-	if ai.Src2 != isa.NoReg && ai.Src2 != isa.RegZero {
-		s.prod2 = e.producers[ai.Src2]
-	}
-	cls := ai.Class
-	if cls.IsMemRead() && cls != isa.Prefetch {
-		if p, ok := e.lastStore.Get(ai.EA >> 3); ok {
-			s.memProd = p
-		}
-	}
-	if cls == isa.Load || cls == isa.Store || cls == isa.CASA || cls == isa.LDSTUB {
-		s.prevMem = e.prevMemIdx
-		e.prevMemIdx = j
-	}
-	if cls.IsMemWrite() {
-		s.prevStore = e.prevStoreIdx
-		e.prevStoreIdx = j
-		// Bounded table; stale producers resolve as retired.
-		e.lastStore.Put(ai.EA>>3, j)
-	}
-	if cls == isa.Branch {
-		s.prevBranch = e.prevBranchIdx
-		e.prevBranchIdx = j
-	}
-	if ai.HasDst() {
-		e.producers[ai.Dst] = j
 	}
 
 	e.fetchEnd++
 	e.unexec++
-	return s
+	return ai, st
 }
 
-// advanceRetire moves the commit frontier past completed work and
-// compacts the window buffer.
+// advanceRetire moves the commit frontier past completed work, freeing
+// ring slots for reuse.
 func (e *Engine) advanceRetire() {
 	for e.retire < e.fetchEnd {
-		s := e.at(e.retire)
-		if !s.executed || s.complete > e.epoch {
+		st := e.stateAt(e.retire)
+		if !st.executed || st.complete > e.epoch {
 			break
 		}
 		e.retire++
-	}
-	// Compact when at least half the buffer (and a meaningful amount) is
-	// dead.
-	drop := e.retire - e.base
-	if drop > 4096 && drop >= int64(len(e.buf))/2 {
-		n := copy(e.buf, e.buf[drop:])
-		e.buf = e.buf[:n]
-		e.base = e.retire
 	}
 }
 
@@ -320,13 +446,13 @@ func (e *Engine) resultReady(p int64) bool {
 	if p < 0 || p < e.retire {
 		return true
 	}
-	s := e.at(p)
-	return s.executed && s.avail <= e.epoch
+	st := e.stateAt(p)
+	return st.executed && st.avail <= e.epoch
 }
 
-// srcsReady reports whether all register sources of slot s are available.
-func (e *Engine) srcsReady(s *slot) bool {
-	return e.resultReady(s.prod1) && e.resultReady(s.prod2)
+// srcsReady reports whether all register sources of a slot are available.
+func (e *Engine) srcsReady(st *slotState) bool {
+	return e.resultReady(st.prod1) && e.resultReady(st.prod2)
 }
 
 // producerExecuted reports whether slot p has executed (issued).
@@ -334,36 +460,36 @@ func (e *Engine) producerExecuted(p int64) bool {
 	if p < 0 || p < e.retire {
 		return true
 	}
-	return e.at(p).executed
+	return e.stateAt(p).executed
 }
 
 // execute marks slot j executed in the current epoch, counting its
 // off-chip access if it has one.
-func (e *Engine) execute(j int64, s *slot, ep *epochState) {
-	s.executed = true
+func (e *Engine) execute(j int64, ai *annotate.Inst, st *slotState, ep *epochState) {
+	st.executed = true
 	e.unexec--
-	s.avail = e.epoch
-	s.complete = e.epoch
-	if (s.ai.DMiss || s.ai.PMiss) && !s.counted {
-		s.counted = true
+	st.avail = e.epoch
+	st.complete = e.epoch
+	if (ai.DMiss || ai.PMiss) && !st.counted {
+		st.counted = true
 		kind := accD
-		if s.ai.PMiss {
+		if ai.PMiss {
 			kind = accP
 		}
 		ep.record(e, j, kind)
 	}
-	if s.ai.SMiss && !s.countedS {
-		s.countedS = true
+	if ai.SMiss && !st.countedS {
+		st.countedS = true
 		ep.sAccesses++
 	}
-	if s.ai.DMiss {
+	if ai.DMiss {
 		// Data returns at the end of this epoch. A correctly predicted
 		// value (vpCut) lets consumers proceed immediately, but the load
 		// itself still occupies its reorder-buffer entry until the data
 		// returns.
-		s.complete = e.epoch + 1
-		if !s.vpCut {
-			s.avail = e.epoch + 1
+		st.complete = e.epoch + 1
+		if !st.vpCut {
+			st.avail = e.epoch + 1
 		}
 	}
 	if e.cfg.OnEpoch != nil {

@@ -1,0 +1,196 @@
+package core
+
+import "mlpsim/internal/annotate"
+
+// gangRingInsts is the initial broadcast-ring capacity (instructions).
+// The scheduler always steps the engine furthest behind, which keeps the
+// run-ahead spread near one epoch's consumption; the ring doubles on the
+// rare occasions (e.g. a miss-free stretch consumed whole by one epoch)
+// that the spread genuinely outruns it.
+const gangRingInsts = 4096
+
+// gangEntry is one decoded instruction plus its pre-bound dependence
+// links, shared read-only by every engine in the gang.
+type gangEntry struct {
+	ai annotate.Inst
+	ln links
+}
+
+// gangRing decodes the annotated stream exactly once — one NextInto per
+// dynamic instruction — and binds each instruction's dependence links
+// exactly once, broadcasting both to K cursors. Links are a pure
+// function of the stream (register renaming, store forwarding, same-
+// class predecessor chains), so engines fed by a cursor skip their own
+// binder and StoreTable entirely.
+type gangRing struct {
+	src     AnnotatedSource
+	srcInto inPlaceSource
+	bind    *binder
+
+	buf  []gangEntry
+	mask int64
+	// head is the absolute count of decoded instructions; the ring holds
+	// [tail, head).
+	head int64
+	// tail is a cached lower bound on the slowest live cursor, refreshed
+	// lazily when the ring looks full.
+	tail int64
+	eof  bool
+
+	cursors []*gangCursor
+}
+
+// gangCursor is one engine's private read position in the ring. It
+// satisfies AnnotatedSource and the linkedSource fast path; engines copy
+// entries out of the ring, never mutate them in place.
+type gangCursor struct {
+	ring *gangRing
+	pos  int64
+	done bool
+}
+
+func newGangRing(src AnnotatedSource) *gangRing {
+	r := &gangRing{
+		src:  src,
+		bind: newBinder(),
+		buf:  make([]gangEntry, gangRingInsts),
+		mask: gangRingInsts - 1,
+	}
+	r.srcInto, _ = src.(inPlaceSource)
+	return r
+}
+
+func (r *gangRing) newCursor() *gangCursor {
+	c := &gangCursor{ring: r}
+	r.cursors = append(r.cursors, c)
+	return c
+}
+
+// refreshTail recomputes the cached tail from the live cursors.
+func (r *gangRing) refreshTail() {
+	min := r.head
+	for _, c := range r.cursors {
+		if !c.done && c.pos < min {
+			min = c.pos
+		}
+	}
+	r.tail = min
+}
+
+// grow doubles the ring, re-placing the live entries.
+func (r *gangRing) grow() {
+	n := 2 * len(r.buf)
+	buf := make([]gangEntry, n)
+	mask := int64(n) - 1
+	for j := r.tail; j < r.head; j++ {
+		buf[j&mask] = r.buf[j&r.mask]
+	}
+	r.buf, r.mask = buf, mask
+}
+
+// ensure decodes (and binds) until instruction pos is in the ring; it
+// returns false when the stream ends first.
+func (r *gangRing) ensure(pos int64) bool {
+	for pos >= r.head {
+		if r.eof {
+			return false
+		}
+		if r.head-r.tail >= int64(len(r.buf)) {
+			r.refreshTail()
+			if r.head-r.tail >= int64(len(r.buf)) {
+				r.grow()
+			}
+		}
+		ent := &r.buf[r.head&r.mask]
+		ok := false
+		if r.srcInto != nil {
+			ok = r.srcInto.NextInto(&ent.ai)
+		} else {
+			var ai annotate.Inst
+			if ai, ok = r.src.Next(); ok {
+				ent.ai = ai
+			}
+		}
+		if !ok {
+			r.eof = true
+			return false
+		}
+		r.bind.bind(&ent.ai, r.head, &ent.ln)
+		r.head++
+	}
+	return true
+}
+
+// NextLinked copies the cursor's next instruction and its pre-bound
+// links out of the ring.
+func (c *gangCursor) NextLinked(dst *annotate.Inst, ln *links) bool {
+	if !c.ring.ensure(c.pos) {
+		return false
+	}
+	ent := &c.ring.buf[c.pos&c.ring.mask]
+	*dst = ent.ai
+	*ln = ent.ln
+	c.pos++
+	return true
+}
+
+// Next satisfies AnnotatedSource; engines always take the NextLinked
+// fast path, this exists only to fit the NewEngine signature.
+func (c *gangCursor) Next() (annotate.Inst, bool) {
+	var ai annotate.Inst
+	var ln links
+	ok := c.NextLinked(&ai, &ln)
+	return ai, ok
+}
+
+// RunGang runs one engine per config over a single decode of src and
+// returns their results in config order. Results are bit-identical to
+// running each config alone against its own copy of the stream: every
+// engine sees the full stream through a private cursor, links are the
+// same pure function of the stream a solo engine computes, and engines
+// never share mutable state — so the lock-step schedule below affects
+// only performance, never results.
+//
+// Scheduling is single-threaded: each round steps one epoch of the
+// engine whose cursor is furthest behind (ties to the lowest index).
+// That engine holds the ring's tail, so stepping it first bounds the
+// run-ahead spread; faster engines simply find their entries already
+// decoded. An engine that exhausts its stream (EOF or MaxInstructions)
+// keeps being stepped until its window drains, then releases its cursor
+// so the tail can move past it.
+func RunGang(src AnnotatedSource, cfgs []Config) []Result {
+	results := make([]Result, len(cfgs))
+	if len(cfgs) == 0 {
+		return results
+	}
+	if len(cfgs) == 1 {
+		results[0] = NewEngine(src, cfgs[0]).Run()
+		return results
+	}
+
+	ring := newGangRing(src)
+	engines := make([]*Engine, len(cfgs))
+	for i, cfg := range cfgs {
+		engines[i] = NewEngine(ring.newCursor(), cfg)
+	}
+
+	live := len(cfgs)
+	for live > 0 {
+		pick := -1
+		for i, eng := range engines {
+			if eng == nil {
+				continue
+			}
+			if pick < 0 || ring.cursors[i].pos < ring.cursors[pick].pos {
+				pick = i
+			}
+		}
+		if !engines[pick].step() {
+			results[pick] = engines[pick].finish()
+			ring.cursors[pick].done = true
+			engines[pick] = nil
+			live--
+		}
+	}
+	return results
+}

@@ -1,6 +1,9 @@
 package core
 
-import "mlpsim/internal/isa"
+import (
+	"mlpsim/internal/annotate"
+	"mlpsim/internal/isa"
+)
 
 // runEpochInOrder runs one epoch of the in-order models (§3.3).
 //
@@ -14,27 +17,29 @@ func (e *Engine) runEpochInOrder(ep *epochState) {
 	e.advanceRetire()
 	for {
 		var (
-			s *slot
-			j int64
+			ai *annotate.Inst
+			st *slotState
+			j  int64
 		)
 		// Revisit the stalled tail instruction, if any; otherwise fetch.
-		if e.fetchEnd > e.base && e.fetchEnd > 0 && e.retire < e.fetchEnd && !e.at(e.fetchEnd-1).executed {
+		if e.fetchEnd > 0 && e.retire < e.fetchEnd && !e.stateAt(e.fetchEnd-1).executed {
 			j = e.fetchEnd - 1
-			s = e.at(j)
+			ai = e.instAt(j)
+			st = e.stateAt(j)
 		} else {
 			j = e.fetchEnd
-			s = e.fetchNext()
-			if s == nil {
+			ai, st = e.fetchNext()
+			if ai == nil {
 				ep.terminate(j, LimEnd)
 				return
 			}
 		}
-		if s.ai.IMiss && !s.imissDone {
+		if ai.IMiss && !st.imissDone {
 			if e.cfg.MSHRs > 0 && ep.accesses >= e.cfg.MSHRs {
 				ep.terminate(j, LimMSHR)
 				return
 			}
-			s.imissDone = true
+			st.imissDone = true
 			lim := LimImissEnd
 			if ep.accesses == 0 {
 				lim = LimImissStart
@@ -46,27 +51,27 @@ func (e *Engine) runEpochInOrder(ep *epochState) {
 
 		// Operand or forwarding stall: only outstanding misses can cause
 		// one in order, so this is the stall-on-use window termination.
-		if !e.srcsReady(s) || (s.memProd >= 0 && !e.producerExecuted(s.memProd)) {
+		if !e.srcsReady(st) || (st.memProd >= 0 && !e.producerExecuted(st.memProd)) {
 			lim := LimMissingLoad
-			if s.ai.Class == isa.Branch && s.ai.Mispred {
+			if ai.Class == isa.Branch && ai.Mispred {
 				lim = LimMispredBr
 			}
 			ep.terminate(j, lim)
 			return
 		}
 
-		if e.cfg.MSHRs > 0 && (s.ai.DMiss || s.ai.PMiss) && !s.counted &&
+		if e.cfg.MSHRs > 0 && (ai.DMiss || ai.PMiss) && !st.counted &&
 			ep.accesses >= e.cfg.MSHRs {
 			ep.terminate(j, LimMSHR)
 			return
 		}
-		if e.cfg.StoreBuffer > 0 && s.ai.SMiss && !s.countedS &&
+		if e.cfg.StoreBuffer > 0 && ai.SMiss && !st.countedS &&
 			ep.sAccesses >= e.cfg.StoreBuffer {
 			ep.terminate(j, LimStoreBuf)
 			return
 		}
 
-		if s.ai.Class.IsSerializing() {
+		if ai.Class.IsSerializing() {
 			e.advanceRetire()
 			if ep.accesses > 0 || e.retire < j {
 				ep.terminate(j, LimSerialize)
@@ -74,10 +79,10 @@ func (e *Engine) runEpochInOrder(ep *epochState) {
 			}
 		}
 
-		e.execute(j, s, ep)
+		e.execute(j, ai, st, ep)
 		e.advanceRetire()
 
-		if s.ai.DMiss && e.cfg.Mode == InOrderStallOnMiss {
+		if ai.DMiss && e.cfg.Mode == InOrderStallOnMiss {
 			// Issue stalls as soon as the miss is detected.
 			ep.terminate(j, LimMissingLoad)
 			return

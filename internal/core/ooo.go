@@ -60,19 +60,19 @@ const (
 // tryExecute attempts to execute slot j in the current epoch under the
 // engine's issue policies. rae relaxes the conventional constraints
 // (runahead execution, §3.5).
-func (e *Engine) tryExecute(j int64, s *slot, ep *epochState, rae bool) execResult {
-	cls := s.ai.Class
+func (e *Engine) tryExecute(j int64, ai *annotate.Inst, st *slotState, ep *epochState, rae bool) execResult {
+	cls := ai.Class
 
 	// A slot whose instruction fetch is still pending (possible only when
 	// a full MSHR file deferred the I-access at fetch time) must issue
 	// its fetch before it can execute; the line arrives at the end of the
 	// epoch that issues it.
-	if s.ai.IMiss && !s.imissDone {
+	if ai.IMiss && !st.imissDone {
 		if e.cfg.MSHRs > 0 && ep.accesses >= e.cfg.MSHRs {
 			ep.block(j, LimMSHR)
 			return execBlocked
 		}
-		s.imissDone = true
+		st.imissDone = true
 		ep.record(e, j, accI)
 		return execBlocked
 	}
@@ -84,31 +84,31 @@ func (e *Engine) tryExecute(j int64, s *slot, ep *epochState, rae bool) execResu
 		if e.retire != j {
 			return execBlocked
 		}
-		e.execute(j, s, ep)
+		e.execute(j, ai, st, ep)
 		return execOK
 	}
 
 	// Finite MSHRs: a new off-chip access cannot issue while all miss
 	// registers are occupied by this epoch's outstanding accesses.
-	if e.cfg.MSHRs > 0 && (s.ai.DMiss || s.ai.PMiss) && !s.counted &&
+	if e.cfg.MSHRs > 0 && (ai.DMiss || ai.PMiss) && !st.counted &&
 		ep.accesses >= e.cfg.MSHRs {
 		ep.block(j, LimMSHR)
 		return execBlocked
 	}
 	// Finite store buffer (conventional mode; runahead stores do not
 	// update state and bypass it).
-	if !rae && e.cfg.StoreBuffer > 0 && s.ai.SMiss && !s.countedS &&
+	if !rae && e.cfg.StoreBuffer > 0 && ai.SMiss && !st.countedS &&
 		ep.sAccesses >= e.cfg.StoreBuffer {
 		ep.block(j, LimStoreBuf)
 		return execBlocked
 	}
 
-	if !e.srcsReady(s) {
+	if !e.srcsReady(st) {
 		// A consumer of a wrongly value-predicted missing load costs a
 		// recovery flush in conventional mode.
 		if !rae && e.cfg.ValuePredict && !e.cfg.PerfectVP {
-			if p := e.vpWrongProducer(s); p >= 0 {
-				e.at(p).vpHandled = true
+			if p := e.vpWrongProducer(st); p >= 0 {
+				e.stateAt(p).vpHandled = true
 				return execVPFlush
 			}
 		}
@@ -119,18 +119,18 @@ func (e *Engine) tryExecute(j int64, s *slot, ep *epochState, rae bool) execResu
 	// same-address store to execute (forwarding). Runahead stores do not
 	// update state, so runahead ignores this.
 	isLoadLike := cls.IsMemRead() && cls != isa.Prefetch
-	if !rae && isLoadLike && s.memProd >= 0 && !e.producerExecuted(s.memProd) {
+	if !rae && isLoadLike && st.memProd >= 0 && !e.producerExecuted(st.memProd) {
 		return execBlocked
 	}
 
 	if !rae && cls == isa.Branch && e.cfg.Issue.BranchesInOrder() &&
-		!e.producerExecuted(s.prevBranch) {
+		!e.producerExecuted(st.prevBranch) {
 		return execBlocked
 	}
 
 	if !rae && isLoadLike {
-		if e.cfg.Issue.LoadsInOrder() && !e.producerExecuted(s.prevMem) {
-			if s.ai.DMiss {
+		if e.cfg.Issue.LoadsInOrder() && !e.producerExecuted(st.prevMem) {
+			if ai.DMiss {
 				if ep.firstUnresolvedStore >= 0 && ep.firstUnresolvedStore < j {
 					ep.block(j, LimDepStore)
 				} else {
@@ -141,7 +141,7 @@ func (e *Engine) tryExecute(j int64, s *slot, ep *epochState, rae bool) execResu
 		}
 		if e.cfg.Issue.LoadsWaitStoreAddr() &&
 			ep.firstUnresolvedStore >= 0 && ep.firstUnresolvedStore < j {
-			if s.ai.DMiss {
+			if ai.DMiss {
 				ep.block(j, LimDepStore)
 			}
 			return execBlocked
@@ -150,18 +150,18 @@ func (e *Engine) tryExecute(j int64, s *slot, ep *epochState, rae bool) execResu
 
 	// Stores execute once address and data are ready (checked via
 	// srcsReady above).
-	e.execute(j, s, ep)
+	e.execute(j, ai, st, ep)
 	return execOK
 }
 
 // vpWrongProducer returns the index of an outstanding wrongly-predicted
-// producer of s, or -1.
-func (e *Engine) vpWrongProducer(s *slot) int64 {
-	for _, p := range [2]int64{s.prod1, s.prod2} {
+// producer of the slot, or -1.
+func (e *Engine) vpWrongProducer(st *slotState) int64 {
+	for _, p := range [2]int64{st.prod1, st.prod2} {
 		if p < 0 || p < e.retire {
 			continue
 		}
-		ps := e.at(p)
+		ps := e.stateAt(p)
 		if ps.executed && ps.avail > e.epoch && ps.vpWrong && !ps.vpHandled {
 			return p
 		}
@@ -171,14 +171,14 @@ func (e *Engine) vpWrongProducer(s *slot) int64 {
 
 // noteUnresolvedStore records the first store in scan order whose address
 // is not yet resolved (configurations A and B block later loads on it).
-func (e *Engine) noteUnresolvedStore(j int64, s *slot, ep *epochState) {
-	if !s.ai.Class.IsMemWrite() || s.executed {
+func (e *Engine) noteUnresolvedStore(j int64, ai *annotate.Inst, st *slotState, ep *epochState) {
+	if !ai.Class.IsMemWrite() || st.executed {
 		return
 	}
 	if ep.firstUnresolvedStore >= 0 {
 		return
 	}
-	if !e.resultReady(s.prod1) {
+	if !e.resultReady(st.prod1) {
 		ep.firstUnresolvedStore = j
 	}
 }
@@ -191,10 +191,11 @@ func (e *Engine) runEpochOoO(ep *epochState) {
 	// Phase 1: revisit deferred instructions in program order. Earlier
 	// epochs' misses have completed, so dependence chains resolve here.
 	for j := e.retire; j < e.fetchEnd; j++ {
-		s := e.at(j)
-		if !s.executed {
-			e.tryExecute(j, s, ep, rae)
-			e.noteUnresolvedStore(j, s, ep)
+		st := e.stateAt(j)
+		if !st.executed {
+			ai := e.instAt(j)
+			e.tryExecute(j, ai, st, ep, rae)
+			e.noteUnresolvedStore(j, ai, st, ep)
 		}
 	}
 	e.advanceRetire()
@@ -204,13 +205,14 @@ func (e *Engine) runEpochOoO(ep *epochState) {
 	// mispredicted branch) or a drained pipeline (serializing
 	// instruction).
 	if e.fetchEnd > e.retire {
-		t := e.at(e.fetchEnd - 1)
-		if !t.executed {
-			if t.ai.Class == isa.Branch && t.ai.Mispred {
+		tst := e.stateAt(e.fetchEnd - 1)
+		if !tst.executed {
+			tai := e.instAt(e.fetchEnd - 1)
+			if tai.Class == isa.Branch && tai.Mispred {
 				ep.terminate(e.fetchEnd-1, LimMispredBr)
 				return
 			}
-			if !rae && e.cfg.Issue.Serializing() && t.ai.Class.IsSerializing() {
+			if !rae && e.cfg.Issue.Serializing() && tai.Class.IsSerializing() {
 				ep.terminate(e.fetchEnd-1, LimSerialize)
 				return
 			}
@@ -241,8 +243,8 @@ func (e *Engine) runEpochOoO(ep *epochState) {
 			}
 		}
 
-		s := e.fetchNext()
-		if s == nil {
+		ai, st := e.fetchNext()
+		if ai == nil {
 			ep.terminate(j, LimEnd)
 			return
 		}
@@ -250,12 +252,12 @@ func (e *Engine) runEpochOoO(ep *epochState) {
 		// A missing instruction fetch blocks the front end; the access
 		// itself overlaps with this epoch — unless the MSHR file is full,
 		// in which case the fetch must wait for the next epoch.
-		if s.ai.IMiss && !s.imissDone {
+		if ai.IMiss && !st.imissDone {
 			if e.cfg.MSHRs > 0 && ep.accesses >= e.cfg.MSHRs {
 				ep.terminate(j, LimMSHR)
 				return
 			}
-			s.imissDone = true
+			st.imissDone = true
 			lim := LimImissEnd
 			if ep.accesses == 0 {
 				lim = LimImissStart
@@ -265,20 +267,20 @@ func (e *Engine) runEpochOoO(ep *epochState) {
 			return
 		}
 
-		switch e.tryExecute(j, s, ep, rae) {
+		switch e.tryExecute(j, ai, st, ep, rae) {
 		case execVPFlush:
 			ep.terminate(j, LimVPMisp)
 			return
 		case execBlocked:
-			if s.ai.Class == isa.Branch && s.ai.Mispred {
+			if ai.Class == isa.Branch && ai.Mispred {
 				ep.terminate(j, LimMispredBr)
 				return
 			}
-			if !rae && e.cfg.Issue.Serializing() && s.ai.Class.IsSerializing() {
+			if !rae && e.cfg.Issue.Serializing() && ai.Class.IsSerializing() {
 				ep.terminate(j, LimSerialize)
 				return
 			}
-			e.noteUnresolvedStore(j, s, ep)
+			e.noteUnresolvedStore(j, ai, st, ep)
 		}
 	}
 }
@@ -288,17 +290,17 @@ func (e *Engine) runEpochOoO(ep *epochState) {
 // there is issued in (and overlaps with) the current epoch. The scan stops
 // at a mispredicted branch — beyond it the front end is on the wrong path.
 func (e *Engine) fetchBufferScan(ep *epochState) {
-	for k := 0; k < e.cfg.FetchBuffer; k++ {
+	for k := int64(0); k < int64(e.cfg.FetchBuffer); k++ {
 		var ai *annotate.Inst
-		if k < len(e.pending) {
-			ai = &e.pending[k]
+		if e.pendHead+k < e.pendTail {
+			ai = &e.pending[(e.pendHead+k)&e.pendMask].ai
 		} else {
-			e.pending = append(e.pending, annotate.Inst{})
-			ai = &e.pending[len(e.pending)-1]
-			if !e.pullSource(ai) {
-				e.pending = e.pending[:len(e.pending)-1]
+			p := &e.pending[e.pendTail&e.pendMask]
+			if !e.pullSource(&p.ai, &p.ln) {
 				return
 			}
+			e.pendTail++
+			ai = &p.ai
 		}
 		if ai.Class == isa.Branch && ai.Mispred && !e.cfg.PerfectBP {
 			return

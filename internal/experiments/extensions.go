@@ -52,19 +52,22 @@ func RunExtMSHR(s Setup) ExtMSHR {
 			}
 		}
 	}
-	cells := make([]ExtMSHRCell, len(jobs))
-	s.forEach(len(jobs), func(i int) {
-		j := jobs[i]
+	points := make([]MLPPoint, len(jobs))
+	for i, j := range jobs {
 		cfg := configs[j.ci].cfg
 		cfg.MSHRs = ExtMSHRCounts[j.mi]
-		res := s.RunMLPsim(s.Workloads[j.wi], cfg, annotate.Config{})
+		points[i] = MLPPoint{Workload: s.Workloads[j.wi], Config: cfg, Annot: annotate.Config{}}
+	}
+	results := s.RunMLPsimBatch(points)
+	cells := make([]ExtMSHRCell, len(jobs))
+	for i, j := range jobs {
 		cells[i] = ExtMSHRCell{
 			Workload: s.Workloads[j.wi].Name,
 			Config:   configs[j.ci].name,
 			MSHRs:    ExtMSHRCounts[j.mi],
-			MLP:      res.MLP(),
+			MLP:      results[i].MLP(),
 		}
-	})
+	}
 	return ExtMSHR{Cells: cells}
 }
 
@@ -211,21 +214,24 @@ func RunExtStoreMLP(s Setup) ExtStoreMLP {
 			jobs = append(jobs, job{wi, bi})
 		}
 	}
-	rows := make([]ExtStoreRow, len(jobs))
-	s.forEach(len(jobs), func(i int) {
-		j := jobs[i]
+	points := make([]MLPPoint, len(jobs))
+	for i, j := range jobs {
 		cfg := core.Default()
 		cfg.StoreBuffer = ExtStoreSBs[j.bi]
-		res := s.RunMLPsim(wls[j.wi], cfg, annotate.Config{})
-		fr := res.LimiterFracs()
+		points[i] = MLPPoint{Workload: wls[j.wi], Config: cfg, Annot: annotate.Config{}}
+	}
+	results := s.RunMLPsimBatch(points)
+	rows := make([]ExtStoreRow, len(jobs))
+	for i, j := range jobs {
+		fr := results[i].LimiterFracs()
 		rows[i] = ExtStoreRow{
 			Workload:      wls[j.wi].Name,
 			SB:            ExtStoreSBs[j.bi],
-			MLP:           res.MLP(),
-			StoreMLP:      res.StoreMLP(),
+			MLP:           results[i].MLP(),
+			StoreMLP:      results[i].StoreMLP(),
 			SBLimitedFrac: fr[core.LimStoreBuf],
 		}
-	})
+	}
 	return ExtStoreMLP{Rows: rows}
 }
 

@@ -49,14 +49,17 @@ func RunFigure10(s Setup) Figure10 {
 			}
 		}
 	}
-	mlps := make([]float64, len(jobs))
-	s.forEach(len(jobs), func(i int) {
-		j := jobs[i]
+	points := make([]MLPPoint, len(jobs))
+	for i, j := range jobs {
 		cfg := baselines[j.bi].cfg
 		variants[j.vi](&cfg)
-		res := s.RunMLPsim(s.Workloads[j.wi], cfg, annotate.Config{})
+		points[i] = MLPPoint{Workload: s.Workloads[j.wi], Config: cfg, Annot: annotate.Config{}}
+	}
+	results := s.RunMLPsimBatch(points)
+	mlps := make([]float64, len(jobs))
+	for i, res := range results {
 		mlps[i] = res.MLP()
-	})
+	}
 
 	var rows []Figure10Row
 	for i := 0; i < len(jobs); i += len(variants) {

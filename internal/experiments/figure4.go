@@ -51,20 +51,25 @@ func RunFigure4(s Setup) Figure4 {
 			}
 		}
 	}
+	points := make([]MLPPoint, len(jobs))
+	for i, j := range jobs {
+		points[i] = MLPPoint{
+			Workload: s.Workloads[j.wi],
+			Config:   core.Default().WithWindow(Figure4Sizes[j.si]).WithIssue(Figure4Configs[j.ci]),
+			Annot:    annotate.Config{},
+		}
+	}
+	results := s.RunMLPsimBatch(points)
 	cells := make([]Figure4Cell, len(jobs))
-	s.forEach(len(jobs), func(i int) {
-		j := jobs[i]
-		w := s.Workloads[j.wi]
-		cfg := core.Default().WithWindow(Figure4Sizes[j.si]).WithIssue(Figure4Configs[j.ci])
-		res := s.RunMLPsim(w, cfg, annotate.Config{})
+	for i, j := range jobs {
 		cells[i] = Figure4Cell{
-			Workload: w.Name,
+			Workload: s.Workloads[j.wi].Name,
 			Window:   Figure4Sizes[j.si],
 			Issue:    Figure4Configs[j.ci],
-			MLP:      res.MLP(),
-			Result:   res,
+			MLP:      results[i].MLP(),
+			Result:   results[i],
 		}
-	})
+	}
 	return Figure4{Cells: cells}
 }
 

@@ -60,29 +60,34 @@ func RunFigure6(s Setup) Figure6 {
 			}
 		}
 	}
-	cells := make([]Figure6Cell, len(jobs))
-	s.forEach(len(jobs), func(i int) {
-		j := jobs[i]
-		w := s.Workloads[j.wi]
+	// One batch covers the bar segments and the per-workload INF
+	// reference, so the whole exhibit shares each workload's stream.
+	points := make([]MLPPoint, 0, len(jobs)+len(s.Workloads))
+	for _, j := range jobs {
 		cfg := core.Default().WithIssue(Figure6Configs[j.ci])
 		cfg.IssueWindow = j.iwi
 		cfg.ROB = j.rob
-		res := s.RunMLPsim(w, cfg, annotate.Config{})
-		cells[i] = Figure6Cell{
-			Workload: w.Name, IW: j.iwi, Issue: Figure6Configs[j.ci], ROB: j.rob,
-			MLP: res.MLP(),
-		}
-	})
+		points = append(points, MLPPoint{Workload: s.Workloads[j.wi], Config: cfg, Annot: annotate.Config{}})
+	}
+	for wi := range s.Workloads {
+		points = append(points, MLPPoint{
+			Workload: s.Workloads[wi],
+			Config:   core.Default().WithWindow(figure6BigROB).WithIssue(core.ConfigE),
+			Annot:    annotate.Config{},
+		})
+	}
+	results := s.RunMLPsimBatch(points)
 
+	cells := make([]Figure6Cell, len(jobs))
+	for i, j := range jobs {
+		cells[i] = Figure6Cell{
+			Workload: s.Workloads[j.wi].Name, IW: j.iwi, Issue: Figure6Configs[j.ci], ROB: j.rob,
+			MLP: results[i].MLP(),
+		}
+	}
 	inf := make(map[string]float64, len(s.Workloads))
-	infMLP := make([]float64, len(s.Workloads))
-	s.forEach(len(s.Workloads), func(wi int) {
-		res := s.RunMLPsim(s.Workloads[wi],
-			core.Default().WithWindow(figure6BigROB).WithIssue(core.ConfigE), annotate.Config{})
-		infMLP[wi] = res.MLP()
-	})
 	for wi, w := range s.Workloads {
-		inf[w.Name] = infMLP[wi]
+		inf[w.Name] = results[len(jobs)+wi].MLP()
 	}
 	return Figure6{Cells: cells, INF: inf}
 }

@@ -28,7 +28,8 @@ func RunFigure8(s Setup) Figure8 {
 	for i, w := range s.Workloads {
 		rows[i].Workload = w.Name
 	}
-	s.forEach(len(s.Workloads)*3, func(i int) {
+	points := make([]MLPPoint, len(s.Workloads)*3)
+	for i := range points {
 		wi, which := i/3, i%3
 		var cfg core.Config
 		switch which {
@@ -39,8 +40,11 @@ func RunFigure8(s Setup) Figure8 {
 		default:
 			cfg = core.Default().WithIssue(core.ConfigD).WithRunahead()
 		}
-		res := s.RunMLPsim(s.Workloads[wi], cfg, annotate.Config{})
-		switch which {
+		points[i] = MLPPoint{Workload: s.Workloads[wi], Config: cfg, Annot: annotate.Config{}}
+	}
+	results := s.RunMLPsimBatch(points)
+	for i, res := range results {
+		switch wi := i / 3; i % 3 {
 		case 0:
 			rows[wi].Conv64 = res.MLP()
 		case 1:
@@ -48,7 +52,7 @@ func RunFigure8(s Setup) Figure8 {
 		default:
 			rows[wi].RAE = res.MLP()
 		}
-	})
+	}
 	return Figure8{Rows: rows}
 }
 

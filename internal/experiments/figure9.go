@@ -56,17 +56,17 @@ func RunFigure9(s Setup) Figure9 {
 			}
 		}
 	}
-	mlps := make([]core.Result, len(jobs))
-	s.forEach(len(jobs), func(i int) {
-		j := jobs[i]
+	points := make([]MLPPoint, len(jobs))
+	for i, j := range jobs {
 		cfg := bases[j.bi].cfg
 		acfg := annotate.Config{}
 		if j.vp == 1 {
 			cfg.ValuePredict = true
 			acfg.Value = vpred.NewLastValue(vpred.DefaultEntries)
 		}
-		mlps[i] = s.RunMLPsim(s.Workloads[j.wi], cfg, acfg)
-	})
+		points[i] = MLPPoint{Workload: s.Workloads[j.wi], Config: cfg, Annot: acfg}
+	}
+	mlps := s.RunMLPsimBatch(points)
 
 	var rows []Figure9Row
 	for i := 0; i < len(jobs); i += 2 {

@@ -1,0 +1,122 @@
+package experiments
+
+import (
+	"sync/atomic"
+
+	"mlpsim/internal/annotate"
+	"mlpsim/internal/atrace"
+	"mlpsim/internal/core"
+	"mlpsim/internal/workload"
+)
+
+// MLPPoint is one MLPsim sweep point: a workload, an engine
+// configuration and an annotation configuration. Exhibits hand a slice
+// of these to RunMLPsimBatch instead of looping over RunMLPsim, which
+// lets points sharing an annotated stream run as a gang (one decode,
+// one dependence-binding pass, K engines — see core.RunGang).
+type MLPPoint struct {
+	Workload workload.Config
+	Config   core.Config
+	Annot    annotate.Config
+}
+
+// GangStats accumulates gang occupancy counters across sweeps. Safe for
+// concurrent use; the zero value is ready.
+type GangStats struct {
+	// Gangs counts multi-config gang dispatches.
+	Gangs atomic.Uint64
+	// Configs counts engine configs run inside those gangs.
+	Configs atomic.Uint64
+	// Solo counts points dispatched individually (singleton groups,
+	// unkeyable annotation configs, or GangSize == 1).
+	Solo atomic.Uint64
+}
+
+// RunMLPsimBatch runs every point and returns results in point order,
+// bit-identical to calling RunMLPsim per point. Points that share an
+// annotated stream are grouped and dispatched as gangs; Parallelism
+// bounds concurrent gangs, not points.
+func (s Setup) RunMLPsimBatch(points []MLPPoint) []core.Result {
+	results := make([]core.Result, len(points))
+	plan := s.gangPlan(points)
+	s.forEach(len(plan), func(gi int) {
+		idxs := plan[gi]
+		if len(idxs) == 1 {
+			p := points[idxs[0]]
+			results[idxs[0]] = s.RunMLPsim(p.Workload, p.Config, p.Annot)
+			if s.GangStats != nil {
+				s.GangStats.Solo.Add(1)
+			}
+			return
+		}
+		p0 := points[idxs[0]]
+		cfgs := make([]core.Config, len(idxs))
+		for k, pi := range idxs {
+			cfgs[k] = points[pi].Config
+			cfgs[k].MaxInstructions = s.Measure
+		}
+		rs := core.RunGang(s.annotatedSource(p0.Workload, p0.Annot), cfgs)
+		for k, pi := range idxs {
+			results[pi] = rs[k]
+		}
+		if s.GangStats != nil {
+			s.GangStats.Gangs.Add(1)
+			s.GangStats.Configs.Add(uint64(len(idxs)))
+		}
+	})
+	return results
+}
+
+// gangPlan partitions point indices into dispatch groups. Points group
+// when they will see the same annotated stream: same workload and same
+// canonical annotation key (atrace.ConfigKey), under this Setup's warmup
+// and measure. Grouping does not require the cache — a gang over a
+// direct annotator still shares its single annotation pass — but
+// unkeyable configs (e.g. trained prefetcher instances) have private
+// stream state and always run solo. Groups are then chunked: a fixed
+// GangSize when set, otherwise just enough chunks to keep every worker
+// busy (on one worker, a whole group is one gang).
+func (s Setup) gangPlan(points []MLPPoint) [][]int {
+	var plan [][]int
+	if s.GangSize == 1 {
+		for i := range points {
+			plan = append(plan, []int{i})
+		}
+		return plan
+	}
+	type gkey struct {
+		w     workload.Config
+		annot string
+	}
+	var order []gkey
+	groups := make(map[gkey][]int)
+	for i, p := range points {
+		akey, _, ok := atrace.ConfigKey(p.Annot)
+		if !ok {
+			plan = append(plan, []int{i})
+			continue
+		}
+		k := gkey{p.Workload, akey}
+		if _, seen := groups[k]; !seen {
+			order = append(order, k)
+		}
+		groups[k] = append(groups[k], i)
+	}
+	for _, k := range order {
+		g := groups[k]
+		size := s.GangSize
+		if size <= 0 {
+			per := (s.parallelism() + len(order) - 1) / len(order)
+			size = (len(g) + per - 1) / per
+		}
+		for len(g) > 0 {
+			n := size
+			if n > len(g) {
+				n = len(g)
+			}
+			plan = append(plan, g[:n:n])
+			g = g[n:]
+		}
+	}
+	return plan
+}

@@ -49,6 +49,18 @@ type Setup struct {
 	// that care (e.g. the HTTP server) must check Ctx.Err() and discard
 	// the result. Nil means run to completion.
 	Ctx context.Context
+	// GangSize controls how RunMLPsimBatch gangs sweep points that share
+	// an annotated stream (same workload, annotation config, warmup and
+	// measure): 0 batches each shared-stream group into just enough gangs
+	// to keep every worker busy, 1 disables ganging (one engine per
+	// dispatch, the pre-gang behaviour), and N >= 2 caps gangs at N
+	// configs. Results are bit-identical across all settings; only
+	// wall-clock changes. Parallelism bounds concurrent gangs, not
+	// points.
+	GangSize int
+	// GangStats, when non-nil, accumulates gang occupancy counters
+	// across sweeps (the daemon exports them on /metrics).
+	GangStats *GangStats
 }
 
 // Context returns the sweep's cancellation context, never nil.

@@ -23,19 +23,23 @@ func RunTable5(s Setup) Table5 {
 	for i, w := range s.Workloads {
 		rows[i].Workload = w.Name
 	}
-	s.forEach(len(s.Workloads)*2, func(i int) {
+	points := make([]MLPPoint, len(s.Workloads)*2)
+	for i := range points {
 		wi, mode := i/2, i%2
 		cfg := core.Config{Mode: core.InOrderStallOnMiss}
 		if mode == 1 {
 			cfg.Mode = core.InOrderStallOnUse
 		}
-		res := s.RunMLPsim(s.Workloads[wi], cfg, annotate.Config{})
-		if mode == 0 {
+		points[i] = MLPPoint{Workload: s.Workloads[wi], Config: cfg, Annot: annotate.Config{}}
+	}
+	results := s.RunMLPsimBatch(points)
+	for i, res := range results {
+		if wi := i / 2; i%2 == 0 {
 			rows[wi].StallOnMiss = res.MLP()
 		} else {
 			rows[wi].StallOnUse = res.MLP()
 		}
-	})
+	}
 	return Table5{Rows: rows}
 }
 

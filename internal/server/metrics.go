@@ -78,6 +78,12 @@ func (s *Server) writeMetrics(w io.Writer) {
 	fmt.Fprintln(w, "# TYPE mlpsim_runs_inflight gauge")
 	fmt.Fprintf(w, "mlpsim_runs_inflight %d\n", m.inflight.Load())
 
+	fmt.Fprintln(w, "# HELP mlpsim_gang Gang-dispatch occupancy (configs per gang = configs_total / runs_total).")
+	fmt.Fprintln(w, "# TYPE mlpsim_gang_runs_total counter")
+	fmt.Fprintf(w, "mlpsim_gang_runs_total %d\n", s.gang.Gangs.Load())
+	fmt.Fprintf(w, "mlpsim_gang_configs_total %d\n", s.gang.Configs.Load())
+	fmt.Fprintf(w, "mlpsim_gang_solo_total %d\n", s.gang.Solo.Load())
+
 	hits, misses, abandoned, entries := s.results.stats()
 	fmt.Fprintln(w, "# HELP mlpsim_result_cache Result-cache effectiveness.")
 	fmt.Fprintf(w, "mlpsim_result_cache_hits_total %d\n", hits)

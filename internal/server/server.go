@@ -68,6 +68,7 @@ type Server struct {
 	sem      chan struct{}
 	results  *resultCache
 	metrics  *metrics
+	gang     *experiments.GangStats
 	mux      *http.ServeMux
 	draining atomic.Bool
 }
@@ -91,7 +92,15 @@ func New(opts Options) *Server {
 		sem:     make(chan struct{}, opts.MaxConcurrent),
 		results: newResultCache(opts.MaxResults),
 		metrics: newMetrics(),
+		gang:    &experiments.GangStats{},
 		mux:     http.NewServeMux(),
+	}
+	// Daemon-wide gang occupancy counters: every request's sweep reports
+	// into the same stats, exported on /metrics.
+	if s.opts.Setup.GangStats == nil {
+		s.opts.Setup.GangStats = s.gang
+	} else {
+		s.gang = s.opts.Setup.GangStats
 	}
 	s.mux.HandleFunc("GET /v1/exhibits", s.handleList)
 	s.mux.HandleFunc("GET /v1/exhibits/{name}", s.handleExhibit)

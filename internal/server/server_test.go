@@ -261,6 +261,11 @@ func TestMetricsEndpoint(t *testing.T) {
 		"mlpsim_runs_total 1",
 		"mlpsim_runs_inflight 0",
 		"mlpsim_result_cache_misses_total 1",
+		// table5 is 3 workloads x 2 configs; each workload's pair shares
+		// one annotated stream, so the sweep dispatches 3 gangs of 2.
+		"mlpsim_gang_runs_total 3",
+		"mlpsim_gang_configs_total 6",
+		"mlpsim_gang_solo_total 0",
 		"mlpsim_trace_cache_builds_total",
 		"mlpsim_draining 0",
 	} {
