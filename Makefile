@@ -18,6 +18,7 @@ test:
 	$(GO) test -race ./internal/atrace -run 'TestCacheSingleflight|TestCrossProcessSingleflight|TestCacheDiskSpill|TestCorruptSpillQuarantined|TestDiskEviction|TestSegmented|TestCrashDuringPublishRecovery'
 	$(GO) test -race ./internal/server
 	$(GO) test -race ./internal/experiments -run 'TestGangMatchesSequential'
+	$(GO) test -race ./internal/core -run 'TestRunGangDivergentMatchesSequential'
 	$(MAKE) bench-gate
 
 bench-gate:
@@ -38,30 +39,33 @@ race:
 vet:
 	$(GO) vet ./...
 
-# Performance report: micro-benchmarks (engine, gang dispatch at K=1/4/16),
-# the monolithic-vs-segmented capture comparison, the sequential-vs-gang
-# Figure 4 sweep, plus the uncached / in-heap-cached / memory-mapped
-# Figure 4+5+6 sweeps. `make bench` is the quick loop; `make bench-full`
-# writes the committed BENCH_5.json at paper scale, and `make
-# bench-compare` additionally prints deltas against BENCH_3.json.
+# Performance report: micro-benchmarks (engine, gang dispatch at
+# K=1/4/16/32/64), the monolithic-vs-segmented capture comparison, the
+# sequential-vs-gang Figure 4 sweep, plus the uncached / in-heap-cached /
+# memory-mapped Figure 4+5+6 sweeps. `make bench` is the quick loop;
+# `make bench-full` writes the committed BENCH_6.json at paper scale, and
+# `make bench-compare` additionally prints deltas against BENCH_5.json.
 bench:
 	$(GO) run ./cmd/bench -scale quick -out /tmp/bench_quick.json
 
 bench-full:
-	$(GO) run ./cmd/bench -scale default -out BENCH_5.json
+	$(GO) run ./cmd/bench -scale default -out BENCH_6.json
 
 bench-compare:
-	$(GO) run ./cmd/bench -scale default -out BENCH_5.json -compare BENCH_3.json
+	$(GO) run ./cmd/bench -scale default -out BENCH_6.json -compare BENCH_5.json
 
-# profile writes CPU and heap profiles for the engine hot loop and the
-# gang sweep into profiles/. Inspect with e.g.
-#   go tool pprof -http=:8080 profiles/engine.cpu.prof
+# profile writes CPU and heap profiles for the engine hot loop, the gang
+# sweep end to end, and the SoA gang stepper in isolation (construction
+# off the clock) into profiles/. Inspect with e.g.
+#   go tool pprof -http=:8080 profiles/gang-soa.cpu.prof   # flamegraph view
 profile:
 	mkdir -p profiles
 	$(GO) test -run '^$$' -bench 'BenchmarkMLPsimEngine$$' -benchtime 5s \
 		-cpuprofile profiles/engine.cpu.prof -memprofile profiles/engine.mem.prof .
 	$(GO) test -run '^$$' -bench 'BenchmarkGangSweep$$' -benchtime 5s \
 		-cpuprofile profiles/gang.cpu.prof -memprofile profiles/gang.mem.prof .
+	$(GO) test -run '^$$' -bench 'BenchmarkGangSweepSoA$$' -benchtime 5s \
+		-cpuprofile profiles/gang-soa.cpu.prof -memprofile profiles/gang-soa.mem.prof .
 	rm -f mlpsim.test
 
 fuzz:

@@ -226,6 +226,41 @@ func BenchmarkGangSweep(b *testing.B) {
 	}
 }
 
+// BenchmarkGangSweepSoA isolates the structure-of-arrays gang stepper:
+// the same 16-config sweep as BenchmarkGangSweep (every config is
+// SoA-eligible, so all 16 engines ride the SoA fast path) but with gang
+// construction off the clock, so a profile of this benchmark is the
+// steady-state SoA hot loop alone. This is the `make profile` entry
+// point for the SoA-gang flamegraph (profiles/gang-soa.cpu.prof).
+func BenchmarkGangSweepSoA(b *testing.B) {
+	const k = 16
+	a := annotate.New(workload.MustNew(workload.Database(1)), annotate.Config{})
+	a.Warm(150_000)
+	s := atrace.Capture(a, 400_000)
+	sizes := []int{16, 32, 64, 128, 256}
+	issues := []core.IssueConfig{core.ConfigA, core.ConfigB, core.ConfigC, core.ConfigD, core.ConfigE}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for remaining := int64(b.N); remaining > 0; {
+		n := s.Len()
+		if per := (remaining + k - 1) / k; per < n {
+			n = per
+		}
+		b.StopTimer()
+		cfgs := make([]core.Config, k)
+		for i := range cfgs {
+			cfgs[i] = core.Default().
+				WithWindow(sizes[i%len(sizes)]).
+				WithIssue(issues[(i/len(sizes))%len(issues)])
+			cfgs[i].MaxInstructions = n
+		}
+		g := core.NewGang(s.Replay(), cfgs)
+		b.StartTimer()
+		g.Run()
+		remaining -= k * n
+	}
+}
+
 // BenchmarkCycleSim measures the cycle-level simulator.
 func BenchmarkCycleSim(b *testing.B) {
 	a := annotate.New(workload.MustNew(workload.Database(1)), annotate.Config{})

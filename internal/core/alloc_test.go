@@ -61,49 +61,44 @@ func TestEngineRunZeroAllocSteadyState(t *testing.T) {
 }
 
 // TestRunGangZeroAllocSteadyState extends the guarantee to the gang
-// path: once the ring, cursors and engines exist, stepping a gang over
-// the replay stream allocates nothing (ring growth aside, which the
-// min-cursor schedule avoids on miss-bearing streams).
+// path: once NewGang has built the ring and engines, Run allocates
+// nothing (ring growth aside, which the min-position schedule avoids on
+// miss-bearing streams). The config vectors cover K=1 (the BENCH_5
+// residual), the pure SoA fast path, the pure scalar fallback, and a
+// mixed gang where both ride one ring.
 func TestRunGangZeroAllocSteadyState(t *testing.T) {
 	if raceEnabled {
 		t.Skip("race-detector instrumentation allocates")
 	}
 	st := replayStream(200_000)
-	cfgs := []Config{
-		Default(),
-		Default().WithWindow(32),
-		Default().WithWindow(128).WithIssue(ConfigA),
+	inorder := Default()
+	inorder.Mode = InOrderStallOnUse
+	vectors := map[string][]Config{
+		"k1-soa":    {Default()},
+		"k1-scalar": {inorder},
+		"soa": {
+			Default(),
+			Default().WithWindow(32),
+			Default().WithWindow(128).WithIssue(ConfigA),
+		},
+		"mixed": {
+			Default(),
+			inorder,
+			Default().WithWindow(64).WithIssue(ConfigE),
+		},
 	}
-	r := testing.Benchmark(func(b *testing.B) {
-		for i := 0; i < b.N; i++ {
-			b.StopTimer()
-			ring := newGangRing(st.Replay())
-			engines := make([]*Engine, len(cfgs))
-			for k, cfg := range cfgs {
-				engines[k] = NewEngine(ring.newCursor(), cfg)
+	for name, cfgs := range vectors {
+		cfgs := cfgs
+		r := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				g := NewGang(st.Replay(), cfgs)
+				b.StartTimer()
+				g.Run()
 			}
-			b.StartTimer()
-			live := len(engines)
-			for live > 0 {
-				pick := -1
-				for k, eng := range engines {
-					if eng == nil {
-						continue
-					}
-					if pick < 0 || ring.cursors[k].pos < ring.cursors[pick].pos {
-						pick = k
-					}
-				}
-				if !engines[pick].step() {
-					engines[pick].finish()
-					ring.cursors[pick].done = true
-					engines[pick] = nil
-					live--
-				}
-			}
+		})
+		if a, bytes := r.AllocsPerOp(), r.AllocedBytesPerOp(); a != 0 || bytes != 0 {
+			t.Errorf("%s: Gang.Run = %d allocs/op, %d B/op; want exactly 0/0", name, a, bytes)
 		}
-	})
-	if a, bytes := r.AllocsPerOp(), r.AllocedBytesPerOp(); a != 0 || bytes != 0 {
-		t.Errorf("gang loop = %d allocs/op, %d B/op; want exactly 0/0", a, bytes)
 	}
 }

@@ -476,7 +476,7 @@ func (e *Engine) execute(j int64, ai *annotate.Inst, st *slotState, ep *epochSta
 		if ai.PMiss {
 			kind = accP
 		}
-		ep.record(e, j, kind)
+		ep.record(j, kind, e.cfg.OnEpoch != nil)
 	}
 	if ai.SMiss && !st.countedS {
 		st.countedS = true

@@ -44,7 +44,7 @@ func (e *Engine) runEpochInOrder(ep *epochState) {
 			if ep.accesses == 0 {
 				lim = LimImissStart
 			}
-			ep.record(e, j, accI)
+			ep.record(j, accI, e.cfg.OnEpoch != nil)
 			ep.terminate(j, lim)
 			return
 		}

@@ -14,7 +14,10 @@ const (
 	accI                   // missing instruction fetch
 )
 
-func (ep *epochState) record(e *Engine, j int64, kind accessKind) {
+// record counts one off-chip access at instruction j. track carries the
+// caller's OnEpoch observation (the SoA stepper always passes false:
+// observers are SoA-ineligible).
+func (ep *epochState) record(j int64, kind accessKind, track bool) {
 	if ep.accesses == 0 {
 		ep.trigger = j
 		ep.epoch.Trigger = j
@@ -28,7 +31,7 @@ func (ep *epochState) record(e *Engine, j int64, kind accessKind) {
 	case accI:
 		ep.iAccesses++
 	}
-	if e.cfg.OnEpoch != nil {
+	if track {
 		ep.epoch.AccessIdx = append(ep.epoch.AccessIdx, j)
 	}
 }
@@ -73,7 +76,7 @@ func (e *Engine) tryExecute(j int64, ai *annotate.Inst, st *slotState, ep *epoch
 			return execBlocked
 		}
 		st.imissDone = true
-		ep.record(e, j, accI)
+		ep.record(j, accI, e.cfg.OnEpoch != nil)
 		return execBlocked
 	}
 
@@ -262,7 +265,7 @@ func (e *Engine) runEpochOoO(ep *epochState) {
 			if ep.accesses == 0 {
 				lim = LimImissStart
 			}
-			ep.record(e, j, accI)
+			ep.record(j, accI, e.cfg.OnEpoch != nil)
 			ep.terminate(j, lim)
 			return
 		}
@@ -309,7 +312,7 @@ func (e *Engine) fetchBufferScan(ep *epochState) {
 			if e.cfg.MSHRs > 0 && ep.accesses >= e.cfg.MSHRs {
 				return
 			}
-			ep.record(e, ai.Index, accI)
+			ep.record(ai.Index, accI, e.cfg.OnEpoch != nil)
 			ai.IMiss = false // fetch satisfied; arrives with this epoch
 			return
 		}

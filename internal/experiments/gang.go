@@ -30,6 +30,12 @@ type GangStats struct {
 	// Solo counts points dispatched individually (singleton groups,
 	// unkeyable annotation configs, or GangSize == 1).
 	Solo atomic.Uint64
+	// SoAInsts and ScalarInsts split the instructions processed inside
+	// gangs between the structure-of-arrays fast path and the scalar
+	// fallback engines (see core.SoAEligible) — the divergence rate of
+	// the sweep's config mix.
+	SoAInsts    atomic.Uint64
+	ScalarInsts atomic.Uint64
 }
 
 // RunMLPsimBatch runs every point and returns results in point order,
@@ -55,13 +61,17 @@ func (s Setup) RunMLPsimBatch(points []MLPPoint) []core.Result {
 			cfgs[k] = points[pi].Config
 			cfgs[k].MaxInstructions = s.Measure
 		}
-		rs := core.RunGang(s.annotatedSource(p0.Workload, p0.Annot), cfgs)
+		g := core.NewGang(s.annotatedSource(p0.Workload, p0.Annot), cfgs)
+		rs := g.Run()
 		for k, pi := range idxs {
 			results[pi] = rs[k]
 		}
 		if s.GangStats != nil {
 			s.GangStats.Gangs.Add(1)
 			s.GangStats.Configs.Add(uint64(len(idxs)))
+			gs := g.Stats()
+			s.GangStats.SoAInsts.Add(gs.SoAInsts)
+			s.GangStats.ScalarInsts.Add(gs.ScalarInsts)
 		}
 	})
 	return results
@@ -103,7 +113,7 @@ func (s Setup) gangPlan(points []MLPPoint) [][]int {
 		groups[k] = append(groups[k], i)
 	}
 	for _, k := range order {
-		g := groups[k]
+		g := partitionSoAFirst(groups[k], points)
 		size := s.GangSize
 		if size <= 0 {
 			per := (s.parallelism() + len(order) - 1) / len(order)
@@ -119,4 +129,36 @@ func (s Setup) gangPlan(points []MLPPoint) [][]int {
 		}
 	}
 	return plan
+}
+
+// partitionSoAFirst stably reorders a stream-sharing group so points on
+// the SoA fast path come first. Chunking the reordered group yields
+// gangs that are mostly flag-uniform: the fast-path engines ride the
+// ring without the wide decoded-instruction column, and the divergent
+// configs concentrate in the trailing scalar gangs instead of forcing
+// every gang onto the mixed path. Result order is unaffected — the plan
+// carries original point indices. A group that is already uniform (the
+// common sweep shape) is returned unchanged.
+func partitionSoAFirst(g []int, points []MLPPoint) []int {
+	split := 0
+	for _, pi := range g {
+		if core.SoAEligible(points[pi].Config) {
+			split++
+		}
+	}
+	if split == 0 || split == len(g) {
+		return g
+	}
+	out := make([]int, 0, len(g))
+	for _, pi := range g {
+		if core.SoAEligible(points[pi].Config) {
+			out = append(out, pi)
+		}
+	}
+	for _, pi := range g {
+		if !core.SoAEligible(points[pi].Config) {
+			out = append(out, pi)
+		}
+	}
+	return out
 }

@@ -83,6 +83,10 @@ func (s *Server) writeMetrics(w io.Writer) {
 	fmt.Fprintf(w, "mlpsim_gang_runs_total %d\n", s.gang.Gangs.Load())
 	fmt.Fprintf(w, "mlpsim_gang_configs_total %d\n", s.gang.Configs.Load())
 	fmt.Fprintf(w, "mlpsim_gang_solo_total %d\n", s.gang.Solo.Load())
+	fmt.Fprintln(w, "# HELP mlpsim_gang_insts Instructions processed inside gangs, split between the structure-of-arrays fast path and scalar-fallback engines (divergence rate of the config mix).")
+	fmt.Fprintln(w, "# TYPE mlpsim_gang_soa_insts_total counter")
+	fmt.Fprintf(w, "mlpsim_gang_soa_insts_total %d\n", s.gang.SoAInsts.Load())
+	fmt.Fprintf(w, "mlpsim_gang_scalar_fallback_insts_total %d\n", s.gang.ScalarInsts.Load())
 
 	hits, misses, abandoned, entries := s.results.stats()
 	fmt.Fprintln(w, "# HELP mlpsim_result_cache Result-cache effectiveness.")

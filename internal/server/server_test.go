@@ -266,12 +266,19 @@ func TestMetricsEndpoint(t *testing.T) {
 		"mlpsim_gang_runs_total 3",
 		"mlpsim_gang_configs_total 6",
 		"mlpsim_gang_solo_total 0",
+		// table5's configs are all in-order, so every gang instruction
+		// runs on the scalar fallback and none on the SoA fast path.
+		"mlpsim_gang_soa_insts_total 0",
+		"mlpsim_gang_scalar_fallback_insts_total",
 		"mlpsim_trace_cache_builds_total",
 		"mlpsim_draining 0",
 	} {
 		if !strings.Contains(string(body), metric) {
 			t.Errorf("metrics output missing %q\n%s", metric, body)
 		}
+	}
+	if strings.Contains(string(body), "mlpsim_gang_scalar_fallback_insts_total 0\n") {
+		t.Errorf("table5's in-order gangs recorded no scalar-fallback instructions")
 	}
 }
 
