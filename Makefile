@@ -19,6 +19,8 @@ test:
 	$(GO) test -race ./internal/server
 	$(GO) test -race ./internal/experiments -run 'TestGangMatchesSequential'
 	$(GO) test -race ./internal/core -run 'TestRunGangDivergentMatchesSequential'
+	$(GO) test -race ./internal/mem ./internal/prefetch ./internal/annotate \
+		-run 'MatchesMapReference|ZeroAllocSteadyState|AnnotateIntoMatchesNext'
 	$(MAKE) bench-gate
 
 bench-gate:
@@ -43,16 +45,16 @@ vet:
 # K=1/4/16/32/64), the monolithic-vs-segmented capture comparison, the
 # sequential-vs-gang Figure 4 sweep, plus the uncached / in-heap-cached /
 # memory-mapped Figure 4+5+6 sweeps. `make bench` is the quick loop;
-# `make bench-full` writes the committed BENCH_6.json at paper scale, and
-# `make bench-compare` additionally prints deltas against BENCH_5.json.
+# `make bench-full` writes the committed BENCH_7.json at paper scale, and
+# `make bench-compare` additionally prints deltas against BENCH_6.json.
 bench:
 	$(GO) run ./cmd/bench -scale quick -out /tmp/bench_quick.json
 
 bench-full:
-	$(GO) run ./cmd/bench -scale default -out BENCH_6.json
+	$(GO) run ./cmd/bench -scale default -out BENCH_7.json
 
 bench-compare:
-	$(GO) run ./cmd/bench -scale default -out BENCH_6.json -compare BENCH_5.json
+	$(GO) run ./cmd/bench -scale default -out BENCH_7.json -compare BENCH_6.json
 
 # profile writes CPU and heap profiles for the engine hot loop, the gang
 # sweep end to end, and the SoA gang stepper in isolation (construction
@@ -66,7 +68,9 @@ profile:
 		-cpuprofile profiles/gang.cpu.prof -memprofile profiles/gang.mem.prof .
 	$(GO) test -run '^$$' -bench 'BenchmarkGangSweepSoA$$' -benchtime 5s \
 		-cpuprofile profiles/gang-soa.cpu.prof -memprofile profiles/gang-soa.mem.prof .
-	rm -f mlpsim.test
+	$(GO) test -run '^$$' -bench 'BenchmarkAnnotateStream$$' -benchtime 5s \
+		-cpuprofile profiles/annotate.cpu.prof -memprofile profiles/annotate.mem.prof ./internal/atrace
+	rm -f mlpsim.test atrace.test
 
 fuzz:
 	$(GO) test ./internal/trace -fuzz FuzzRoundTripV2 -fuzztime 30s

@@ -90,17 +90,23 @@ type gangSweepResult struct {
 // segment 0 as soon as it is published, long before the final segment
 // (and the manifest) exist.
 type captureResult struct {
-	Workload             string  `json:"workload"`
-	SegmentInsts         int64   `json:"segment_insts"`
-	Segments             int     `json:"segments"`
-	Workers              int     `json:"workers"`
-	NumCPU               int     `json:"num_cpu"`
-	MonolithicSeconds    float64 `json:"monolithic_seconds"`
-	SegmentedSeconds     float64 `json:"segmented_seconds"`
-	Speedup              float64 `json:"speedup"`
-	FirstSegmentSeconds  float64 `json:"first_segment_seconds"`
-	TimeToFirstReplayWin float64 `json:"time_to_first_replay_win"`
-	Identical            bool    `json:"bit_identical"`
+	Workload          string  `json:"workload"`
+	SegmentInsts      int64   `json:"segment_insts"`
+	Segments          int     `json:"segments"`
+	Workers           int     `json:"workers"`
+	NumCPU            int     `json:"num_cpu"`
+	MonolithicSeconds float64 `json:"monolithic_seconds"`
+	// Per-instruction cost of the monolithic pass (annotation + columnar
+	// encoding + spill write) and its heap allocation rate — the capture
+	// fast path's headline numbers. Steady state is zero allocations; the
+	// reported rate amortizes construction over the whole window.
+	MonolithicNsPerInst     float64 `json:"monolithic_ns_per_inst"`
+	MonolithicAllocsPerInst float64 `json:"monolithic_allocs_per_inst"`
+	SegmentedSeconds        float64 `json:"segmented_seconds"`
+	Speedup                 float64 `json:"speedup"`
+	FirstSegmentSeconds     float64 `json:"first_segment_seconds"`
+	TimeToFirstReplayWin    float64 `json:"time_to_first_replay_win"`
+	Identical               bool    `json:"bit_identical"`
 }
 
 type report struct {
@@ -284,11 +290,20 @@ func runCaptureBench(s experiments.Setup, segInsts int64) *captureResult {
 		return annotate.New(workload.MustNew(w), annotate.Config{})
 	}
 
+	// The monolithic wall time covers warmup + capture + spill write, like
+	// the segmented pipeline it is compared against. The per-instruction
+	// rate and allocation count bracket just the fused capture pass.
 	mono := filepath.Join(dir, "mono.acol")
 	start := time.Now()
 	a := newAnn()
 	a.Warm(s.Warmup)
-	if err := atrace.WriteColumnarFile(mono, atrace.Capture(a, s.Measure)); err != nil {
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	capStart := time.Now()
+	st := atrace.Capture(a, s.Measure)
+	capDur := time.Since(capStart)
+	runtime.ReadMemStats(&m1)
+	if err := atrace.WriteColumnarFile(mono, st); err != nil {
 		fmt.Fprintf(os.Stderr, "bench: capture comparison skipped: %v\n", err)
 		return nil
 	}
@@ -318,20 +333,23 @@ func runCaptureBench(s experiments.Setup, segInsts int64) *captureResult {
 	segDur := time.Since(start)
 
 	c := &captureResult{
-		Workload:             w.Name,
-		SegmentInsts:         segInsts,
-		Segments:             p.Segments(),
-		Workers:              runtime.GOMAXPROCS(0),
-		NumCPU:               runtime.NumCPU(),
-		MonolithicSeconds:    monoDur.Seconds(),
-		SegmentedSeconds:     segDur.Seconds(),
-		Speedup:              monoDur.Seconds() / segDur.Seconds(),
-		FirstSegmentSeconds:  firstDur.Seconds(),
-		TimeToFirstReplayWin: monoDur.Seconds() / firstDur.Seconds(),
-		Identical:            sameSpills(mono, seg),
+		Workload:                w.Name,
+		SegmentInsts:            segInsts,
+		Segments:                p.Segments(),
+		Workers:                 runtime.GOMAXPROCS(0),
+		NumCPU:                  runtime.NumCPU(),
+		MonolithicSeconds:       monoDur.Seconds(),
+		MonolithicNsPerInst:     float64(capDur.Nanoseconds()) / float64(s.Measure),
+		MonolithicAllocsPerInst: float64(m1.Mallocs-m0.Mallocs) / float64(s.Measure),
+		SegmentedSeconds:        segDur.Seconds(),
+		Speedup:                 monoDur.Seconds() / segDur.Seconds(),
+		FirstSegmentSeconds:     firstDur.Seconds(),
+		TimeToFirstReplayWin:    monoDur.Seconds() / firstDur.Seconds(),
+		Identical:               sameSpills(mono, seg),
 	}
-	fmt.Fprintf(os.Stderr, "bench: capture: monolithic %.1fs, segmented %.1fs (%d segments, %d workers on %d CPUs, %.2fx), first segment replayable after %.1fs (%.1fx win), identical: %v\n",
-		c.MonolithicSeconds, c.SegmentedSeconds, c.Segments, c.Workers, c.NumCPU,
+	fmt.Fprintf(os.Stderr, "bench: capture: monolithic %.1fs (%.1f ns/inst, %.4f allocs/inst), segmented %.1fs (%d segments, %d workers on %d CPUs, %.2fx), first segment replayable after %.1fs (%.1fx win), identical: %v\n",
+		c.MonolithicSeconds, c.MonolithicNsPerInst, c.MonolithicAllocsPerInst,
+		c.SegmentedSeconds, c.Segments, c.Workers, c.NumCPU,
 		c.Speedup, c.FirstSegmentSeconds, c.TimeToFirstReplayWin, c.Identical)
 	return c
 }
@@ -512,6 +530,22 @@ func gateViolations(old, cur report, pct float64) []string {
 		heap("cached sweep", old.Sweep.CachedHeapPeakBytes, cur.Sweep.CachedHeapPeakBytes)
 		heap("mapped sweep", old.Sweep.MappedHeapPeakBytes, cur.Sweep.MappedHeapPeakBytes)
 	}
+	if old.Capture != nil && cur.Capture != nil {
+		o, c := old.Capture, cur.Capture
+		if o.MonolithicNsPerInst > 0 && c.MonolithicNsPerInst > 0 {
+			if growth := 100 * (c.MonolithicNsPerInst - o.MonolithicNsPerInst) / o.MonolithicNsPerInst; growth > pct {
+				out = append(out, fmt.Sprintf("capture: %.1f -> %.1f ns/inst (+%.1f%%, limit %.0f%%)",
+					o.MonolithicNsPerInst, c.MonolithicNsPerInst, growth, pct))
+			}
+			// The capture pass is pinned at (amortized) zero allocations:
+			// any sustained per-instruction allocation rate is a regression
+			// regardless of the percentage threshold.
+			if o.MonolithicAllocsPerInst < 0.01 && c.MonolithicAllocsPerInst >= 0.01 {
+				out = append(out, fmt.Sprintf("capture: %.4f -> %.4f allocs/inst (zero-alloc fast path regressed)",
+					o.MonolithicAllocsPerInst, c.MonolithicAllocsPerInst))
+			}
+		}
+	}
 	return out
 }
 
@@ -554,6 +588,21 @@ func printComparison(path string, old, cur report) {
 				float64(o.CacheBytes)/float64(c.MappedHeapPeakBytes))
 		}
 	}
+	if old.Capture != nil && cur.Capture != nil {
+		o, c := old.Capture, cur.Capture
+		fmt.Printf("  capture (mono)   %8.1f -> %8.1f s\n", o.MonolithicSeconds, c.MonolithicSeconds)
+		if c.MonolithicNsPerInst > 0 {
+			if o.MonolithicNsPerInst > 0 {
+				fmt.Printf("  capture ns/inst  %8.1f -> %8.1f  (%+.1f%%), %.4f allocs/inst\n",
+					o.MonolithicNsPerInst, c.MonolithicNsPerInst,
+					100*(c.MonolithicNsPerInst-o.MonolithicNsPerInst)/o.MonolithicNsPerInst,
+					c.MonolithicAllocsPerInst)
+			} else {
+				fmt.Printf("  capture ns/inst  %17.1f, %.4f allocs/inst (no baseline in %s)\n",
+					c.MonolithicNsPerInst, c.MonolithicAllocsPerInst, old.Schema)
+			}
+		}
+	}
 	if cur.GangSweep != nil {
 		c := cur.GangSweep
 		if old.GangSweep != nil {
@@ -589,7 +638,7 @@ func sameCells(a, b experiments.Figure4) bool {
 
 func main() {
 	scale := flag.String("scale", "quick", "sweep scale: quick or default")
-	out := flag.String("out", "BENCH_6.json", "output JSON path")
+	out := flag.String("out", "BENCH_7.json", "output JSON path")
 	seed := flag.Int64("seed", 1, "workload seed")
 	skipSweep := flag.Bool("skip-sweep", false, "skip the cached-vs-uncached sweep comparison")
 	skipCapture := flag.Bool("skip-capture", false, "skip the monolithic-vs-segmented capture comparison")
@@ -611,7 +660,7 @@ func main() {
 	}
 
 	rep := report{
-		Schema:  "mlpsim-bench/6",
+		Schema:  "mlpsim-bench/7",
 		Scale:   *scale,
 		Seed:    *seed,
 		Warmup:  s.Warmup,

@@ -1,0 +1,164 @@
+package annotate
+
+import (
+	"math/rand"
+	"testing"
+
+	"mlpsim/internal/mem"
+	"mlpsim/internal/prefetch"
+	"mlpsim/internal/trace"
+	"mlpsim/internal/vpred"
+	"mlpsim/internal/workload"
+)
+
+// refPendingSet is the retained map-based reference for the annotator's
+// pending-prefetch tracking (the map stored the issue index, but only
+// membership was ever consulted).
+type refPendingSet map[uint64]int64
+
+func (r refPendingSet) insert(key uint64, idx int64) { r[key] = idx }
+func (r refPendingSet) testAndClear(key uint64) bool {
+	if _, ok := r[key]; ok {
+		delete(r, key)
+		return true
+	}
+	return false
+}
+
+// TestPendingTableMatchesMapReferenceRandom drives random insert and
+// consume mixes through the open-addressed pending table and the map
+// reference, with key spaces tight enough to force collisions,
+// backward-shift deletions mid-chain, and several doubling growths.
+func TestPendingTableMatchesMapReferenceRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(47))
+	for trial := 0; trial < 40; trial++ {
+		var tab pendingTable
+		tab.init()
+		ref := refPendingSet{}
+		keySpace := 16 << uint(rng.Intn(9)) // up to 4096 > initial capacity: forces growth
+		for i := 0; i < 8000; i++ {
+			key := uint64(rng.Intn(keySpace))
+			if rng.Intn(3) == 0 {
+				got, want := tab.testAndClear(key), ref.testAndClear(key)
+				if got != want {
+					t.Fatalf("trial %d op %d testAndClear(%d) = %v, reference %v", trial, i, key, got, want)
+				}
+			} else {
+				tab.insert(key)
+				ref.insert(key, int64(i))
+			}
+			if tab.len() != len(ref) {
+				t.Fatalf("trial %d op %d: len=%d, reference %d", trial, i, tab.len(), len(ref))
+			}
+		}
+		for key := 0; key < keySpace; key++ {
+			got, want := tab.testAndClear(uint64(key)), ref.testAndClear(uint64(key))
+			if got != want {
+				t.Fatalf("trial %d final membership of %d = %v, reference %v", trial, key, got, want)
+			}
+		}
+	}
+}
+
+// sliceSourceFor materializes n raw instructions of a workload into an
+// allocation-free SliceSource, isolating the annotator's own allocation
+// behaviour from the generator's amortized buffer growth.
+func sliceSourceFor(t *testing.T, cfg workload.Config, n int64) *trace.SliceSource {
+	t.Helper()
+	insts := trace.Collect(workload.MustNew(cfg), n)
+	if int64(len(insts)) != n {
+		t.Fatalf("collected %d instructions, want %d", len(insts), n)
+	}
+	return trace.NewSliceSource(insts)
+}
+
+// TestAnnotatorZeroAllocSteadyState pins the capture fast path at exactly
+// zero allocations per instruction once warmed: the TLB, the prefetcher
+// issued-line tables, the pending-prefetch table and the per-instruction
+// predictor calls must all run allocation free, for both the plain
+// default configuration and one exercising every optional engine.
+func TestAnnotatorZeroAllocSteadyState(t *testing.T) {
+	configs := []struct {
+		name string
+		cfg  Config
+	}{
+		{"default", Config{}},
+		{"prefetchers+vpred", Config{
+			IPrefetch: prefetch.NewSequential(4, mem.IFetch),
+			DPrefetch: prefetch.NewStride(256, 4),
+			Value:     vpred.NewLastValue(256),
+		}},
+	}
+	for _, tc := range configs {
+		t.Run(tc.name, func(t *testing.T) {
+			const warm, steady = 100_000, 50_000
+			src := sliceSourceFor(t, workload.Presets(1)[0], warm+3*steady)
+			a := New(src, tc.cfg)
+			a.Warm(warm)
+
+			if allocs := testing.AllocsPerRun(steady, func() {
+				if _, ok := a.Next(); !ok {
+					t.Fatal("stream ended")
+				}
+			}); allocs != 0 {
+				t.Errorf("Next allocates %.3f objects per instruction, want exactly 0", allocs)
+			}
+
+			var block [512]Inst
+			if allocs := testing.AllocsPerRun(steady/len(block), func() {
+				if a.AnnotateInto(block[:]) != len(block) {
+					t.Fatal("stream ended")
+				}
+			}); allocs != 0 {
+				t.Errorf("AnnotateInto allocates %.3f objects per block, want exactly 0", allocs)
+			}
+		})
+	}
+}
+
+// TestAnnotateIntoMatchesNext pins the batch API to the iterator: the
+// same source annotated block-wise and one-at-a-time must yield identical
+// instructions and statistics, across uneven block sizes.
+func TestAnnotateIntoMatchesNext(t *testing.T) {
+	const n = 60_000
+	w := workload.Presets(1)[0]
+	cfg := Config{
+		IPrefetch: prefetch.NewSequential(4, mem.IFetch),
+		DPrefetch: prefetch.NewStride(256, 4),
+	}
+	cfgB := Config{
+		IPrefetch: prefetch.NewSequential(4, mem.IFetch),
+		DPrefetch: prefetch.NewStride(256, 4),
+	}
+	one := New(workload.MustNew(w), cfg)
+	batch := New(workload.MustNew(w), cfgB)
+
+	buf := make([]Inst, 1+997) // prime-sized blocks so boundaries drift
+	var got int64
+	for got < n {
+		want := int64(len(buf))
+		if n-got < want {
+			want = n - got
+		}
+		k := batch.AnnotateInto(buf[:want])
+		for i := 0; i < k; i++ {
+			ref, ok := one.Next()
+			if !ok {
+				t.Fatal("reference stream ended early")
+			}
+			if buf[i] != ref {
+				t.Fatalf("instruction %d: batch %+v != iterator %+v", got+int64(i), buf[i], ref)
+			}
+		}
+		if int64(k) != want {
+			t.Fatalf("AnnotateInto returned %d, want %d", k, want)
+		}
+		got += int64(k)
+	}
+	if batch.Stats() != one.Stats() {
+		t.Fatalf("stats diverged: batch %+v, iterator %+v", batch.Stats(), one.Stats())
+	}
+	if batch.Position() != one.Position() {
+		t.Fatalf("position diverged: %d vs %d", batch.Position(), one.Position())
+	}
+}

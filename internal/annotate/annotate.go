@@ -113,9 +113,14 @@ type Annotator struct {
 	ipf *prefetch.Sequential
 	dpf *prefetch.Stride
 
-	// pendingPrefetch maps off-chip-prefetched lines to their issue index
-	// so later demand accesses can mark them useful.
-	pendingPrefetch map[uint64]int64
+	// pendingPrefetch is the set of off-chip-prefetched lines awaiting a
+	// demand access (which marks them useful).
+	pendingPrefetch pendingTable
+
+	// raw is the in-flight source instruction. It lives on the annotator
+	// rather than the stack so the pointer handed to the branch and value
+	// predictors does not force a per-instruction heap escape.
+	raw isa.Inst
 }
 
 // New builds an annotator over src.
@@ -131,25 +136,48 @@ func New(src trace.Source, cfg Config) *Annotator {
 	if vp == nil {
 		vp = vpred.None{}
 	}
-	return &Annotator{
-		src:             src,
-		h:               mem.NewHierarchy(cfg.Hierarchy),
-		bp:              bp,
-		vp:              vp,
-		ipf:             cfg.IPrefetch,
-		dpf:             cfg.DPrefetch,
-		pendingPrefetch: make(map[uint64]int64),
+	a := &Annotator{
+		src: src,
+		h:   mem.NewHierarchy(cfg.Hierarchy),
+		bp:  bp,
+		vp:  vp,
+		ipf: cfg.IPrefetch,
+		dpf: cfg.DPrefetch,
 	}
+	a.pendingPrefetch.init()
+	return a
 }
 
 // Next implements a trace.Source-like iterator over annotated
 // instructions.
 func (a *Annotator) Next() (Inst, bool) {
-	raw, ok := a.src.Next()
-	if !ok {
-		return Inst{}, false
+	var out Inst
+	ok := a.annotateOne(&out)
+	return out, ok
+}
+
+// AnnotateInto fills dst with the next annotated instructions, writing
+// them in place, and returns the count delivered (short only at stream
+// end). Batch consumers like the columnar capture use it to pull blocks
+// instead of paying one call and one Inst copy per instruction.
+func (a *Annotator) AnnotateInto(dst []Inst) int {
+	n := 0
+	for n < len(dst) && a.annotateOne(&dst[n]) {
+		n++
 	}
-	out := Inst{Inst: raw, Index: a.idx}
+	return n
+}
+
+// annotateOne runs one instruction through the hierarchy and predictors,
+// overwriting every field of *out. It is the whole-stream hot path and
+// allocates nothing.
+func (a *Annotator) annotateOne(out *Inst) bool {
+	raw := &a.raw
+	var ok bool
+	if *raw, ok = a.src.Next(); !ok {
+		return false
+	}
+	*out = Inst{Inst: *raw, Index: a.idx}
 	a.idx++
 	a.stats.Instructions++
 
@@ -176,14 +204,14 @@ func (a *Annotator) Next() (Inst, bool) {
 		if a.h.Access(mem.DRead, raw.EA) {
 			out.PMiss = true
 			a.stats.PMisses++
-			a.pendingPrefetch[out.Line] = out.Index
+			a.pendingPrefetch.insert(out.Line)
 		}
 	case raw.Class.IsMemRead():
 		out.Line = a.h.LineAddr(raw.EA)
 		if a.h.Access(mem.DRead, raw.EA) {
 			out.DMiss = true
 			a.stats.DMisses++
-			out.VPOutcome = vpred.Observe(a.vp, &raw)
+			out.VPOutcome = vpred.Observe(a.vp, raw)
 			a.stats.VP.Add(out.VPOutcome)
 		}
 		if a.dpf != nil && raw.Class == isa.Load {
@@ -202,21 +230,20 @@ func (a *Annotator) Next() (Inst, bool) {
 		a.consumePrefetch(out.Line)
 	case raw.Class == isa.Branch:
 		a.stats.Branches++
-		if bpred.Mispredicted(a.bp, &raw) {
+		if bpred.Mispredicted(a.bp, raw) {
 			out.Mispred = true
 			a.stats.Mispredicts++
 		}
 	}
-	return out, true
+	return true
 }
 
 // consumePrefetch marks a pending prefetched line as used.
 func (a *Annotator) consumePrefetch(line uint64) {
-	if len(a.pendingPrefetch) == 0 {
+	if a.pendingPrefetch.len() == 0 {
 		return
 	}
-	if _, ok := a.pendingPrefetch[line]; ok {
-		delete(a.pendingPrefetch, line)
+	if a.pendingPrefetch.testAndClear(line) {
 		a.stats.PrefetchUsed++
 	}
 }
@@ -271,15 +298,21 @@ func (a *Annotator) Warm(n int64) int64 {
 }
 
 // Collect drains up to max annotated instructions (the whole stream when
-// max < 0).
+// max < 0). The result is sized from max up front instead of growing from
+// zero capacity append by append.
 func (a *Annotator) Collect(max int64) []Inst {
-	var out []Inst
-	for max < 0 || int64(len(out)) < max {
-		in, ok := a.Next()
-		if !ok {
-			break
-		}
-		out = append(out, in)
+	if max >= 0 {
+		out := make([]Inst, max)
+		return out[:a.AnnotateInto(out)]
 	}
-	return out
+	var out []Inst
+	for {
+		n := len(out)
+		out = append(out[:n], make([]Inst, 4096)...)
+		got := a.AnnotateInto(out[n:])
+		out = out[:n+got]
+		if got < 4096 {
+			return out
+		}
+	}
 }

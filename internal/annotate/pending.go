@@ -1,0 +1,108 @@
+package annotate
+
+// pendingTable is an open-addressed, linear-probing set of line addresses
+// with pending off-chip prefetches, replacing the pendingPrefetch
+// `map[uint64]int64` on the annotation hot path (the stored issue index
+// was never read back, so a set carries the same information). The load
+// factor is bounded at 0.5: an insert crossing it doubles the table, so
+// membership — and therefore the PrefetchUsed statistic — is bit-for-bit
+// identical to the unbounded map it replaced
+// (TestPendingTableMatchesMapReferenceRandom pins it). Growth stops once
+// the table covers the workload's outstanding-prefetch footprint, after
+// which insert/testAndClear allocate nothing.
+type pendingTable struct {
+	// keys holds line+1 so the zero value means an empty slot. Lines are
+	// EA>>lineShift, so line+1 cannot wrap.
+	keys      []uint64
+	mask      uint64
+	hashShift uint
+	used      int
+}
+
+const pendingInitBits = 10
+
+func (t *pendingTable) init() {
+	t.keys = make([]uint64, 1<<pendingInitBits)
+	t.mask = 1<<pendingInitBits - 1
+	t.hashShift = 64 - pendingInitBits
+}
+
+func (t *pendingTable) slot(key uint64) uint64 {
+	return (key * 0x9E3779B97F4A7C15) >> t.hashShift & t.mask
+}
+
+func (t *pendingTable) len() int { return t.used }
+
+// insert adds key to the set (a no-op when present), doubling the table
+// when the load factor would cross 0.5.
+func (t *pendingTable) insert(key uint64) {
+	k := key + 1
+	i := t.slot(key)
+	for t.keys[i] != 0 {
+		if t.keys[i] == k {
+			return
+		}
+		i = (i + 1) & t.mask
+	}
+	t.keys[i] = k
+	t.used++
+	if uint64(t.used) > (t.mask+1)/2 {
+		t.grow()
+	}
+}
+
+// testAndClear reports whether key is resident, removing it if so.
+func (t *pendingTable) testAndClear(key uint64) bool {
+	k := key + 1
+	i := t.slot(key)
+	for t.keys[i] != 0 {
+		if t.keys[i] == k {
+			t.deleteSlot(i)
+			t.used--
+			return true
+		}
+		i = (i + 1) & t.mask
+	}
+	return false
+}
+
+// deleteSlot empties slot i and backward-shifts the tail of its probe
+// chain so later lookups never hit a false empty.
+func (t *pendingTable) deleteSlot(i uint64) {
+	j := i
+	for {
+		t.keys[i] = 0
+		for {
+			j = (j + 1) & t.mask
+			if t.keys[j] == 0 {
+				return
+			}
+			// Move j's key into the hole unless its home slot lies
+			// cyclically within (i, j].
+			h := t.slot(t.keys[j] - 1)
+			if (j > i && (h <= i || h > j)) || (j < i && h <= i && h > j) {
+				break
+			}
+		}
+		t.keys[i] = t.keys[j]
+		i = j
+	}
+}
+
+func (t *pendingTable) grow() {
+	old := t.keys
+	size := 2 * uint64(len(old))
+	t.keys = make([]uint64, size)
+	t.mask = size - 1
+	t.hashShift--
+	for _, k := range old {
+		if k == 0 {
+			continue
+		}
+		i := t.slot(k - 1)
+		for t.keys[i] != 0 {
+			i = (i + 1) & t.mask
+		}
+		t.keys[i] = k
+	}
+}

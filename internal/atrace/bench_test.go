@@ -41,6 +41,30 @@ func BenchmarkCaptureStream(b *testing.B) {
 	}
 }
 
+// BenchmarkCaptureFused measures the fused block path Capture actually
+// runs (AnnotateInto staging + AppendBlock column transpose).
+func BenchmarkCaptureFused(b *testing.B) {
+	w := workload.Presets(1)[0]
+	a := annotate.New(workload.MustNew(w), annotate.Config{})
+	a.Warm(100_000)
+	bu := NewBuilder(6, int64(b.N))
+	buf := make([]annotate.Inst, captureBlock)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for left := b.N; left > 0; {
+		want := len(buf)
+		if left < want {
+			want = left
+		}
+		got := a.AnnotateInto(buf[:want])
+		if got < want {
+			b.Fatal("stream ended")
+		}
+		bu.AppendBlock(buf[:got])
+		left -= got
+	}
+}
+
 // BenchmarkReplayStream measures decoding a captured stream — the cost
 // every cached engine run pays per instruction. It must be allocation
 // free.

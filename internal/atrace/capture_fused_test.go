@@ -1,0 +1,125 @@
+package atrace
+
+import (
+	"testing"
+
+	"mlpsim/internal/annotate"
+	"mlpsim/internal/mem"
+	"mlpsim/internal/prefetch"
+	"mlpsim/internal/workload"
+)
+
+// newAnnotatorPair builds two identical annotators over independent
+// generators of the same workload, so the fused and the per-instruction
+// capture paths consume bit-identical raw streams.
+func newAnnotatorPair(w workload.Config) (*annotate.Annotator, *annotate.Annotator) {
+	mk := func() *annotate.Annotator {
+		return annotate.New(workload.MustNew(w), annotate.Config{
+			IPrefetch: prefetch.NewSequential(4, mem.IFetch),
+			DPrefetch: prefetch.NewStride(256, 4),
+		})
+	}
+	return mk(), mk()
+}
+
+// TestCaptureFusedMatchesPerInst pins the fused block capture
+// (AnnotateInto + AppendBlock) to the per-instruction reference path
+// (Next + Append): the replayed instructions, stats and encoded column
+// sizes must be identical, including at non-block-multiple lengths.
+func TestCaptureFusedMatchesPerInst(t *testing.T) {
+	w := workload.Presets(1)[0]
+	for _, n := range []int64{0, 1, captureBlock - 1, captureBlock, captureBlock + 1, 3*captureBlock + 317} {
+		fusedA, refA := newAnnotatorPair(w)
+		fusedA.Warm(5000)
+		refA.Warm(5000)
+
+		fused := Capture(fusedA, n)
+
+		shift := lineShiftOf(refA.Hierarchy().Config().L2.LineBytes)
+		b := NewBuilder(shift, n)
+		for i := int64(0); i < n; i++ {
+			in, ok := refA.Next()
+			if !ok {
+				break
+			}
+			b.Append(in)
+		}
+		ref := b.Finish(refA.Stats())
+
+		if fused.Len() != ref.Len() {
+			t.Fatalf("n=%d: fused len %d, reference %d", n, fused.Len(), ref.Len())
+		}
+		if fused.FirstIndex() != ref.FirstIndex() {
+			t.Fatalf("n=%d: first index %d vs %d", n, fused.FirstIndex(), ref.FirstIndex())
+		}
+		if fused.Stats() != ref.Stats() {
+			t.Fatalf("n=%d: stats diverged\nfused %+v\nref   %+v", n, fused.Stats(), ref.Stats())
+		}
+		fr, rr := fused.Replay(), ref.Replay()
+		var fi, ri annotate.Inst
+		for i := int64(0); ; i++ {
+			fok, rok := fr.NextInto(&fi), rr.NextInto(&ri)
+			if fok != rok {
+				t.Fatalf("n=%d: replay length diverged at %d", n, i)
+			}
+			if !fok {
+				break
+			}
+			if fi != ri {
+				t.Fatalf("n=%d inst %d:\nfused %+v\nref   %+v", n, i, fi, ri)
+			}
+		}
+	}
+}
+
+// TestAppendBlockInterleavesWithAppend pins the documented contract that
+// AppendBlock and Append may be mixed on one builder.
+func TestAppendBlockInterleavesWithAppend(t *testing.T) {
+	const n = 4 * 1024
+	w := workload.Presets(1)[0]
+	blockA, refA := newAnnotatorPair(w)
+
+	insts := blockA.Collect(n)
+	shift := lineShiftOf(blockA.Hierarchy().Config().L2.LineBytes)
+
+	mixed := NewBuilder(shift, n)
+	for off := 0; off < len(insts); {
+		if off%3 == 0 { // single appends at uneven points
+			mixed.Append(insts[off])
+			off++
+			continue
+		}
+		end := off + 333
+		if end > len(insts) {
+			end = len(insts)
+		}
+		mixed.AppendBlock(insts[off:end])
+		off = end
+	}
+	ms := mixed.Finish(blockA.Stats())
+
+	ref := NewBuilder(shift, n)
+	for i := int64(0); i < n; i++ {
+		in, ok := refA.Next()
+		if !ok {
+			break
+		}
+		ref.Append(in)
+	}
+	rs := ref.Finish(refA.Stats())
+
+	fr, rr := ms.Replay(), rs.Replay()
+	var fi, ri annotate.Inst
+	for i := 0; ; i++ {
+		fok, rok := fr.NextInto(&fi), rr.NextInto(&ri)
+		if fok != rok {
+			t.Fatalf("length diverged at %d", i)
+		}
+		if !fok {
+			break
+		}
+		if fi != ri {
+			t.Fatalf("inst %d: mixed %+v != reference %+v", i, fi, ri)
+		}
+	}
+}

@@ -219,6 +219,97 @@ func (b *Builder) Append(in annotate.Inst) {
 	}
 }
 
+// AppendBlock adds a block of annotated instructions column by column:
+// one pass per fixed-width column, one bulk extension per bitset, then
+// the data-dependent varint columns — a transpose at the block boundary
+// instead of a full per-instruction Append. Instructions must be in
+// stream order; interleaving with Append is allowed.
+func (b *Builder) AppendBlock(block []annotate.Inst) {
+	if len(block) == 0 {
+		return
+	}
+	if b.first {
+		b.s.firstIndex = block[0].Index
+		b.first = false
+	}
+	base := b.s.n
+	b.s.n += int64(len(block))
+
+	for i := range block {
+		b.s.class = append(b.s.class, uint8(block[i].Class))
+	}
+	for i := range block {
+		b.s.src1 = append(b.s.src1, uint8(block[i].Src1))
+	}
+	for i := range block {
+		b.s.src2 = append(b.s.src2, uint8(block[i].Src2))
+	}
+	for i := range block {
+		b.s.dst = append(b.s.dst, uint8(block[i].Dst))
+	}
+	for i := range block {
+		b.s.vpo = append(b.s.vpo, uint8(block[i].VPOutcome))
+	}
+
+	words := bitsetWords(b.s.n)
+	b.s.dmiss = growWords(b.s.dmiss, words)
+	b.s.pmiss = growWords(b.s.pmiss, words)
+	b.s.imiss = growWords(b.s.imiss, words)
+	b.s.smiss = growWords(b.s.smiss, words)
+	b.s.mispred = growWords(b.s.mispred, words)
+	b.s.taken = growWords(b.s.taken, words)
+	b.s.hasTgt = growWords(b.s.hasTgt, words)
+	for i := range block {
+		in := &block[i]
+		w, bit := (base+int64(i))>>6, uint(base+int64(i))&63
+		if in.DMiss {
+			b.s.dmiss[w] |= 1 << bit
+		}
+		if in.PMiss {
+			b.s.pmiss[w] |= 1 << bit
+		}
+		if in.IMiss {
+			b.s.imiss[w] |= 1 << bit
+		}
+		if in.SMiss {
+			b.s.smiss[w] |= 1 << bit
+		}
+		if in.Mispred {
+			b.s.mispred[w] |= 1 << bit
+		}
+		if in.Taken {
+			b.s.taken[w] |= 1 << bit
+		}
+		if in.Class == isa.Branch && in.Target != 0 {
+			b.s.hasTgt[w] |= 1 << bit
+		}
+	}
+
+	for i := range block {
+		in := &block[i]
+		b.s.pc = binary.AppendUvarint(b.s.pc, zigzag(int64(in.PC)-int64(b.prevPC)))
+		b.prevPC = in.PC
+		if in.Class.IsMem() {
+			b.s.ea = binary.AppendUvarint(b.s.ea, zigzag(int64(in.EA)-int64(b.prevEA)))
+			b.prevEA = in.EA
+		}
+		if in.Class == isa.Branch && in.Target != 0 {
+			b.s.tgt = binary.AppendUvarint(b.s.tgt, zigzag(int64(in.Target)-int64(in.PC)))
+		}
+		if in.Class.IsMemRead() && in.Class != isa.Prefetch {
+			b.s.val = binary.AppendUvarint(b.s.val, in.Value)
+		}
+	}
+}
+
+// growWords zero-extends a bitset to the given word count.
+func growWords(bs []uint64, words int64) []uint64 {
+	for int64(len(bs)) < words {
+		bs = append(bs, 0)
+	}
+	return bs
+}
+
 // Finish seals the stream, attaching the annotator statistics for the
 // captured window.
 func (b *Builder) Finish(stats annotate.Stats) *Stream {
@@ -228,18 +319,32 @@ func (b *Builder) Finish(stats annotate.Stats) *Stream {
 	return &s
 }
 
+// captureBlock is the fused-capture batch size: large enough to
+// amortize the per-block column transpose, small enough that the
+// annotate.Inst staging buffer (~100 bytes each) stays cache resident.
+const captureBlock = 2048
+
 // Capture drains up to max instructions from a (typically pre-warmed)
 // annotator into a new Stream. The annotator's post-drain Stats are
-// stored on the stream.
+// stored on the stream. Annotation and encoding are fused block-wise:
+// AnnotateInto fills a reusable staging buffer and AppendBlock
+// transposes it into the columns, instead of one call pair plus an
+// Inst copy per instruction.
 func Capture(a *annotate.Annotator, max int64) *Stream {
 	shift := lineShiftOf(a.Hierarchy().Config().L2.LineBytes)
 	b := NewBuilder(shift, max)
-	for i := int64(0); i < max; i++ {
-		in, ok := a.Next()
-		if !ok {
+	buf := make([]annotate.Inst, captureBlock)
+	for left := max; left > 0; {
+		want := int64(len(buf))
+		if left < want {
+			want = left
+		}
+		got := a.AnnotateInto(buf[:want])
+		b.AppendBlock(buf[:got])
+		left -= int64(got)
+		if int64(got) < want {
 			break
 		}
-		b.Append(in)
 	}
 	s := b.Finish(a.Stats())
 	if p := a.IPrefetch(); p != nil {

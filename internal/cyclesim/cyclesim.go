@@ -16,7 +16,6 @@
 package cyclesim
 
 import (
-	"container/heap"
 	"fmt"
 
 	"mlpsim/internal/annotate"
@@ -134,19 +133,50 @@ type robEntry struct {
 	memProd int64
 }
 
-// eventHeap is a min-heap of completion cycles.
-type eventHeap []int64
+// eventHeap is a hand-rolled min-heap of completion cycles. Unlike a
+// container/heap adapter it pushes and pops typed int64s — no
+// interface{} boxing allocation per event — and its backing slice is
+// reused across pops, so the steady state allocates nothing.
+type eventHeap struct{ a []int64 }
 
-func (h eventHeap) Len() int            { return len(h) }
-func (h eventHeap) Less(i, j int) bool  { return h[i] < h[j] }
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(int64)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	x := old[n-1]
-	*h = old[:n-1]
-	return x
+func (h *eventHeap) len() int   { return len(h.a) }
+func (h *eventHeap) min() int64 { return h.a[0] }
+
+func (h *eventHeap) push(v int64) {
+	h.a = append(h.a, v)
+	i := len(h.a) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if h.a[p] <= h.a[i] {
+			break
+		}
+		h.a[p], h.a[i] = h.a[i], h.a[p]
+		i = p
+	}
+}
+
+func (h *eventHeap) pop() int64 {
+	a := h.a
+	top := a[0]
+	n := len(a) - 1
+	a[0] = a[n]
+	h.a = a[:n]
+	i := 0
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		if r := l + 1; r < n && a[r] < a[l] {
+			l = r
+		}
+		if a[i] <= a[l] {
+			break
+		}
+		a[i], a[l] = a[l], a[i]
+		i = l
+	}
+	return top
 }
 
 // inPlaceSource is the optional fetch fast path (mirroring the core
@@ -163,16 +193,25 @@ type Sim struct {
 	srcInto inPlaceSource // src's fast path, nil when unsupported
 
 	cycle int64
-	// rob holds in-flight instructions; robBase is the absolute index of
-	// rob[0]. Entries retire from the front.
+	// rob is a preallocated power-of-two ring of in-flight instructions;
+	// robBase is the absolute index of the oldest entry. Entries retire
+	// from the front. Capacity is fixed at construction (≥ cfg.ROB, the
+	// dispatch gate), so steady-state operation never reallocates.
 	rob      []robEntry
 	robBase  int64
-	robHead  int // offset of the oldest entry within rob (amortized queue)
+	robHead  int // ring offset of the oldest entry
+	robCount int
+	robMask  int
 	nextIdx  int64
 	unissued int
 
+	// fetchQ is a preallocated power-of-two ring (≥ FetchBuffer+1: an
+	// arriving off-chip I-line delivers its instruction past the normal
+	// fetch gate).
 	fetchQ     []annotate.Inst
 	fetchHead  int
+	fetchCount int
+	fetchMask  int
 	fetchStall int64
 	// awaitBranch, when >= 0, is the absolute index of a fetched
 	// mispredicted branch; fetch resumes after it resolves.
@@ -181,9 +220,14 @@ type Sim struct {
 	// off-chip line (valid when havePendingIMiss).
 	pendingIMiss     annotate.Inst
 	havePendingIMiss bool
-	pendingIMissAt   int64
-	srcDone          bool
-	fetched          int64
+	// fetchTmp stages the instruction being pulled from the source. It
+	// lives on the Sim rather than the fetch stack so the pointer handed
+	// to the source interface does not force a per-instruction heap
+	// escape.
+	fetchTmp       annotate.Inst
+	pendingIMissAt int64
+	srcDone        bool
+	fetched        int64
 
 	producers [isa.NumRegs]int64
 	lastStore *core.StoreTable
@@ -207,7 +251,20 @@ func New(src core.AnnotatedSource, cfg Config) *Sim {
 	for i := range s.producers {
 		s.producers[i] = -1
 	}
+	s.rob = make([]robEntry, ringCap(cfg.ROB))
+	s.robMask = len(s.rob) - 1
+	s.fetchQ = make([]annotate.Inst, ringCap(cfg.FetchBuffer+1))
+	s.fetchMask = len(s.fetchQ) - 1
 	return s
+}
+
+// ringCap returns the smallest power of two ≥ n.
+func ringCap(n int) int {
+	c := 1
+	for c < n {
+		c <<= 1
+	}
+	return c
 }
 
 // pull reads the next instruction from the source into *dst, using the
@@ -224,11 +281,51 @@ func (s *Sim) pull(dst *annotate.Inst) bool {
 	return true
 }
 
-func (s *Sim) robLen() int { return len(s.rob) - s.robHead }
+func (s *Sim) robLen() int { return s.robCount }
 
-func (s *Sim) robAt(i int) *robEntry { return &s.rob[s.robHead+i] }
+func (s *Sim) robAt(i int) *robEntry { return &s.rob[(s.robHead+i)&s.robMask] }
 
-func (s *Sim) fetchQLen() int { return len(s.fetchQ) - s.fetchHead }
+// robPush appends an entry at the ring tail, doubling the ring in the
+// (configuration-error) case that the dispatch gate let it fill.
+func (s *Sim) robPush(e robEntry) {
+	if s.robCount == len(s.rob) {
+		s.growROB()
+	}
+	s.rob[(s.robHead+s.robCount)&s.robMask] = e
+	s.robCount++
+}
+
+func (s *Sim) growROB() {
+	grown := make([]robEntry, 2*len(s.rob))
+	for i := 0; i < s.robCount; i++ {
+		grown[i] = s.rob[(s.robHead+i)&s.robMask]
+	}
+	s.rob = grown
+	s.robMask = len(grown) - 1
+	s.robHead = 0
+}
+
+func (s *Sim) fetchQLen() int { return s.fetchCount }
+
+func (s *Sim) fetchQAt(i int) *annotate.Inst { return &s.fetchQ[(s.fetchHead+i)&s.fetchMask] }
+
+func (s *Sim) fetchPush(ai annotate.Inst) {
+	if s.fetchCount == len(s.fetchQ) {
+		s.growFetchQ()
+	}
+	s.fetchQ[(s.fetchHead+s.fetchCount)&s.fetchMask] = ai
+	s.fetchCount++
+}
+
+func (s *Sim) growFetchQ() {
+	grown := make([]annotate.Inst, 2*len(s.fetchQ))
+	for i := 0; i < s.fetchCount; i++ {
+		grown[i] = s.fetchQ[(s.fetchHead+i)&s.fetchMask]
+	}
+	s.fetchQ = grown
+	s.fetchMask = len(grown) - 1
+	s.fetchHead = 0
+}
 
 // Run simulates to completion and returns the result.
 func (s *Sim) Run() Result {
@@ -285,12 +382,12 @@ func (s *Sim) latency(offChip bool) int64 {
 func (s *Sim) noteAccess(lat int64) {
 	s.outstanding++
 	s.accesses++
-	heap.Push(&s.completions, s.cycle+lat)
+	s.completions.push(s.cycle + lat)
 }
 
 func (s *Sim) doCompletions() {
-	for len(s.completions) > 0 && s.completions[0] <= s.cycle {
-		heap.Pop(&s.completions)
+	for s.completions.len() > 0 && s.completions.min() <= s.cycle {
+		s.completions.pop()
 		s.outstanding--
 	}
 }
@@ -302,15 +399,11 @@ func (s *Sim) retire() int {
 		if !s.entryDone(e) {
 			break
 		}
-		s.robHead++
+		s.robHead = (s.robHead + 1) & s.robMask
+		s.robCount--
 		s.robBase++
 		s.retired++
 		n++
-	}
-	// Compact the queue storage occasionally.
-	if s.robHead > 4096 && s.robHead >= len(s.rob)/2 {
-		s.rob = append(s.rob[:0], s.rob[s.robHead:]...)
-		s.robHead = 0
 	}
 	return n
 }
@@ -437,8 +530,9 @@ func (s *Sim) dispatch() int {
 		if s.robLen() >= s.cfg.ROB || s.unissued >= s.cfg.IssueWindow {
 			break
 		}
-		ai := s.fetchQ[s.fetchHead]
-		s.fetchHead++
+		ai := *s.fetchQAt(0)
+		s.fetchHead = (s.fetchHead + 1) & s.fetchMask
+		s.fetchCount--
 		e := robEntry{ai: ai, prod1: -1, prod2: -1, memProd: -1}
 		j := s.nextIdx
 		if ai.Src1 != isa.NoReg && ai.Src1 != isa.RegZero {
@@ -459,14 +553,10 @@ func (s *Sim) dispatch() int {
 		if ai.HasDst() {
 			s.producers[ai.Dst] = j
 		}
-		s.rob = append(s.rob, e)
+		s.robPush(e)
 		s.nextIdx++
 		s.unissued++
 		n++
-	}
-	if s.fetchHead > 4096 && s.fetchHead >= len(s.fetchQ)/2 {
-		s.fetchQ = append(s.fetchQ[:0], s.fetchQ[s.fetchHead:]...)
-		s.fetchHead = 0
 	}
 	return n
 }
@@ -488,7 +578,7 @@ func (s *Sim) fetch() int {
 		if s.cycle < s.pendingIMissAt {
 			return 0
 		}
-		s.fetchQ = append(s.fetchQ, s.pendingIMiss)
+		s.fetchPush(s.pendingIMiss)
 		s.havePendingIMiss = false
 		return 1
 	}
@@ -504,8 +594,8 @@ func (s *Sim) fetch() int {
 			s.srcDone = true
 			break
 		}
-		var ai annotate.Inst
-		if !s.pull(&ai) {
+		ai := &s.fetchTmp
+		if !s.pull(ai) {
 			s.srcDone = true
 			break
 		}
@@ -513,7 +603,7 @@ func (s *Sim) fetch() int {
 		if ai.IMiss && !s.cfg.PerfectL2 && s.cfg.MSHRs > 0 && s.outstanding >= s.cfg.MSHRs {
 			// No MSHR free: the fetch waits (IMiss stays set; the pending
 			// branch above issues the access when a register drains).
-			s.pendingIMiss, s.havePendingIMiss = ai, true
+			s.pendingIMiss, s.havePendingIMiss = *ai, true
 			return n
 		}
 		if ai.IMiss && !s.cfg.PerfectL2 {
@@ -523,18 +613,18 @@ func (s *Sim) fetch() int {
 			s.noteAccess(int64(s.cfg.MissPenalty))
 			s.pendingIMissAt = s.cycle + int64(s.cfg.MissPenalty)
 			ai.IMiss = false
-			s.pendingIMiss, s.havePendingIMiss = ai, true
+			s.pendingIMiss, s.havePendingIMiss = *ai, true
 			return n + 1
 		}
 		if ai.IMiss {
 			// Perfect L2: a short front-end bubble.
 			s.fetchStall = s.cycle + int64(s.cfg.L2Latency)
 			ai.IMiss = false
-			s.fetchQ = append(s.fetchQ, ai)
+			s.fetchPush(*ai)
 			n++
 			break
 		}
-		s.fetchQ = append(s.fetchQ, ai)
+		s.fetchPush(*ai)
 		n++
 		if ai.Class == isa.Branch && ai.Mispred {
 			// Fetch proceeds down the wrong path until resolution; the
@@ -561,8 +651,8 @@ func (s *Sim) leap() {
 	if s.havePendingIMiss && !s.pendingIMiss.IMiss && s.pendingIMissAt < next {
 		next = s.pendingIMissAt
 	}
-	if len(s.completions) > 0 && s.completions[0] > s.cycle && s.completions[0] < next {
-		next = s.completions[0]
+	if s.completions.len() > 0 && s.completions.min() > s.cycle && s.completions.min() < next {
+		next = s.completions.min()
 	}
 	if s.fetchStall > s.cycle && s.fetchStall < next {
 		next = s.fetchStall

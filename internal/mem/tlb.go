@@ -5,15 +5,37 @@ package mem
 // configuration has a 2K-entry shared TLB; TLB misses are treated as
 // on-chip events (hardware table walk) and affect no MLP accounting, so
 // only hit/miss statistics are exposed.
+//
+// The resident set lives in flat arrays: an open-addressed linear-probing
+// index (page -> node, sized at twice the entry count so the load factor
+// never exceeds 0.5, mirroring core.StoreTable) over node storage threaded
+// with an intrusive doubly-linked LRU list. Every access is O(1) — the old
+// map-based implementation rescanned all resident stamps on each miss to
+// find the LRU victim, which dominated the annotation hot path. The
+// clock-stamp ordering it used is exactly LRU order (the clock was
+// strictly increasing), so hit/miss outcomes, eviction victims and all
+// statistics are bit-identical; TestTLBMatchesMapReferenceRandom pins
+// that against the retained map-based reference.
 type TLB struct {
 	entries   int
 	pageShift uint
-	// order is an LRU list from most- to least-recently used page numbers,
-	// backed by a map for O(1) membership. For 2K entries a doubly linked
-	// list via maps of prev/next indices would be overkill; we use a
-	// map + clock sweep like the caches.
-	stamp map[uint64]uint64
-	clock uint64
+
+	// Open-addressed index: idxKeys[i] holds page+1 (0 = empty slot) and
+	// idxVals[i] the node index. Pages are addr>>pageShift, so page+1
+	// cannot wrap.
+	idxKeys   []uint64
+	idxVals   []int32
+	mask      uint64
+	hashShift uint
+
+	// Node storage: pages[n] is resident, linked MRU-first through
+	// prev/next (-1 terminated).
+	pages []uint64
+	prev  []int32
+	next  []int32
+	head  int32
+	tail  int32
+	used  int
 
 	accesses uint64
 	misses   uint64
@@ -32,10 +54,109 @@ func NewTLB(entries, pageBytes int) *TLB {
 	for 1<<shift != pageBytes {
 		shift++
 	}
+	bits := uint(1)
+	for 1<<bits < 2*entries {
+		bits++
+	}
 	return &TLB{
 		entries:   entries,
 		pageShift: shift,
-		stamp:     make(map[uint64]uint64, entries+1),
+		idxKeys:   make([]uint64, 1<<bits),
+		idxVals:   make([]int32, 1<<bits),
+		mask:      uint64(1<<bits - 1),
+		hashShift: 64 - bits,
+		pages:     make([]uint64, entries),
+		prev:      make([]int32, entries),
+		next:      make([]int32, entries),
+		head:      -1,
+		tail:      -1,
+	}
+}
+
+// slot is a Fibonacci hash: page numbers are heavily clustered, and the
+// multiply spreads consecutive keys across the index.
+func (t *TLB) slot(page uint64) uint64 {
+	return (page * 0x9E3779B97F4A7C15) >> t.hashShift & t.mask
+}
+
+// lookup returns the node holding page, or -1.
+func (t *TLB) lookup(page uint64) int32 {
+	k := page + 1
+	for i := t.slot(page); ; i = (i + 1) & t.mask {
+		switch t.idxKeys[i] {
+		case k:
+			return t.idxVals[i]
+		case 0:
+			return -1
+		}
+	}
+}
+
+// idxInsert records page -> n in the index. The caller guarantees page is
+// absent and the index is at most half full, so probing terminates.
+func (t *TLB) idxInsert(page uint64, n int32) {
+	i := t.slot(page)
+	for t.idxKeys[i] != 0 {
+		i = (i + 1) & t.mask
+	}
+	t.idxKeys[i] = page + 1
+	t.idxVals[i] = n
+}
+
+// idxDelete removes page from the index with backward-shift deletion, so
+// no tombstones accumulate and probe chains stay contiguous.
+func (t *TLB) idxDelete(page uint64) {
+	k := page + 1
+	i := t.slot(page)
+	for t.idxKeys[i] != k {
+		i = (i + 1) & t.mask
+	}
+	j := i
+	for {
+		t.idxKeys[i] = 0
+		for {
+			j = (j + 1) & t.mask
+			if t.idxKeys[j] == 0 {
+				return
+			}
+			// Move j's entry into the hole unless its home slot lies
+			// cyclically within (i, j] — then the hole does not break its
+			// probe chain.
+			h := t.slot(t.idxKeys[j] - 1)
+			if (j > i && (h <= i || h > j)) || (j < i && h <= i && h > j) {
+				break
+			}
+		}
+		t.idxKeys[i] = t.idxKeys[j]
+		t.idxVals[i] = t.idxVals[j]
+		i = j
+	}
+}
+
+// unlink removes node n from the LRU list.
+func (t *TLB) unlink(n int32) {
+	if t.prev[n] >= 0 {
+		t.next[t.prev[n]] = t.next[n]
+	} else {
+		t.head = t.next[n]
+	}
+	if t.next[n] >= 0 {
+		t.prev[t.next[n]] = t.prev[n]
+	} else {
+		t.tail = t.prev[n]
+	}
+}
+
+// pushFront makes node n the MRU.
+func (t *TLB) pushFront(n int32) {
+	t.prev[n] = -1
+	t.next[n] = t.head
+	if t.head >= 0 {
+		t.prev[t.head] = n
+	}
+	t.head = n
+	if t.tail < 0 {
+		t.tail = n
 	}
 }
 
@@ -44,25 +165,27 @@ func NewTLB(entries, pageBytes int) *TLB {
 // hit.
 func (t *TLB) Access(addr uint64) bool {
 	page := addr >> t.pageShift
-	t.clock++
 	t.accesses++
-	if _, ok := t.stamp[page]; ok {
-		t.stamp[page] = t.clock
+	if n := t.lookup(page); n >= 0 {
+		if t.head != n {
+			t.unlink(n)
+			t.pushFront(n)
+		}
 		return true
 	}
 	t.misses++
-	if len(t.stamp) >= t.entries {
-		var victim uint64
-		oldest := t.clock + 1
-		for p, s := range t.stamp {
-			if s < oldest {
-				oldest = s
-				victim = p
-			}
-		}
-		delete(t.stamp, victim)
+	var n int32
+	if t.used >= t.entries {
+		n = t.tail
+		t.unlink(n)
+		t.idxDelete(t.pages[n])
+	} else {
+		n = int32(t.used)
+		t.used++
 	}
-	t.stamp[page] = t.clock
+	t.pages[n] = page
+	t.idxInsert(page, n)
+	t.pushFront(n)
 	return false
 }
 
@@ -73,4 +196,4 @@ func (t *TLB) Stats() (accesses, misses uint64) { return t.accesses, t.misses }
 func (t *TLB) ResetStats() { t.accesses, t.misses = 0, 0 }
 
 // Len returns the number of resident translations.
-func (t *TLB) Len() int { return len(t.stamp) }
+func (t *TLB) Len() int { return t.used }

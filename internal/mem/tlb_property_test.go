@@ -1,0 +1,125 @@
+package mem
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// refTLB is the retained map-based reference implementation the
+// open-addressed TLB replaced: an LRU stamp map whose miss path scans all
+// resident stamps for the minimum. The flat TLB must reproduce its
+// hit/miss outcomes, statistics and resident count exactly — the clock is
+// strictly increasing, so min-stamp eviction is LRU eviction.
+type refTLB struct {
+	entries   int
+	pageShift uint
+	stamp     map[uint64]uint64
+	clock     uint64
+
+	accesses uint64
+	misses   uint64
+}
+
+func newRefTLB(entries, pageBytes int) *refTLB {
+	shift := uint(0)
+	for 1<<shift != pageBytes {
+		shift++
+	}
+	return &refTLB{
+		entries:   entries,
+		pageShift: shift,
+		stamp:     make(map[uint64]uint64, entries+1),
+	}
+}
+
+func (t *refTLB) Access(addr uint64) bool {
+	page := addr >> t.pageShift
+	t.clock++
+	t.accesses++
+	if _, ok := t.stamp[page]; ok {
+		t.stamp[page] = t.clock
+		return true
+	}
+	t.misses++
+	if len(t.stamp) >= t.entries {
+		var victim uint64
+		oldest := t.clock + 1
+		for p, s := range t.stamp {
+			if s < oldest {
+				oldest = s
+				victim = p
+			}
+		}
+		delete(t.stamp, victim)
+	}
+	t.stamp[page] = t.clock
+	return false
+}
+
+// TestTLBMatchesMapReferenceRandom drives random access sequences through
+// the open-addressed TLB and the map-based reference in lock-step across
+// random geometries. Page spaces are drawn a little larger than the entry
+// count, so the tables run at full occupancy and evict on a large
+// fraction of accesses — the pressure path where LRU order, index
+// deletion and victim choice must all agree.
+func TestTLBMatchesMapReferenceRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 60; trial++ {
+		entries := 1 + rng.Intn(96)
+		pageBytes := 1 << (9 + rng.Intn(6))
+		// Alternate tight pressure (constant evictions), moderate reuse,
+		// and a sparse space (mostly compulsory misses).
+		var pageSpace int
+		switch trial % 3 {
+		case 0:
+			pageSpace = entries + 1 + rng.Intn(entries+1)
+		case 1:
+			pageSpace = 2*entries + rng.Intn(4*entries)
+		default:
+			pageSpace = 64 * (entries + 1)
+		}
+		tlb := NewTLB(entries, pageBytes)
+		ref := newRefTLB(entries, pageBytes)
+		for i := 0; i < 4000; i++ {
+			addr := uint64(rng.Intn(pageSpace))*uint64(pageBytes) + uint64(rng.Intn(pageBytes))
+			got, want := tlb.Access(addr), ref.Access(addr)
+			if got != want {
+				t.Fatalf("trial %d (entries=%d space=%d) access %d addr %#x: hit=%v, reference %v",
+					trial, entries, pageSpace, i, addr, got, want)
+			}
+			if tlb.Len() != len(ref.stamp) {
+				t.Fatalf("trial %d access %d: Len=%d, reference %d", trial, i, tlb.Len(), len(ref.stamp))
+			}
+		}
+		acc, miss := tlb.Stats()
+		if acc != ref.accesses || miss != ref.misses {
+			t.Fatalf("trial %d: stats (%d,%d), reference (%d,%d)", trial, acc, miss, ref.accesses, ref.misses)
+		}
+	}
+}
+
+// TestTLBResidentSetMatchesReference replays a pressured sequence and then
+// probes every page the reference holds (and a band it does not): the two
+// implementations must agree on exactly which translations survived.
+func TestTLBResidentSetMatchesReference(t *testing.T) {
+	const entries, pageBytes = 32, 4096
+	rng := rand.New(rand.NewSource(7))
+	tlb := NewTLB(entries, pageBytes)
+	ref := newRefTLB(entries, pageBytes)
+	for i := 0; i < 2000; i++ {
+		addr := uint64(rng.Intn(3*entries)) * pageBytes
+		tlb.Access(addr)
+		ref.Access(addr)
+	}
+	// Probing mutates LRU state identically on both sides, so agreement
+	// must hold for every consecutive probe.
+	for page := uint64(0); page < 3*entries; page++ {
+		_, want := ref.stamp[page]
+		// A hit on the flat table without a corresponding reference entry
+		// (or vice versa) means the resident sets diverged.
+		if got := tlb.Access(page * pageBytes); got != want {
+			t.Fatalf("page %d: resident=%v, reference %v", page, got, want)
+		}
+		ref.Access(page * pageBytes)
+	}
+}

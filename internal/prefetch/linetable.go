@@ -1,0 +1,131 @@
+package prefetch
+
+// lineTable is a fixed-capacity, open-addressed, linear-probing set of
+// line addresses, replacing the `map[uint64]bool` issued-line sets on the
+// prefetcher hot paths. It preserves the maps' clear-at-threshold
+// semantics exactly: an insert that pushes the number of resident keys
+// past clearAt empties the whole table, dropping the just-inserted key —
+// identical to the old `issued = make(map[uint64]bool)` rebuild, so
+// usefulness accounting is bit-for-bit unchanged
+// (TestLineTableMatchesMapReferenceRandom pins it against the retained
+// map reference).
+//
+// Clearing is O(1): slots carry an epoch tag and a clear just bumps the
+// current epoch, so no allocation or memset happens on the hot path. The
+// table is sized at twice the clear threshold, keeping the load factor
+// at or below 0.5 and probes short; removal uses backward-shift deletion
+// so no tombstones accumulate.
+type lineTable struct {
+	keys      []uint64
+	ep        []uint32
+	cur       uint32
+	mask      uint64
+	hashShift uint
+	used      int
+	clearAt   int
+}
+
+const (
+	// issuedClear matches the old maps' bound: a set exceeding this many
+	// lines is emptied.
+	issuedClear = 1 << 15
+	issuedBits  = 16
+)
+
+// newLineTable builds an empty table of 1<<bits slots that clears itself
+// once an insert pushes it past clearAt keys. clearAt must be at most
+// half the slot count.
+func newLineTable(bits uint, clearAt int) *lineTable {
+	if clearAt > 1<<(bits-1) {
+		panic("prefetch: line table clear threshold above half capacity")
+	}
+	return &lineTable{
+		keys:      make([]uint64, 1<<bits),
+		ep:        make([]uint32, 1<<bits),
+		cur:       1,
+		mask:      uint64(1)<<bits - 1,
+		hashShift: 64 - bits,
+		clearAt:   clearAt,
+	}
+}
+
+// slot is a Fibonacci hash: line addresses are heavily strided, and the
+// multiply spreads consecutive keys across the table.
+func (t *lineTable) slot(key uint64) uint64 {
+	return (key * 0x9E3779B97F4A7C15) >> t.hashShift & t.mask
+}
+
+// len returns the number of resident keys.
+func (t *lineTable) len() int { return t.used }
+
+// insert adds key to the set (a no-op when present), clearing the whole
+// table when it would exceed clearAt keys.
+func (t *lineTable) insert(key uint64) {
+	i := t.slot(key)
+	for t.ep[i] == t.cur {
+		if t.keys[i] == key {
+			return
+		}
+		i = (i + 1) & t.mask
+	}
+	t.keys[i] = key
+	t.ep[i] = t.cur
+	t.used++
+	if t.used > t.clearAt {
+		t.clear()
+	}
+}
+
+// testAndClear reports whether key is resident, removing it if so.
+func (t *lineTable) testAndClear(key uint64) bool {
+	i := t.slot(key)
+	for t.ep[i] == t.cur {
+		if t.keys[i] == key {
+			t.deleteSlot(i)
+			t.used--
+			return true
+		}
+		i = (i + 1) & t.mask
+	}
+	return false
+}
+
+// deleteSlot empties slot i and backward-shifts the tail of its probe
+// chain so later lookups never hit a false empty.
+func (t *lineTable) deleteSlot(i uint64) {
+	j := i
+	for {
+		t.ep[i] = 0
+		for {
+			j = (j + 1) & t.mask
+			if t.ep[j] != t.cur {
+				return
+			}
+			// Move j's key into the hole unless its home slot lies
+			// cyclically within (i, j] — then the hole does not break its
+			// probe chain.
+			h := t.slot(t.keys[j])
+			if (j > i && (h <= i || h > j)) || (j < i && h <= i && h > j) {
+				break
+			}
+		}
+		t.keys[i] = t.keys[j]
+		t.ep[i] = t.cur
+		i = j
+	}
+}
+
+// clear empties the table by advancing the epoch; slot contents are
+// reused in place on the next fill.
+func (t *lineTable) clear() {
+	t.used = 0
+	t.cur++
+	if t.cur == 0 {
+		// Epoch wrap (once per 2^32 clears): physically reset the tags so
+		// ancient slots cannot alias the new epoch.
+		for i := range t.ep {
+			t.ep[i] = 0
+		}
+		t.cur = 1
+	}
+}

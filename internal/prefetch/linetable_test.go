@@ -1,0 +1,100 @@
+package prefetch
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// refLineSet is the retained map-based reference the open-addressed
+// lineTable replaced: inserts past the clear threshold rebuild the map,
+// dropping every key including the one just inserted.
+type refLineSet struct {
+	m       map[uint64]bool
+	clearAt int
+}
+
+func newRefLineSet(clearAt int) *refLineSet {
+	return &refLineSet{m: make(map[uint64]bool), clearAt: clearAt}
+}
+
+func (r *refLineSet) insert(key uint64) {
+	r.m[key] = true
+	if len(r.m) > r.clearAt {
+		r.m = make(map[uint64]bool)
+	}
+}
+
+func (r *refLineSet) testAndClear(key uint64) bool {
+	if r.m[key] {
+		delete(r.m, key)
+		return true
+	}
+	return false
+}
+
+// TestLineTableMatchesMapReferenceRandom drives random insert/testAndClear
+// mixes through the lineTable and the map reference in lock-step. Small
+// clear thresholds force frequent epoch clears (the table-pressure edge
+// the prefetchers hit after 32K issued lines), and tight key spaces force
+// long probe chains and backward-shift deletions mid-chain.
+func TestLineTableMatchesMapReferenceRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	for trial := 0; trial < 60; trial++ {
+		bits := uint(4 + rng.Intn(5))
+		clearAt := 1 << (bits - 1)
+		if trial%2 == 0 {
+			clearAt = 1 + rng.Intn(1<<(bits-1))
+		}
+		keySpace := clearAt + 1 + rng.Intn(3*clearAt)
+		tab := newLineTable(bits, clearAt)
+		ref := newRefLineSet(clearAt)
+		for i := 0; i < 6000; i++ {
+			key := uint64(rng.Intn(keySpace)) * 0x40
+			if rng.Intn(3) == 0 {
+				got, want := tab.testAndClear(key), ref.testAndClear(key)
+				if got != want {
+					t.Fatalf("trial %d (bits=%d clearAt=%d) op %d testAndClear(%#x) = %v, reference %v",
+						trial, bits, clearAt, i, key, got, want)
+				}
+			} else {
+				tab.insert(key)
+				ref.insert(key)
+			}
+			if tab.len() != len(ref.m) {
+				t.Fatalf("trial %d op %d: len=%d, reference %d", trial, i, tab.len(), len(ref.m))
+			}
+		}
+		// Final membership must agree key-for-key.
+		for key := 0; key < keySpace; key++ {
+			k := uint64(key) * 0x40
+			got, want := tab.testAndClear(k), ref.testAndClear(k)
+			if got != want {
+				t.Fatalf("trial %d final membership of %#x = %v, reference %v", trial, k, got, want)
+			}
+		}
+	}
+}
+
+// TestLineTableEpochClearDropsInsertedKey pins the exact rebuild semantics
+// of the old map: the insert that crosses the threshold is itself dropped.
+func TestLineTableEpochClearDropsInsertedKey(t *testing.T) {
+	tab := newLineTable(4, 4)
+	for k := uint64(0); k < 4; k++ {
+		tab.insert(k)
+	}
+	if tab.len() != 4 {
+		t.Fatalf("len = %d, want 4", tab.len())
+	}
+	tab.insert(99)
+	if tab.len() != 0 {
+		t.Fatalf("len after threshold insert = %d, want 0 (cleared)", tab.len())
+	}
+	if tab.testAndClear(99) {
+		t.Fatal("threshold-crossing key survived the clear")
+	}
+	// The table is fully reusable after a clear.
+	tab.insert(7)
+	if !tab.testAndClear(7) {
+		t.Fatal("insert after clear not visible")
+	}
+}

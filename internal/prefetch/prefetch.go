@@ -57,8 +57,9 @@ type Sequential struct {
 	haveLast bool
 	touched  bool
 	// issuedLines remembers recently prefetched lines for usefulness
-	// accounting (bounded).
-	issuedLines map[uint64]bool
+	// accounting (bounded, epoch-cleared past issuedClear keys — the old
+	// map's rebuild threshold).
+	issuedLines *lineTable
 	stats       Stats
 }
 
@@ -72,7 +73,7 @@ func NewSequential(depth int, kind mem.AccessKind) *Sequential {
 	if depth <= 0 {
 		panic(fmt.Sprintf("prefetch: depth %d must be positive", depth))
 	}
-	return &Sequential{Depth: depth, Kind: kind, issuedLines: make(map[uint64]bool)}
+	return &Sequential{Depth: depth, Kind: kind, issuedLines: newLineTable(issuedBits, issuedClear)}
 }
 
 // OnAccess informs the prefetcher of a demand access to addr; it inserts
@@ -84,19 +85,15 @@ func (p *Sequential) OnAccess(h *mem.Hierarchy, addr uint64) {
 		return
 	}
 	p.lastLine, p.haveLast = line, true
-	if p.issuedLines[line] {
+	if p.issuedLines.testAndClear(line) {
 		p.stats.Useful++
-		delete(p.issuedLines, line)
 	}
 	for i := 1; i <= p.Depth; i++ {
 		next := (line + uint64(i)) * 64
 		if h.ProbeOffChip(p.Kind, next) {
 			h.InsertLine(p.Kind, next)
 			p.stats.Issued++
-			p.issuedLines[line+uint64(i)] = true
-			if len(p.issuedLines) > 1<<15 {
-				p.issuedLines = make(map[uint64]bool)
-			}
+			p.issuedLines.insert(line + uint64(i))
 		}
 	}
 }
@@ -120,7 +117,7 @@ type Stride struct {
 	mask    uint64
 	table   []strideEntry
 	touched bool
-	issued  map[uint64]bool
+	issued  *lineTable
 	stats   Stats
 }
 
@@ -144,16 +141,15 @@ func NewStride(entries, depth int) *Stride {
 		Depth:  depth,
 		mask:   uint64(entries - 1),
 		table:  make([]strideEntry, entries),
-		issued: make(map[uint64]bool),
+		issued: newLineTable(issuedBits, issuedClear),
 	}
 }
 
 // OnLoad informs the prefetcher of a demand load at pc touching addr.
 func (p *Stride) OnLoad(h *mem.Hierarchy, pc, addr uint64) {
 	p.touched = true
-	if line := h.LineAddr(addr); p.issued[line] {
+	if p.issued.testAndClear(h.LineAddr(addr)) {
 		p.stats.Useful++
-		delete(p.issued, line)
 	}
 	e := &p.table[(pc>>2)&p.mask]
 	if e.tag != pc+1 {
@@ -182,10 +178,7 @@ func (p *Stride) OnLoad(h *mem.Hierarchy, pc, addr uint64) {
 		if h.ProbeOffChip(mem.DRead, next) {
 			h.InsertLine(mem.DRead, next)
 			p.stats.Issued++
-			p.issued[h.LineAddr(next)] = true
-			if len(p.issued) > 1<<15 {
-				p.issued = make(map[uint64]bool)
-			}
+			p.issued.insert(h.LineAddr(next))
 		}
 	}
 }
