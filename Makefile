@@ -17,20 +17,21 @@ test:
 	$(GO) test ./...
 	$(GO) test -race ./internal/atrace -run 'TestCacheSingleflight|TestCrossProcessSingleflight|TestCacheDiskSpill|TestCorruptSpillQuarantined|TestDiskEviction|TestSegmented|TestCrashDuringPublishRecovery'
 	$(GO) test -race ./internal/server
-	$(GO) test -race ./internal/experiments -run 'TestGangMatchesSequential'
-	$(GO) test -race ./internal/core -run 'TestRunGangDivergentMatchesSequential'
+	$(GO) test -race ./internal/experiments -run 'TestGangMatchesSequential|TestExtStoreSets'
+	$(GO) test -race ./internal/core -run 'TestRunGangDivergentMatchesSequential|TestDisambMatchesBruteForceReferenceRandom'
+	$(GO) test -race ./internal/storeset
 	$(GO) test -race ./internal/mem ./internal/prefetch ./internal/annotate \
 		-run 'MatchesMapReference|ZeroAllocSteadyState|AnnotateIntoMatchesNext'
 	$(MAKE) bench-gate
 
 bench-gate:
-	$(GO) run ./cmd/bench -scale quick -skip-sweep -skip-capture -skip-gang \
+	$(GO) run ./cmd/bench -scale quick -skip-sweep -skip-capture -skip-gang -skip-storesets \
 		-out /tmp/bench_gate.json -compare BENCH_BASELINE.json -gate-pct 50
 
 # bench-baseline refreshes the committed gate baseline. Run it on the
 # machine class the gate will run on, with the tree otherwise idle.
 bench-baseline:
-	$(GO) run ./cmd/bench -scale quick -skip-sweep -skip-capture -skip-gang -out BENCH_BASELINE.json
+	$(GO) run ./cmd/bench -scale quick -skip-sweep -skip-capture -skip-gang -skip-storesets -out BENCH_BASELINE.json
 
 # Concurrency-sensitive packages: the annotated-trace cache (singleflight,
 # mmap, flock-coordinated disk spill) and the experiment worker pool that
@@ -43,18 +44,19 @@ vet:
 
 # Performance report: micro-benchmarks (engine, gang dispatch at
 # K=1/4/16/32/64), the monolithic-vs-segmented capture comparison, the
-# sequential-vs-gang Figure 4 sweep, plus the uncached / in-heap-cached /
-# memory-mapped Figure 4+5+6 sweeps. `make bench` is the quick loop;
-# `make bench-full` writes the committed BENCH_7.json at paper scale, and
-# `make bench-compare` additionally prints deltas against BENCH_6.json.
+# sequential-vs-gang Figure 4 sweep, the ext-storesets disambiguation
+# sweep, plus the uncached / in-heap-cached / memory-mapped Figure 4+5+6
+# sweeps. `make bench` is the quick loop; `make bench-full` writes the
+# committed BENCH_8.json at paper scale, and `make bench-compare`
+# additionally prints deltas against BENCH_7.json.
 bench:
 	$(GO) run ./cmd/bench -scale quick -out /tmp/bench_quick.json
 
 bench-full:
-	$(GO) run ./cmd/bench -scale default -out BENCH_7.json
+	$(GO) run ./cmd/bench -scale default -out BENCH_8.json
 
 bench-compare:
-	$(GO) run ./cmd/bench -scale default -out BENCH_7.json -compare BENCH_6.json
+	$(GO) run ./cmd/bench -scale default -out BENCH_8.json -compare BENCH_7.json
 
 # profile writes CPU and heap profiles for the engine hot loop, the gang
 # sweep end to end, and the SoA gang stepper in isolation (construction
@@ -75,6 +77,7 @@ profile:
 fuzz:
 	$(GO) test ./internal/trace -fuzz FuzzRoundTripV2 -fuzztime 30s
 	$(GO) test ./internal/atrace -fuzz FuzzOpenSegmentManifest -fuzztime 30s
+	$(GO) test ./internal/storeset -fuzz FuzzStoreSetUpdate -fuzztime 30s
 
 # serve-smoke boots the real daemon binary on an ephemeral port, diffs
 # one exhibit's CSV against the plain CLI's output and asserts a clean

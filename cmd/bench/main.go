@@ -3,9 +3,11 @@
 // monolithic-vs-segmented capture comparison (the pipelined parallel
 // writer behind MLPCOLS2), the Figure 4+5+6 sweep three ways — uncached,
 // with the in-heap annotated-trace cache, and replaying memory-mapped
-// spills from a warm on-disk cache — and a sequential-vs-gang-dispatch
-// comparison of the Figure 4 sweep, then writes a JSON report with
-// ns/op, wall times, peak Go-heap occupancy and headline MLP metrics.
+// spills from a warm on-disk cache — a sequential-vs-gang-dispatch
+// comparison of the Figure 4 sweep, and the ext-storesets memory
+// disambiguation sweep (bracketing check plus dep-event totals), then
+// writes a JSON report with ns/op, wall times, peak Go-heap occupancy
+// and headline MLP metrics.
 //
 // With -compare and -gate-pct the command doubles as a regression gate:
 // it exits non-zero when any micro-benchmark's ns/op or a sweep heap
@@ -82,6 +84,20 @@ type gangSweepResult struct {
 	Identical         bool    `json:"results_identical"`
 }
 
+// storeSetsResult records the ext-storesets disambiguation sweep:
+// oracle and always-conservative bound runs plus the store-set
+// predictor grid across all workloads. Bracketed asserts the physical
+// invariant — every store-set point's MLP lies between its workload's
+// conservative (lower) and oracle (upper) bounds — and the dep-event
+// totals pin the predictor's behaviour across report generations.
+type storeSetsResult struct {
+	Rows           int     `json:"rows"`
+	Seconds        float64 `json:"seconds"`
+	DepMispredicts uint64  `json:"dep_mispredicts"`
+	DepSerializes  uint64  `json:"dep_serializes"`
+	Bracketed      bool    `json:"bracketed"`
+}
+
 // captureResult records the monolithic-vs-segmented capture comparison.
 // The speedup scales with cores (each worker runs an independent
 // generation->annotation->encoding pipeline); NumCPU records the machine
@@ -119,6 +135,7 @@ type report struct {
 	Capture    *captureResult         `json:"capture,omitempty"`
 	Sweep      *sweepResult           `json:"sweep,omitempty"`
 	GangSweep  *gangSweepResult       `json:"gang_sweep,omitempty"`
+	StoreSets  *storeSetsResult       `json:"store_sets,omitempty"`
 	MLP        map[string]float64     `json:"mlp"`
 }
 
@@ -484,6 +501,75 @@ func runSweepExhibit(s experiments.Setup) experiments.Figure4 {
 	return experiments.RunFigure4(s)
 }
 
+// runStoreSets times the ext-storesets sweep, checks the bracketing
+// invariant, and records per-workload MLP headline metrics (the bound
+// rows plus the largest store-set geometry) into mlp for the CHANGED
+// comparison.
+func runStoreSets(s experiments.Setup, mlp map[string]float64) *storeSetsResult {
+	s.DepStats = &experiments.DepStats{}
+	fmt.Fprintln(os.Stderr, "bench: running ext-storesets disambiguation sweep...")
+	start := time.Now()
+	ext := experiments.RunExtStoreSets(s)
+	d := time.Since(start)
+
+	type bounds struct{ cons, oracle float64 }
+	byWorkload := make(map[string]*bounds)
+	for _, r := range ext.Rows {
+		b := byWorkload[r.Workload]
+		if b == nil {
+			b = &bounds{}
+			byWorkload[r.Workload] = b
+		}
+		switch r.Disamb {
+		case core.DisambConservative.String():
+			b.cons = r.MLP
+			mlp[r.Workload+"/ss-cons"] = r.MLP
+		case core.DisambOracle.String():
+			b.oracle = r.MLP
+		}
+	}
+	bigSSIT := maxStoreSetSSIT()
+	bracketed := true
+	for _, r := range ext.Rows {
+		if r.Disamb != core.DisambStoreSets.String() {
+			continue
+		}
+		b := byWorkload[r.Workload]
+		const eps = 1e-9
+		if r.MLP < b.cons-eps || r.MLP > b.oracle+eps {
+			bracketed = false
+			fmt.Fprintf(os.Stderr, "bench: warning: %s store-sets %d/%d/%d MLP %.4f outside [%.4f, %.4f]\n",
+				r.Workload, r.SSIT, r.LFST, r.Conf, r.MLP, b.cons, b.oracle)
+		}
+		if r.SSIT == bigSSIT && r.Conf == 0 {
+			mlp[fmt.Sprintf("%s/ss%dc0", r.Workload, r.SSIT)] = r.MLP
+		}
+	}
+
+	res := &storeSetsResult{
+		Rows:           len(ext.Rows),
+		Seconds:        d.Seconds(),
+		DepMispredicts: s.DepStats.Mispredicts.Load(),
+		DepSerializes:  s.DepStats.Serializes.Load(),
+		Bracketed:      bracketed,
+	}
+	fmt.Fprintf(os.Stderr, "bench: store-sets sweep: %d rows in %.1fs, %d mispredicts, %d serializes, bracketed: %v\n",
+		res.Rows, res.Seconds, res.DepMispredicts, res.DepSerializes, res.Bracketed)
+	return res
+}
+
+// maxStoreSetSSIT is the largest swept SSIT size (the headline
+// geometry for the MLP metrics map).
+func maxStoreSetSSIT() int {
+	max := 0
+	for _, v := range experiments.ExtStoreSetsSSITs {
+		if v > max {
+			max = v
+		}
+	}
+	return max
+}
+
 // loadReport reads a previous JSON report; older schemas simply leave
 // the newer fields zero.
 func loadReport(path string) (report, error) {
@@ -504,17 +590,35 @@ func loadReport(path string) (report, error) {
 // times are deliberately excluded — they depend on machine load — while
 // ns/op comes from testing.Benchmark's calibrated loops and heap peaks
 // are allocation-driven, so both are stable enough to gate on.
+//
+// A benchmark the two reports disagree on is a violation, not a skip:
+// a name missing from a non-empty baseline (or carried with a zero
+// ns/op) would otherwise pass ungated forever, and a baseline name
+// missing from the current run hides a rename the same way. Only a
+// baseline with no benchmarks at all (an older schema) is tolerated.
 func gateViolations(old, cur report, pct float64) []string {
 	var out []string
 	for _, name := range sortedNames(old.Benchmarks) {
 		o := old.Benchmarks[name]
 		c, ok := cur.Benchmarks[name]
-		if !ok || o.NsPerOp <= 0 {
+		if !ok {
+			out = append(out, fmt.Sprintf("%s: in baseline but missing from this run (renamed or dropped? refresh the baseline)", name))
+			continue
+		}
+		if o.NsPerOp <= 0 {
+			out = append(out, fmt.Sprintf("%s: baseline ns/op is %g, cannot gate (refresh the baseline)", name, o.NsPerOp))
 			continue
 		}
 		if growth := 100 * (c.NsPerOp - o.NsPerOp) / o.NsPerOp; growth > pct {
 			out = append(out, fmt.Sprintf("%s: %.1f -> %.1f ns/op (+%.1f%%, limit %.0f%%)",
 				name, o.NsPerOp, c.NsPerOp, growth, pct))
+		}
+	}
+	if len(old.Benchmarks) > 0 {
+		for _, name := range sortedNames(cur.Benchmarks) {
+			if _, ok := old.Benchmarks[name]; !ok {
+				out = append(out, fmt.Sprintf("%s: new benchmark with no baseline entry (refresh the baseline to gate it)", name))
+			}
 		}
 	}
 	if old.Sweep != nil && cur.Sweep != nil {
@@ -545,6 +649,12 @@ func gateViolations(old, cur report, pct float64) []string {
 					o.MonolithicAllocsPerInst, c.MonolithicAllocsPerInst))
 			}
 		}
+	}
+	// Bracketing is a physical invariant, not a percent threshold: a
+	// store-set point outside its conservative/oracle bounds means the
+	// disambiguation engine itself regressed.
+	if cur.StoreSets != nil && !cur.StoreSets.Bracketed {
+		out = append(out, "store-sets sweep: a predictor point's MLP fell outside the conservative/oracle bracket")
 	}
 	return out
 }
@@ -612,6 +722,17 @@ func printComparison(path string, old, cur report) {
 				c.SequentialSeconds, c.GangSeconds, c.Speedup, old.Schema)
 		}
 	}
+	if cur.StoreSets != nil {
+		c := cur.StoreSets
+		if old.StoreSets != nil {
+			fmt.Printf("  store-sets sweep %8d -> %8d mispredicts, %d -> %d serializes, bracketed: %v\n",
+				old.StoreSets.DepMispredicts, c.DepMispredicts,
+				old.StoreSets.DepSerializes, c.DepSerializes, c.Bracketed)
+		} else {
+			fmt.Printf("  store-sets sweep %8d rows in %.1f s, %d mispredicts, %d serializes, bracketed: %v (no baseline in %s)\n",
+				c.Rows, c.Seconds, c.DepMispredicts, c.DepSerializes, c.Bracketed, old.Schema)
+		}
+	}
 	mismatch := false
 	for k, v := range cur.MLP {
 		if ov, ok := old.MLP[k]; ok && ov != v {
@@ -638,11 +759,12 @@ func sameCells(a, b experiments.Figure4) bool {
 
 func main() {
 	scale := flag.String("scale", "quick", "sweep scale: quick or default")
-	out := flag.String("out", "BENCH_7.json", "output JSON path")
+	out := flag.String("out", "BENCH_8.json", "output JSON path")
 	seed := flag.Int64("seed", 1, "workload seed")
 	skipSweep := flag.Bool("skip-sweep", false, "skip the cached-vs-uncached sweep comparison")
 	skipCapture := flag.Bool("skip-capture", false, "skip the monolithic-vs-segmented capture comparison")
 	skipGang := flag.Bool("skip-gang", false, "skip the sequential-vs-gang dispatch comparison")
+	skipStoreSets := flag.Bool("skip-storesets", false, "skip the ext-storesets disambiguation sweep")
 	compare := flag.String("compare", "", "print deltas against a previous report (e.g. BENCH_1.json)")
 	gatePct := flag.Float64("gate-pct", 0, "with -compare: exit 1 if any ns/op or heap-peak metric grew more than this percent (0 = report only; MLPSIM_BENCH_GATE=off disables)")
 	cacheDir := flag.String("cache-dir", "", "disk-cache directory for the mapped sweep (default: a temp dir, removed on exit)")
@@ -660,7 +782,7 @@ func main() {
 	}
 
 	rep := report{
-		Schema:  "mlpsim-bench/7",
+		Schema:  "mlpsim-bench/8",
 		Scale:   *scale,
 		Seed:    *seed,
 		Warmup:  s.Warmup,
@@ -728,6 +850,13 @@ func main() {
 			}
 			rep.MLP[w.Name+"/INF"] = f6c.INF[w.Name]
 		}
+	}
+
+	// Last on purpose: the sweep's six extra per-workload annotated
+	// streams (one per |ss{...} config) would otherwise sit in the
+	// shared trace cache and inflate the cached/mapped heap peaks.
+	if !*skipStoreSets {
+		rep.StoreSets = runStoreSets(s, rep.MLP)
 	}
 
 	var violations []string

@@ -47,8 +47,11 @@ func TestGateViolations(t *testing.T) {
 
 	t.Run("heapPeakRegression", func(t *testing.T) {
 		cur := report{
-			Benchmarks: map[string]benchResult{"AnnotateStream": {NsPerOp: 100}},
-			Sweep:      sweepWithPeaks(1000, 200), // mapped peak doubled
+			Benchmarks: map[string]benchResult{
+				"AnnotateStream": {NsPerOp: 100},
+				"ReplayStream":   {NsPerOp: 10},
+			},
+			Sweep: sweepWithPeaks(1000, 200), // mapped peak doubled
 		}
 		v := gateViolations(old, cur, 50)
 		if len(v) != 1 || !strings.Contains(v[0], "mapped sweep") {
@@ -57,14 +60,68 @@ func TestGateViolations(t *testing.T) {
 	})
 
 	t.Run("missingFieldsTolerated", func(t *testing.T) {
-		// Baselines from older schemas have no sweep and new benchmarks
-		// have no baseline entry: both must pass, never panic.
+		// Baselines from older schemas have no sweep and no benchmark map
+		// at all: everything in the current report passes, never panics.
 		v := gateViolations(report{}, report{
 			Benchmarks: map[string]benchResult{"New": {NsPerOp: 1e9}},
 			Sweep:      sweepWithPeaks(1, 1),
 		}, 1)
 		if len(v) != 0 {
 			t.Errorf("expected no violations with empty baseline, got %v", v)
+		}
+	})
+
+	t.Run("newBenchmarkFlagged", func(t *testing.T) {
+		// A benchmark absent from a NON-empty baseline used to pass the
+		// gate silently forever; it must be reported until the baseline is
+		// refreshed.
+		cur := report{
+			Benchmarks: map[string]benchResult{
+				"AnnotateStream": {NsPerOp: 100},
+				"ReplayStream":   {NsPerOp: 10},
+				"StoreSetSweep":  {NsPerOp: 1e9},
+			},
+			Sweep: sweepWithPeaks(1000, 100),
+		}
+		v := gateViolations(old, cur, 50)
+		if len(v) != 1 || !strings.Contains(v[0], "StoreSetSweep") || !strings.Contains(v[0], "no baseline entry") {
+			t.Errorf("expected one no-baseline-entry violation for StoreSetSweep, got %v", v)
+		}
+	})
+
+	t.Run("missingFromRunFlagged", func(t *testing.T) {
+		// The reverse direction: a baseline benchmark the current run no
+		// longer produces (renamed or dropped) must fail too.
+		cur := report{
+			Benchmarks: map[string]benchResult{"AnnotateStream": {NsPerOp: 100}},
+			Sweep:      sweepWithPeaks(1000, 100),
+		}
+		v := gateViolations(old, cur, 50)
+		if len(v) != 1 || !strings.Contains(v[0], "ReplayStream") || !strings.Contains(v[0], "missing from this run") {
+			t.Errorf("expected one missing-from-run violation for ReplayStream, got %v", v)
+		}
+	})
+
+	t.Run("zeroBaselineFlagged", func(t *testing.T) {
+		// A zero ns/op baseline entry must neither divide by zero nor
+		// silently disable the gate for that benchmark.
+		zeroOld := report{Benchmarks: map[string]benchResult{"AnnotateStream": {NsPerOp: 0}}}
+		cur := report{Benchmarks: map[string]benchResult{"AnnotateStream": {NsPerOp: 100}}}
+		v := gateViolations(zeroOld, cur, 50)
+		if len(v) != 1 || !strings.Contains(v[0], "AnnotateStream") || !strings.Contains(v[0], "cannot gate") {
+			t.Errorf("expected one cannot-gate violation for the zero baseline, got %v", v)
+		}
+	})
+
+	t.Run("unbracketedStoreSetsFlagged", func(t *testing.T) {
+		cur := report{StoreSets: &storeSetsResult{Rows: 24, Bracketed: false}}
+		v := gateViolations(report{}, cur, 50)
+		if len(v) != 1 || !strings.Contains(v[0], "bracket") {
+			t.Errorf("expected one bracketing violation, got %v", v)
+		}
+		cur.StoreSets.Bracketed = true
+		if v := gateViolations(report{}, cur, 50); len(v) != 0 {
+			t.Errorf("bracketed sweep must pass, got %v", v)
 		}
 	})
 

@@ -70,6 +70,8 @@ func TestServerMatchesCLI(t *testing.T) {
 		{"figure2", ""},
 		{"table5", "-gang 1"}, // sequential CLI vs ganged daemon
 		{"table6", ""},
+		// Mixed SoA/scalar gangs on the daemon side vs sequential CLI.
+		{"ext-storesets", "-gang 1"},
 	}
 
 	// CLI side: Quick scale (seed 1, 300k warm-up, 1M measured).

@@ -1,0 +1,79 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"strings"
+	"testing"
+)
+
+// TestValidateFlags is the table-driven unit check of the numeric flag
+// guards.
+func TestValidateFlags(t *testing.T) {
+	cases := []struct {
+		name       string
+		gang       int
+		segInsts   int64
+		segWorkers int
+		cacheBytes int64
+		wantMsg    string // empty = accepted
+	}{
+		{name: "all-zero"},
+		{name: "all-positive", gang: 4, segInsts: 100_000, segWorkers: 2, cacheBytes: 1 << 20},
+		{name: "negative-gang", gang: -3, wantMsg: "-gang -3"},
+		{name: "negative-seg-insts", segInsts: -1, wantMsg: "-trace-segment-insts -1"},
+		{name: "negative-workers", segWorkers: -2, wantMsg: "-trace-capture-workers -2"},
+		{name: "negative-cache-bytes", cacheBytes: -5, wantMsg: "-trace-cache-bytes -5"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			err := validateFlags(c.gang, c.segInsts, c.segWorkers, c.cacheBytes)
+			if c.wantMsg == "" {
+				if err != nil {
+					t.Fatalf("rejected valid flags: %v", err)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatal("accepted invalid flags")
+			}
+			if !strings.Contains(err.Error(), c.wantMsg) {
+				t.Fatalf("error %q does not name the offending flag (%q)", err, c.wantMsg)
+			}
+		})
+	}
+}
+
+// TestCLIRejectsNegativeFlags runs the real CLI (via the helper
+// subprocess) with each invalid flag and asserts a non-zero exit plus a
+// message naming the flag. -list keeps a wrongly-accepted invocation
+// cheap: before the guards existed, "-gang -3 -list" printed the exhibit
+// list and exited 0.
+func TestCLIRejectsNegativeFlags(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns subprocesses")
+	}
+	exe, err := os.Executable()
+	if err != nil {
+		t.Fatalf("os.Executable: %v", err)
+	}
+	cases := []struct{ args, wantMsg string }{
+		{"-gang -3 -list", "-gang -3"},
+		{"-trace-segment-insts -1 -list", "-trace-segment-insts -1"},
+		{"-trace-capture-workers -2 -list", "-trace-capture-workers -2"},
+		{"-trace-cache-bytes -5 -list", "-trace-cache-bytes -5"},
+	}
+	for _, c := range cases {
+		t.Run(strings.Fields(c.args)[0], func(t *testing.T) {
+			cmd := exec.Command(exe, "-test.run", "^TestCLIHelper$", "-test.v")
+			cmd.Env = append(os.Environ(), cliHelperEnv+"=1", "MLPSIM_CLI_ARGS="+c.args)
+			out, err := cmd.CombinedOutput()
+			if err == nil {
+				t.Fatalf("CLI %q exited zero, want rejection:\n%s", c.args, out)
+			}
+			if !strings.Contains(string(out), c.wantMsg) {
+				t.Fatalf("CLI %q output does not name the offending flag %q:\n%s", c.args, c.wantMsg, out)
+			}
+		})
+	}
+}

@@ -46,6 +46,11 @@ func main() {
 	)
 	flag.Parse()
 
+	if err := validateFlags(*gang, *segInsts, *segWorkers, *cacheBytes); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(2)
+	}
+
 	if *list {
 		for _, r := range experiments.All() {
 			fmt.Printf("%-10s %s\n", r.ID, r.Title)
@@ -138,6 +143,25 @@ func main() {
 			}
 		}
 	}
+}
+
+// validateFlags rejects negative numeric flag values with a clear error
+// instead of silently reinterpreting them (a negative -gang used to fall
+// through to the auto-size behaviour of 0).
+func validateFlags(gang int, segInsts int64, segWorkers int, cacheBytes int64) error {
+	if gang < 0 {
+		return fmt.Errorf("-gang %d: must be >= 0 (0 = auto, 1 = off, N = cap)", gang)
+	}
+	if segInsts < 0 {
+		return fmt.Errorf("-trace-segment-insts %d: must be >= 0 (0 = monolithic capture)", segInsts)
+	}
+	if segWorkers < 0 {
+		return fmt.Errorf("-trace-capture-workers %d: must be >= 0 (0 = GOMAXPROCS)", segWorkers)
+	}
+	if cacheBytes < 0 {
+		return fmt.Errorf("-trace-cache-bytes %d: must be >= 0 (0 = default cap)", cacheBytes)
+	}
+	return nil
 }
 
 // writeRows stores one exhibit's rows with the given encoder.

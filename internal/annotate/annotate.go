@@ -17,6 +17,7 @@ import (
 	"mlpsim/internal/isa"
 	"mlpsim/internal/mem"
 	"mlpsim/internal/prefetch"
+	"mlpsim/internal/storeset"
 	"mlpsim/internal/trace"
 	"mlpsim/internal/vpred"
 )
@@ -43,6 +44,10 @@ type Inst struct {
 	// when value prediction is disabled or the instruction is not a
 	// missing load).
 	VPOutcome vpred.Outcome
+	// Dep is the store-set dependence-prediction outcome for loads and
+	// atomics (DepNone when no predictor is configured or the
+	// instruction does not read memory).
+	Dep storeset.Outcome
 	// Line is the L2 line address of the data access (memory instructions
 	// only); off-chip accesses to the same line in one epoch merge.
 	Line uint64
@@ -72,6 +77,11 @@ type Config struct {
 	// DPrefetch, when non-nil, is a hardware stride data prefetcher:
 	// loads whose lines it covers never become D-misses.
 	DPrefetch *prefetch.Stride
+	// StoreSets, when non-nil, is a store-set memory dependence
+	// predictor: every load/atomic is classified against the actual
+	// producing store and the Outcome recorded in Inst.Dep for the
+	// engine's disambiguation modes.
+	StoreSets *storeset.Predictor
 }
 
 // Stats summarizes the annotated stream since the last ResetStats.
@@ -112,6 +122,7 @@ type Annotator struct {
 
 	ipf *prefetch.Sequential
 	dpf *prefetch.Stride
+	ss  *storeset.Predictor
 
 	// pendingPrefetch is the set of off-chip-prefetched lines awaiting a
 	// demand access (which marks them useful).
@@ -143,6 +154,7 @@ func New(src trace.Source, cfg Config) *Annotator {
 		vp:  vp,
 		ipf: cfg.IPrefetch,
 		dpf: cfg.DPrefetch,
+		ss:  cfg.StoreSets,
 	}
 	a.pendingPrefetch.init()
 	return a
@@ -217,6 +229,12 @@ func (a *Annotator) annotateOne(out *Inst) bool {
 		if a.dpf != nil && raw.Class == isa.Load {
 			a.dpf.OnLoad(a.h, raw.PC, raw.EA)
 		}
+		if a.ss != nil {
+			out.Dep = a.ss.ObserveLoad(raw.PC, raw.EA, out.Index)
+			if raw.Class.IsMemWrite() { // CASA/LDSTUB read-modify-write
+				a.ss.ObserveStore(raw.PC, raw.EA, out.Index)
+			}
+		}
 		a.consumePrefetch(out.Line)
 	case raw.Class == isa.Store:
 		out.Line = a.h.LineAddr(raw.EA)
@@ -226,6 +244,9 @@ func (a *Annotator) annotateOne(out *Inst) bool {
 		if a.h.Access(mem.DWrite, raw.EA) {
 			out.SMiss = true
 			a.stats.SMisses++
+		}
+		if a.ss != nil {
+			a.ss.ObserveStore(raw.PC, raw.EA, out.Index)
 		}
 		a.consumePrefetch(out.Line)
 	case raw.Class == isa.Branch:

@@ -190,15 +190,24 @@ func (d *diskCache) load(hash string) (Trace, error) {
 // quarantine moves a failed spill — manifest and any segment files —
 // aside (keeping them for post-mortems; the sweep reclaims them after
 // corruptMaxAge) and drops its index entry, so the key rebuilds cleanly.
+// The Quarantined counter tracks spills actually moved aside: when two
+// readers race on the same corrupt spill, the loser finds nothing left
+// to move and must not count the same quarantine twice.
 func (d *diskCache) quarantine(hash string) {
 	mark := fmt.Sprintf("%s%d.%d", corruptMark, os.Getpid(), time.Now().UnixNano())
+	moved := false
 	for _, p := range d.spillFiles(hash) {
-		if err := os.Rename(p, p+mark); err != nil && !os.IsNotExist(err) {
+		if err := os.Rename(p, p+mark); err == nil {
+			moved = true
+		} else if !os.IsNotExist(err) {
 			// Could not move it aside; remove so the rebuild can publish.
 			os.Remove(p)
+			moved = true
 		}
 	}
-	d.quarantined.Add(1)
+	if moved {
+		d.quarantined.Add(1)
+	}
 	d.withIndex(func(idx *indexFile) { delete(idx.Entries, hash) })
 }
 

@@ -7,6 +7,7 @@ import (
 	"mlpsim/internal/bpred"
 	"mlpsim/internal/mem"
 	"mlpsim/internal/prefetch"
+	"mlpsim/internal/storeset"
 	"mlpsim/internal/vpred"
 	"mlpsim/internal/workload"
 )
@@ -122,12 +123,25 @@ func ConfigKey(acfg annotate.Config) (key string, fresh func() annotate.Config, 
 		return "", nil, false
 	}
 
-	key = fmt.Sprintf("h{%+v}|bp{%s}|vp{%s}|ipf{%s}|dpf{%s}", h, bKey, vKey, ipfKey, dpfKey)
+	// The store-set token is appended only when a predictor is configured,
+	// so keys (and the spills derived from them) predating dependence
+	// prediction remain byte-identical and stay valid.
+	ssSuffix, ssFresh := "", func() *storeset.Predictor { return nil }
+	if p := acfg.StoreSets; p != nil {
+		if !p.Untrained() {
+			return "", nil, false
+		}
+		cfg := p.Config()
+		ssSuffix = fmt.Sprintf("|ss{ssit:%d,lfst:%d,conf:%d}", cfg.SSITSize, cfg.LFSTSize, cfg.ConfThreshold)
+		ssFresh = func() *storeset.Predictor { return storeset.New(cfg) }
+	}
+
+	key = fmt.Sprintf("h{%+v}|bp{%s}|vp{%s}|ipf{%s}|dpf{%s}%s", h, bKey, vKey, ipfKey, dpfKey, ssSuffix)
 	hCopy := h
 	fresh = func() annotate.Config {
 		return annotate.Config{
 			Hierarchy: hCopy, Branch: bFresh(), Value: vFresh(),
-			IPrefetch: ipfFresh(), DPrefetch: dpfFresh(),
+			IPrefetch: ipfFresh(), DPrefetch: dpfFresh(), StoreSets: ssFresh(),
 		}
 	}
 	return key, fresh, true

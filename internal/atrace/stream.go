@@ -15,8 +15,18 @@ import (
 	"mlpsim/internal/annotate"
 	"mlpsim/internal/isa"
 	"mlpsim/internal/prefetch"
+	"mlpsim/internal/storeset"
 	"mlpsim/internal/vpred"
 )
+
+// packVPODep packs the 2-bit value-prediction outcome and the 2-bit
+// store-set dependence outcome into the one-byte vpo column: low nibble
+// VPOutcome, high nibble Dep. Streams captured before dependence
+// prediction existed decode Dep as zero (DepNone), so the on-disk
+// column format (and every spill already published) is unchanged.
+func packVPODep(vpo vpred.Outcome, dep storeset.Outcome) uint8 {
+	return uint8(vpo) | uint8(dep)<<4
+}
 
 // Source is a sequential cursor over an annotated instruction window.
 // NextInto is the zero-copy variant the engines' fetch paths detect and
@@ -195,7 +205,7 @@ func (b *Builder) Append(in annotate.Inst) {
 	b.s.src1 = append(b.s.src1, uint8(in.Src1))
 	b.s.src2 = append(b.s.src2, uint8(in.Src2))
 	b.s.dst = append(b.s.dst, uint8(in.Dst))
-	b.s.vpo = append(b.s.vpo, uint8(in.VPOutcome))
+	b.s.vpo = append(b.s.vpo, packVPODep(in.VPOutcome, in.Dep))
 	setBit(&b.s.dmiss, i, in.DMiss)
 	setBit(&b.s.pmiss, i, in.PMiss)
 	setBit(&b.s.imiss, i, in.IMiss)
@@ -248,7 +258,7 @@ func (b *Builder) AppendBlock(block []annotate.Inst) {
 		b.s.dst = append(b.s.dst, uint8(block[i].Dst))
 	}
 	for i := range block {
-		b.s.vpo = append(b.s.vpo, uint8(block[i].VPOutcome))
+		b.s.vpo = append(b.s.vpo, packVPODep(block[i].VPOutcome, block[i].Dep))
 	}
 
 	words := bitsetWords(b.s.n)
@@ -415,7 +425,8 @@ func (r *Replay) NextInto(dst *annotate.Inst) bool {
 	out.Src1 = isa.Reg(s.src1[i])
 	out.Src2 = isa.Reg(s.src2[i])
 	out.Dst = isa.Reg(s.dst[i])
-	out.VPOutcome = vpred.Outcome(s.vpo[i])
+	out.VPOutcome = vpred.Outcome(s.vpo[i] & 0x0F)
+	out.Dep = storeset.Outcome(s.vpo[i] >> 4)
 	out.DMiss = getBit(s.dmiss, i)
 	out.PMiss = getBit(s.pmiss, i)
 	out.IMiss = getBit(s.imiss, i)

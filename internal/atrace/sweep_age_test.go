@@ -5,6 +5,9 @@ import (
 	"path/filepath"
 	"testing"
 	"time"
+
+	"mlpsim/internal/annotate"
+	"mlpsim/internal/workload"
 )
 
 // litterFile drops one file with an exact modification time into dir.
@@ -107,6 +110,98 @@ func TestSweepSparesLockHeldByLiveProcess(t *testing.T) {
 	sweepAt(d, aged)
 	if _, err := os.Stat(lockPath); !os.IsNotExist(err) {
 		t.Errorf("released stale lock survived the sweep: %v", err)
+	}
+}
+
+// TestRepeatedQuarantineChargesBytesOnce: the same key going corrupt
+// twice (quarantine, rebuild, republish, corrupt again, quarantine)
+// must leave exactly one charge per corrupt byte on disk — each
+// quarantined generation is litter once, and none of those bytes may
+// also be charged through a stale index entry. A quarantine that finds
+// nothing left to move (the losing side of a reader race) must not
+// inflate the Quarantined counter either.
+func TestRepeatedQuarantineChargesBytesOnce(t *testing.T) {
+	dir := t.TempDir()
+	w := workload.Presets(8)[2]
+	key := Key{Workload: w, Annot: "requarantine", Warmup: testWarmup, Measure: testMeasure}
+	build := func() *Stream { return captureStream(t, w, annotate.Config{}) }
+
+	for round := 0; round < 2; round++ {
+		c := NewCache()
+		c.SetDir(dir)
+		c.Get(key, build)
+		corruptOneSpill(t, dir)
+
+		c2 := NewCache()
+		c2.SetDir(dir)
+		rebuilt := false
+		c2.Get(key, func() *Stream { rebuilt = true; return build() })
+		if !rebuilt {
+			t.Fatalf("round %d: corrupted spill served instead of rebuilt", round)
+		}
+		if st := c2.Stats(); st.Quarantined != 1 {
+			t.Fatalf("round %d: quarantined %d, want 1", round, st.Quarantined)
+		}
+	}
+
+	// Two generations of the same key moved aside, under distinct names.
+	moved, err := filepath.Glob(filepath.Join(dir, "*"+corruptMark+"*"))
+	if err != nil || len(moved) != 2 {
+		t.Fatalf("quarantine files %v (err %v), want exactly two", moved, err)
+	}
+	var wantLitter int64
+	for _, p := range moved {
+		fi, err := os.Stat(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantLitter += fi.Size()
+	}
+
+	// The sweep charges each quarantined byte exactly once.
+	d := newDiskCache(dir)
+	if got := sweepAt(d, time.Now()); got != wantLitter {
+		t.Errorf("young quarantine litter charged %d bytes, want %d (each corrupt byte once)", got, wantLitter)
+	}
+	// The index must hold only the live republished spill, sized to it:
+	// quarantined bytes double-charged through a stale entry would shrink
+	// the effective capacity on every corruption.
+	spills, _ := filepath.Glob(filepath.Join(dir, "*"+spillExt))
+	if len(spills) != 1 {
+		t.Fatalf("live spills %v, want exactly one", spills)
+	}
+	fi, err := os.Stat(spills[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	var indexed int64
+	d.withIndex(func(idx *indexFile) {
+		for _, e := range idx.Entries {
+			indexed += e.Bytes
+		}
+	})
+	if indexed != fi.Size() {
+		t.Errorf("index charges %d bytes, want %d (the live spill only)", indexed, fi.Size())
+	}
+
+	// A quarantine with nothing left to move (reader-race loser) is not
+	// counted again.
+	before := d.quarantined.Load()
+	d.quarantine("0000000000000000000000000000dead")
+	if got := d.quarantined.Load(); got != before {
+		t.Errorf("empty quarantine bumped the counter %d -> %d", before, got)
+	}
+
+	// Aged past the post-mortem window both generations are reclaimed,
+	// the charge drops to zero, and the live spill survives.
+	if got := sweepAt(d, time.Now().Add(d.corruptMaxAge+time.Hour)); got != 0 {
+		t.Errorf("aged quarantine litter still charged %d bytes", got)
+	}
+	if left, _ := filepath.Glob(filepath.Join(dir, "*"+corruptMark+"*")); len(left) != 0 {
+		t.Errorf("aged quarantine files survived the sweep: %v", left)
+	}
+	if _, err := os.Stat(spills[0]); err != nil {
+		t.Errorf("live spill reclaimed by the quarantine sweep: %v", err)
 	}
 }
 

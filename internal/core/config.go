@@ -104,6 +104,42 @@ func (m WindowMode) String() string {
 	return fmt.Sprintf("WindowMode(%d)", uint8(m))
 }
 
+// DisambMode selects how the engine disambiguates memory dependences —
+// i.e. what a load pays to issue past earlier stores.
+type DisambMode uint8
+
+const (
+	// DisambOracle is the paper's baseline: loads wait on exactly their
+	// actual producing store (perfect disambiguation via the lastStore
+	// links). Bit-identical to the engine before disambiguation modes
+	// existed.
+	DisambOracle DisambMode = iota
+	// DisambStoreSets consumes the annotator's store-set predictions
+	// (annotate.Inst.Dep): a DepViolation load pays a recovery flush that
+	// terminates the window; a DepFalse load serializes behind the last
+	// fetched store.
+	DisambStoreSets
+	// DisambConservative never speculates: every load waits for every
+	// earlier store in the window to execute — the no-prediction lower
+	// bound.
+	DisambConservative
+
+	numDisambModes = int(DisambConservative) + 1
+)
+
+// String names the mode.
+func (m DisambMode) String() string {
+	switch m {
+	case DisambOracle:
+		return "oracle"
+	case DisambStoreSets:
+		return "store-sets"
+	case DisambConservative:
+		return "conservative"
+	}
+	return fmt.Sprintf("DisambMode(%d)", uint8(m))
+}
+
 // Config is one MLPsim processor configuration.
 type Config struct {
 	// IssueWindow is the issue-window (reservation station) entry count.
@@ -119,6 +155,10 @@ type Config struct {
 	Issue IssueConfig
 	// Mode selects out-of-order or one of the in-order disciplines.
 	Mode WindowMode
+	// Disamb selects the memory-disambiguation model (oracle, store-set
+	// prediction, or always-conservative). Only the out-of-order mode
+	// supports non-oracle disambiguation.
+	Disamb DisambMode
 	// Runahead enables runahead execution (§3.5): on a missing-load
 	// trigger the processor checkpoints and speculates up to MaxRunahead
 	// instructions with all window termination conditions removed except
@@ -205,6 +245,12 @@ func (c *Config) Validate() error {
 	if c.MSHRs < 0 || c.StoreBuffer < 0 {
 		return fmt.Errorf("core: negative MSHR (%d) or store buffer (%d) size", c.MSHRs, c.StoreBuffer)
 	}
+	if int(c.Disamb) >= numDisambModes {
+		return fmt.Errorf("core: invalid disambiguation mode %d", c.Disamb)
+	}
+	if c.Disamb != DisambOracle && c.Mode != OutOfOrder {
+		return fmt.Errorf("core: disambiguation mode %s requires the out-of-order window mode", c.Disamb)
+	}
 	return nil
 }
 
@@ -235,6 +281,12 @@ func (c Config) Name() string {
 	}
 	if c.PerfectIFetch {
 		s += ".perfI"
+	}
+	switch c.Disamb {
+	case DisambStoreSets:
+		s += ".ss"
+	case DisambConservative:
+		s += ".consv"
 	}
 	return s
 }

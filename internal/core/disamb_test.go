@@ -1,0 +1,338 @@
+package core
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"mlpsim/internal/annotate"
+	"mlpsim/internal/isa"
+	"mlpsim/internal/storeset"
+)
+
+// sprinkleDeps stamps arbitrary (not necessarily truth-consistent)
+// dependence outcomes on load-like instructions: the engine must stay
+// well-formed for any Dep column, the same robustness contract the VP
+// outcomes have.
+func sprinkleDeps(rng *rand.Rand, insts []annotate.Inst) {
+	for i := range insts {
+		cls := insts[i].Class
+		if cls.IsMemRead() && cls != isa.Prefetch {
+			insts[i].Dep = storeset.Outcome(rng.Intn(4))
+		}
+	}
+}
+
+// stampDeps classifies every load against a real store-set predictor in
+// program order — exactly the annotator's wiring — so the Dep column is
+// consistent with the stream's actual store→load dependences.
+func stampDeps(insts []annotate.Inst, cfg storeset.Config) {
+	p := storeset.New(cfg)
+	for i := range insts {
+		in := &insts[i]
+		cls := in.Class
+		switch {
+		case cls == isa.Prefetch:
+		case cls.IsMemRead():
+			in.Dep = p.ObserveLoad(in.PC, in.EA, in.Index)
+			if cls.IsMemWrite() {
+				p.ObserveStore(in.PC, in.EA, in.Index)
+			}
+		case cls == isa.Store:
+			p.ObserveStore(in.PC, in.EA, in.Index)
+		}
+	}
+}
+
+// TestDisambValidateAndName pins the mode plumbing: non-oracle modes
+// require the out-of-order window, and the config shorthand names them.
+func TestDisambValidateAndName(t *testing.T) {
+	for _, mode := range []DisambMode{DisambStoreSets, DisambConservative} {
+		cfg := Default()
+		cfg.Disamb = mode
+		if err := cfg.Validate(); err != nil {
+			t.Errorf("%v out-of-order: unexpected error %v", mode, err)
+		}
+		cfg.Mode = InOrderStallOnMiss
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("%v in-order: validated", mode)
+		}
+	}
+	bad := Default()
+	bad.Disamb = DisambMode(7)
+	if err := bad.Validate(); err == nil {
+		t.Error("invalid mode value validated")
+	}
+	ss := Default()
+	ss.Disamb = DisambStoreSets
+	if !strings.HasSuffix(ss.Name(), ".ss") {
+		t.Errorf("store-sets name %q lacks .ss", ss.Name())
+	}
+	consv := Default()
+	consv.Disamb = DisambConservative
+	if !strings.HasSuffix(consv.Name(), ".consv") {
+		t.Errorf("conservative name %q lacks .consv", consv.Name())
+	}
+	if Default().Name() != "64C" {
+		t.Errorf("oracle name changed: %q", Default().Name())
+	}
+}
+
+// Scenario: a load the predictor failed to cover (DepViolation) issues
+// past its still-outstanding producing store and pays a recovery flush
+// that terminates the window; the oracle simply waits.
+func TestDisambViolationFlush(t *testing.T) {
+	build := func() *aiSource {
+		l0 := ld(2, 1, true)
+		l0.EA = 0x100
+		s1 := st(2, 3, 0x200) // address depends on the missing load
+		l2 := ld(4, 1, true)
+		l2.EA = 0x200 // true dependence on s1
+		l2.Dep = storeset.DepViolation
+		return src(l0, s1, l2)
+	}
+
+	oracle := cfgWindow(64, ConfigC)
+	resO := NewEngine(build(), oracle).Run()
+	if resO.DepMispredicts != 0 || resO.DepSerializes != 0 {
+		t.Fatalf("oracle charged dep events: %+v", resO)
+	}
+	if resO.Limiters[LimDepMispred] != 0 {
+		t.Fatalf("oracle epochs terminated by dep mispredict: %+v", resO.Limiters)
+	}
+
+	ssCfg := cfgWindow(64, ConfigC)
+	ssCfg.Disamb = DisambStoreSets
+	resS := NewEngine(build(), ssCfg).Run()
+	if resS.DepMispredicts != 1 {
+		t.Fatalf("store-sets DepMispredicts = %d, want 1", resS.DepMispredicts)
+	}
+	if resS.Limiters[LimDepMispred] != 1 {
+		t.Fatalf("store-sets LimDepMispred epochs = %d, want 1", resS.Limiters[LimDepMispred])
+	}
+	// Both modes conserve the two off-chip accesses.
+	if resO.Accesses != 2 || resS.Accesses != 2 {
+		t.Fatalf("accesses oracle=%d storesets=%d, want 2", resO.Accesses, resS.Accesses)
+	}
+}
+
+// Scenario: a predicted-but-false dependence (DepFalse) needlessly
+// serializes an independent missing load behind the last store, cutting
+// MLP from 2 to 1; conservative mode pays the same without any
+// prediction. The oracle overlaps both misses in one epoch.
+func TestDisambFalseDependenceSerializes(t *testing.T) {
+	build := func() *aiSource {
+		l0 := ld(2, 1, true)
+		l0.EA = 0x100
+		s1 := st(2, 3, 0x200) // address depends on the missing load
+		l2 := ld(4, 1, true)
+		l2.EA = 0x300 // independent of s1
+		l2.Dep = storeset.DepFalse
+		return src(l0, s1, l2)
+	}
+
+	oracle := cfgWindow(64, ConfigC)
+	resO := NewEngine(build(), oracle).Run()
+	if got := resO.MLP(); got != 2 {
+		t.Fatalf("oracle MLP = %v, want 2 (both misses overlap)", got)
+	}
+
+	for _, mode := range []DisambMode{DisambStoreSets, DisambConservative} {
+		cfg := cfgWindow(64, ConfigC)
+		cfg.Disamb = mode
+		res := NewEngine(build(), cfg).Run()
+		if got := res.MLP(); got != 1 {
+			t.Fatalf("%v MLP = %v, want 1 (load serialized behind the store)", mode, got)
+		}
+		if res.DepSerializes != 1 {
+			t.Fatalf("%v DepSerializes = %d, want 1", mode, res.DepSerializes)
+		}
+		if res.DepMispredicts != 0 {
+			t.Fatalf("%v DepMispredicts = %d, want 0", mode, res.DepMispredicts)
+		}
+		if res.Accesses != resO.Accesses {
+			t.Fatalf("%v accesses %d != oracle %d", mode, res.Accesses, resO.Accesses)
+		}
+	}
+}
+
+// depStream generates a random stream whose memory footprint is small
+// enough that store→load dependences actually occur, with the Dep
+// column stamped by a real predictor (truth-consistent annotations).
+func depStream(rng *rand.Rand, n int, sscfg storeset.Config) []annotate.Inst {
+	insts := randomStream(rng, n, 0.35, 0.01, 0.03, 0.02)
+	for i := range insts {
+		if insts[i].Class.IsMem() {
+			insts[i].EA = insts[i].EA % 512 * 8
+		}
+	}
+	stampDeps(insts, sscfg)
+	return insts
+}
+
+// TestDisambMatchesBruteForceReferenceRandom checks each disambiguation
+// mode's execution orders against a brute-force reference disambiguator
+// over random streams: per-load producing stores from an unbounded
+// program-order address scan, conservative store barriers, and false-
+// dependence serialization — plus conservation and counter consistency.
+// Epochs are observed via OnEpoch; instructions executed in unobserved
+// (access-free) epochs have unknown order, and pairs involving them are
+// skipped (the miss rate is drawn high so such epochs are rare).
+func TestDisambMatchesBruteForceReferenceRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(211))
+	modes := []struct {
+		name string
+		cfg  func() Config
+	}{
+		{"oracle", func() Config { return cfgWindow(64, ConfigC) }},
+		{"storesets-small", func() Config {
+			c := cfgWindow(64, ConfigC)
+			c.Disamb = DisambStoreSets
+			return c
+		}},
+		{"storesets-configA", func() Config {
+			c := cfgWindow(32, ConfigA)
+			c.Disamb = DisambStoreSets
+			return c
+		}},
+		{"conservative", func() Config {
+			c := cfgWindow(64, ConfigC)
+			c.Disamb = DisambConservative
+			return c
+		}},
+		{"conservative-configB", func() Config {
+			c := cfgWindow(16, ConfigB)
+			c.Disamb = DisambConservative
+			return c
+		}},
+	}
+	for trial := 0; trial < 8; trial++ {
+		sscfg := storeset.Config{
+			SSITSize:      1 << (4 + rng.Intn(6)),
+			LFSTSize:      1 << (3 + rng.Intn(4)),
+			ConfThreshold: uint8(rng.Intn(3)),
+		}
+		insts := depStream(rng, 2500, sscfg)
+
+		// Brute-force reference disambiguator: program-order address scan
+		// with an unbounded map (the footprint stays far below the
+		// engine's 64K StoreTable clear bound, so the two agree).
+		memProdOf := make([]int64, len(insts))
+		prevStoreOf := make([]int64, len(insts))
+		var storeIdxs []int64
+		last := make(map[uint64]int64)
+		prevStore := int64(-1)
+		for i := range insts {
+			in := &insts[i]
+			memProdOf[i], prevStoreOf[i] = -1, prevStore
+			cls := in.Class
+			if cls.IsMemRead() && cls != isa.Prefetch {
+				if p, ok := last[in.EA>>3]; ok {
+					memProdOf[i] = p
+				}
+			}
+			if cls.IsMemWrite() {
+				last[in.EA>>3] = int64(i)
+				prevStore = int64(i)
+				storeIdxs = append(storeIdxs, int64(i))
+			}
+		}
+
+		for _, m := range modes {
+			cfg := m.cfg()
+			var epochs []Epoch
+			cfg.OnEpoch = func(ep Epoch) { epochs = append(epochs, ep) }
+			res := NewEngine(&aiSource{insts: append([]annotate.Inst(nil), insts...)}, cfg).Run()
+
+			if want := expectedAccesses(insts); res.Accesses != want {
+				t.Fatalf("trial %d %s: accesses %d, want %d", trial, m.name, res.Accesses, want)
+			}
+			var sum uint64
+			for _, n := range res.Limiters {
+				sum += n
+			}
+			if sum != res.Epochs {
+				t.Fatalf("trial %d %s: limiters sum %d != epochs %d", trial, m.name, sum, res.Epochs)
+			}
+			switch cfg.Disamb {
+			case DisambOracle:
+				if res.DepMispredicts != 0 || res.DepSerializes != 0 {
+					t.Fatalf("trial %d %s: oracle charged dep events: %d/%d",
+						trial, m.name, res.DepMispredicts, res.DepSerializes)
+				}
+			case DisambConservative:
+				if res.DepMispredicts != 0 {
+					t.Fatalf("trial %d %s: conservative mode flushed %d times",
+						trial, m.name, res.DepMispredicts)
+				}
+			case DisambStoreSets:
+				if res.DepMispredicts < res.Limiters[LimDepMispred] {
+					t.Fatalf("trial %d %s: %d flushes but %d flush-terminated epochs",
+						trial, m.name, res.DepMispredicts, res.Limiters[LimDepMispred])
+				}
+			}
+
+			// Execution order: epoch by epoch, list position by position.
+			order := make(map[int64]int, len(insts))
+			seq := 0
+			for _, ep := range epochs {
+				for _, j := range ep.Executed {
+					order[j] = seq
+					seq++
+				}
+			}
+			known := func(j int64) (int, bool) { o, ok := order[j]; return o, ok }
+			checked := 0
+			for j := range insts {
+				cls := insts[j].Class
+				if !cls.IsMemRead() || cls == isa.Prefetch {
+					continue
+				}
+				oj, ok := known(int64(j))
+				if !ok {
+					continue
+				}
+				// All modes: the producing store executes (forwards) first.
+				if mp := memProdOf[j]; mp >= 0 {
+					if om, ok := known(mp); ok {
+						checked++
+						if om >= oj {
+							t.Fatalf("trial %d %s: load %d executed (order %d) before its producing store %d (order %d)",
+								trial, m.name, j, oj, mp, om)
+						}
+					}
+				}
+				switch cfg.Disamb {
+				case DisambConservative:
+					// Every earlier store executes first.
+					for _, s := range storeIdxs {
+						if s >= int64(j) {
+							break
+						}
+						if os, ok := known(s); ok {
+							checked++
+							if os >= oj {
+								t.Fatalf("trial %d %s: load %d (order %d) overtook earlier store %d (order %d)",
+									trial, m.name, j, oj, s, os)
+							}
+						}
+					}
+				case DisambStoreSets:
+					// A false dependence serializes behind the last store.
+					if insts[j].Dep == storeset.DepFalse && prevStoreOf[j] >= 0 {
+						if op, ok := known(prevStoreOf[j]); ok {
+							checked++
+							if op >= oj {
+								t.Fatalf("trial %d %s: DepFalse load %d (order %d) overtook last store %d (order %d)",
+									trial, m.name, j, oj, prevStoreOf[j], op)
+							}
+						}
+					}
+				}
+			}
+			if checked == 0 {
+				t.Fatalf("trial %d %s: reference check exercised no pairs", trial, m.name)
+			}
+		}
+	}
+}

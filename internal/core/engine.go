@@ -77,6 +77,12 @@ type slotState struct {
 	vpWrong bool
 	// vpHandled marks that the wrong prediction's flush already happened.
 	vpHandled bool
+	// depHandled marks that the slot's dependence-misprediction flush
+	// already happened (DisambStoreSets charges it once per load).
+	depHandled bool
+	// depSerCounted marks that the slot's needless serialization behind a
+	// store has been counted (once per load).
+	depSerCounted bool
 }
 
 // binder computes dependence links in program order: register renaming
@@ -120,9 +126,11 @@ func (b *binder) bind(ai *annotate.Inst, j int64, ln *links) {
 	if cls == isa.Load || cls == isa.Store || cls == isa.CASA || cls == isa.LDSTUB {
 		ln.prevMem = b.prevMemIdx
 		b.prevMemIdx = j
+		// Loads carry the link too: non-oracle disambiguation serializes a
+		// predicted-dependent load behind the last fetched store.
+		ln.prevStore = b.prevStoreIdx
 	}
 	if cls.IsMemWrite() {
-		ln.prevStore = b.prevStoreIdx
 		b.prevStoreIdx = j
 		// Bounded table; stale producers resolve as retired.
 		b.lastStore.Put(ai.EA>>3, j)
@@ -301,7 +309,7 @@ func (e *Engine) step() bool {
 	e.epoch++
 	before := e.fetchEnd
 	executedBefore := e.unexec
-	e.ep = epochState{firstUnresolvedStore: -1, blockIdx: -1}
+	e.ep = epochState{firstUnresolvedStore: -1, firstUnexecStore: -1, blockIdx: -1}
 	ep := &e.ep
 
 	if e.cfg.Mode == OutOfOrder {
@@ -356,7 +364,10 @@ type epochState struct {
 	blockIdx             int64 // earliest Fig-5 blocking event (config A/B load blocks)
 	blockLim             Limiter
 	firstUnresolvedStore int64
-	epoch                Epoch
+	// firstUnexecStore is the first not-yet-executed store in scan order
+	// (DisambConservative serializes every later load behind it).
+	firstUnexecStore int64
+	epoch            Epoch
 }
 
 // stateAt returns the mutable state of the slot at absolute index j.
@@ -411,6 +422,7 @@ func (e *Engine) fetchNext() (*annotate.Inst, *slotState) {
 	st.avail, st.complete = 0, 0
 	st.executed, st.counted, st.countedS = false, false, false
 	st.imissDone, st.vpCut, st.vpWrong, st.vpHandled = false, false, false, false
+	st.depHandled, st.depSerCounted = false, false
 
 	if ai.DMiss {
 		switch {

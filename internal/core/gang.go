@@ -191,12 +191,14 @@ func (c *gangCursor) Next() (annotate.Inst, bool) {
 // arrays fast path. The fast path implements the uniform window-
 // termination structure every out-of-order configuration shares; configs
 // whose flags diverge from it — in-order disciplines, runahead, value
-// prediction, finite MSHR files or store buffers, or an epoch observer —
-// fall back to the scalar slotState engine inside the same gang.
+// prediction, non-oracle memory disambiguation, finite MSHR files or
+// store buffers, or an epoch observer — fall back to the scalar
+// slotState engine inside the same gang.
 func SoAEligible(cfg Config) bool {
 	return cfg.Mode == OutOfOrder &&
 		!cfg.Runahead &&
 		!cfg.ValuePredict && !cfg.PerfectVP &&
+		cfg.Disamb == DisambOracle &&
 		cfg.MSHRs == 0 && cfg.StoreBuffer == 0 &&
 		cfg.OnEpoch == nil
 }

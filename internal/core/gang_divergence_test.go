@@ -43,6 +43,11 @@ func divergentGangs(onEpoch func(Epoch)) [][]Config {
 		c.StoreBuffer = n
 		return c
 	}
+	disamb := func(mode DisambMode) Config {
+		c := Default().WithWindow(64)
+		c.Disamb = mode
+		return c
+	}
 	observed := Default().WithWindow(32)
 	observed.OnEpoch = onEpoch
 	return [][]Config{
@@ -54,6 +59,9 @@ func divergentGangs(onEpoch func(Epoch)) [][]Config {
 		{runahead(), ooo(64, ConfigD), vp(), ooo(32, ConfigE)},
 		// Store-buffer limits plus an epoch observer.
 		{sb(1), ooo(64, ConfigB), sb(4), observed},
+		// Memory disambiguation modes: oracle rides SoA, the speculative
+		// and conservative disambiguators fall back.
+		{disamb(DisambStoreSets), ooo(64, ConfigC), disamb(DisambConservative), ooo(16, ConfigA)},
 	}
 }
 
@@ -85,6 +93,7 @@ func TestRunGangDivergentMatchesSequential(t *testing.T) {
 			n := 3000 + rng.Intn(5000)
 			insts := randomStream(rng, n, 0.06, 0.02, 0.03, 0.02)
 			sprinkleVP(rng, insts)
+			sprinkleDeps(rng, insts)
 
 			want := make([]Result, len(cfgs))
 			for i, cfg := range cfgs {

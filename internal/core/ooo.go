@@ -3,6 +3,7 @@ package core
 import (
 	"mlpsim/internal/annotate"
 	"mlpsim/internal/isa"
+	"mlpsim/internal/storeset"
 )
 
 // accessKind classifies one off-chip access.
@@ -58,6 +59,9 @@ const (
 	execOK execResult = iota
 	execBlocked
 	execVPFlush
+	// execDepFlush: the load issued past a store it depended on (store-set
+	// dependence misprediction); the machine pays a recovery flush.
+	execDepFlush
 )
 
 // tryExecute attempts to execute slot j in the current epoch under the
@@ -120,9 +124,23 @@ func (e *Engine) tryExecute(j int64, ai *annotate.Inst, st *slotState, ep *epoch
 
 	// True memory dependence: a load must wait for the latest earlier
 	// same-address store to execute (forwarding). Runahead stores do not
-	// update state, so runahead ignores this.
+	// update state, so runahead ignores this. Under store-set prediction a
+	// load the predictor failed to cover does not wait — it issues, reads
+	// stale data, and pays a recovery flush when the violation is found.
 	isLoadLike := cls.IsMemRead() && cls != isa.Prefetch
 	if !rae && isLoadLike && st.memProd >= 0 && !e.producerExecuted(st.memProd) {
+		if e.cfg.Disamb == DisambStoreSets && ai.Dep == storeset.DepViolation && !st.depHandled {
+			st.depHandled = true
+			return execDepFlush
+		}
+		return execBlocked
+	}
+
+	// Non-oracle disambiguation: false or conservative dependence
+	// predictions serialize the load behind stores it does not actually
+	// depend on (the memProd wait above already cleared, so any block
+	// here is needless cost the oracle would not pay).
+	if !rae && isLoadLike && e.cfg.Disamb != DisambOracle && e.disambBlocked(j, ai, st, ep) {
 		return execBlocked
 	}
 
@@ -172,11 +190,45 @@ func (e *Engine) vpWrongProducer(st *slotState) int64 {
 	return -1
 }
 
+// disambBlocked applies the non-oracle serialization costs: a
+// predicted-but-false dependence (store sets) holds the load behind the
+// last fetched store; conservative disambiguation holds it behind every
+// unexecuted earlier store. Both are counted once per load as a needless
+// serialize, and a blocked missing load charges the epoch's Figure-5
+// category to the dependent-store condition.
+func (e *Engine) disambBlocked(j int64, ai *annotate.Inst, st *slotState, ep *epochState) bool {
+	switch e.cfg.Disamb {
+	case DisambStoreSets:
+		if ai.Dep != storeset.DepFalse || e.producerExecuted(st.prevStore) {
+			return false
+		}
+	case DisambConservative:
+		if ep.firstUnexecStore < 0 || ep.firstUnexecStore >= j {
+			return false
+		}
+	default:
+		return false
+	}
+	if !st.depSerCounted {
+		st.depSerCounted = true
+		e.res.DepSerializes++
+	}
+	if ai.DMiss {
+		ep.block(j, LimDepStore)
+	}
+	return true
+}
+
 // noteUnresolvedStore records the first store in scan order whose address
-// is not yet resolved (configurations A and B block later loads on it).
+// is not yet resolved (configurations A and B block later loads on it),
+// and — under conservative disambiguation — the first store not yet
+// executed (every later load serializes behind it).
 func (e *Engine) noteUnresolvedStore(j int64, ai *annotate.Inst, st *slotState, ep *epochState) {
 	if !ai.Class.IsMemWrite() || st.executed {
 		return
+	}
+	if e.cfg.Disamb == DisambConservative && ep.firstUnexecStore < 0 {
+		ep.firstUnexecStore = j
 	}
 	if ep.firstUnresolvedStore >= 0 {
 		return
@@ -273,6 +325,10 @@ func (e *Engine) runEpochOoO(ep *epochState) {
 		switch e.tryExecute(j, ai, st, ep, rae) {
 		case execVPFlush:
 			ep.terminate(j, LimVPMisp)
+			return
+		case execDepFlush:
+			e.res.DepMispredicts++
+			ep.terminate(j, LimDepMispred)
 			return
 		case execBlocked:
 			if ai.Class == isa.Branch && ai.Mispred {

@@ -95,7 +95,7 @@ func TestEngineConservationProperty(t *testing.T) {
 
 		cfg := Default()
 		cfg.FetchBuffer = int(sizeSel) % 40
-		switch cfgSel % 8 {
+		switch cfgSel % 10 {
 		case 0:
 			cfg.Mode = InOrderStallOnMiss
 		case 1:
@@ -110,16 +110,24 @@ func TestEngineConservationProperty(t *testing.T) {
 			cfg = cfg.WithIssue(ConfigD).WithRunahead()
 		case 6:
 			cfg = cfg.WithWindow(32).WithROB(256).WithIssue(ConfigE)
-		default:
+		case 7:
 			cfg = cfg.WithIssue(ConfigD)
 			cfg.PerfectBP = true
+		case 8:
+			cfg = cfg.WithWindow(64).WithIssue(ConfigC)
+			cfg.Disamb = DisambStoreSets
+			sprinkleDeps(rng, insts)
+		default:
+			cfg = cfg.WithWindow(32).WithIssue(ConfigB)
+			cfg.Disamb = DisambConservative
+			sprinkleDeps(rng, insts)
 		}
 		res := NewEngine(&aiSource{insts: insts}, cfg).Run()
 
 		if cfg.PerfectBP || cfg.PerfectIFetch {
 			// Rewrites change the expected count; skip conservation.
 		} else if res.Accesses != want {
-			t.Logf("seed %d cfg %d: accesses %d, want %d", seed, cfgSel%8, res.Accesses, want)
+			t.Logf("seed %d cfg %d: accesses %d, want %d", seed, cfgSel%10, res.Accesses, want)
 			return false
 		}
 		if res.Accesses > 0 && res.MLP() < 1 {

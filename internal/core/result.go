@@ -29,6 +29,9 @@ const (
 	// LimVPMisp: a wrong value prediction forced a recovery flush
 	// (conventional mode with value prediction only).
 	LimVPMisp
+	// LimDepMispred: a load issued past a store it actually depended on
+	// (store-set dependence misprediction), forcing a recovery flush.
+	LimDepMispred
 	// LimRunahead: the maximum runahead distance was reached.
 	LimRunahead
 	// LimMSHR: all miss-status holding registers were occupied, so no
@@ -46,8 +49,8 @@ const (
 
 var limiterNames = [NumLimiters]string{
 	"Imiss start", "Maxwin", "Mispred br", "Imiss end",
-	"Missing load", "Dep store", "Serialize", "VP misp", "Runahead limit",
-	"MSHR full", "Store buffer", "End of trace",
+	"Missing load", "Dep store", "Serialize", "VP misp", "Dep mispred",
+	"Runahead limit", "MSHR full", "Store buffer", "End of trace",
 }
 
 // String returns the Figure 5 label.
@@ -99,6 +102,13 @@ type Result struct {
 	StoreEpochs uint64
 	// Limiters counts epochs by their limiting condition.
 	Limiters [NumLimiters]uint64
+	// DepMispredicts counts recovery flushes charged to store-set
+	// dependence mispredictions (DisambStoreSets only).
+	DepMispredicts uint64
+	// DepSerializes counts loads needlessly serialized behind a store: a
+	// predicted-but-false dependence under DisambStoreSets, or any
+	// store-blocked load under DisambConservative.
+	DepSerializes uint64
 }
 
 // StoreMLP is the average number of store misses per epoch that has one —

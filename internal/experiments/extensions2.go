@@ -43,11 +43,18 @@ func RunExtSMT(s Setup) ExtSMT {
 		for t := range threads {
 			threads[t] = base.WithSeed(s.Seed + int64(t)*101)
 		}
+		// Split the instruction budget across threads, but never let the
+		// per-thread share round to zero while a budget exists: a K larger
+		// than the budget used to panic smt.Run's validation.
+		per := s.Measure / int64(k)
+		if per == 0 && s.Measure > 0 {
+			per = 1
+		}
 		res := smt.Run(smt.Config{
 			Threads:   threads,
 			Processor: core.Default(),
 			Warmup:    s.Warmup / int64(k),
-			Measure:   s.Measure / int64(k),
+			Measure:   per,
 		})
 		row := ExtSMTRow{
 			Threads:       k,

@@ -146,6 +146,35 @@ func TestExtSMTScaling(t *testing.T) {
 	}
 }
 
+// TestExtSMTTinyMeasure pins the boundary where the per-thread split of
+// the instruction budget rounds to zero (Measure < K): the sweep must
+// degrade gracefully instead of panicking in smt validation.
+func TestExtSMTTinyMeasure(t *testing.T) {
+	s := tiny(38, workload.Database(38))
+	s.Warmup = 1000
+	s.Measure = 2 // below the largest thread count (4)
+	res := RunExtSMT(s)
+	if len(res.Rows) != 3 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	for _, r := range res.Rows {
+		if len(r.PerThreadMLP) != r.Threads {
+			t.Errorf("%d threads reported %d per-thread MLPs", r.Threads, len(r.PerThreadMLP))
+		}
+		if r.CombinedUpper < 0 || r.CombinedLower < 0 {
+			t.Errorf("%d threads: negative bounds %v/%v", r.Threads, r.CombinedLower, r.CombinedUpper)
+		}
+	}
+	// A zero budget is the degenerate boundary: all-zero rows, no panic.
+	s.Measure = 0
+	res = RunExtSMT(s)
+	for _, r := range res.Rows {
+		if r.CombinedUpper != 0 || r.CombinedLower != 0 {
+			t.Errorf("zero-measure row %d has non-zero bounds: %+v", r.Threads, r)
+		}
+	}
+}
+
 func TestExtBandwidth(t *testing.T) {
 	if testing.Short() {
 		t.Skip("sweep")
@@ -168,7 +197,7 @@ func TestExtBandwidth(t *testing.T) {
 }
 
 func TestRegistryIncludesExtensions(t *testing.T) {
-	for _, id := range []string{"ext-mshr", "ext-prefetch", "ext-storemlp", "ext-smt", "ext-bandwidth"} {
+	for _, id := range []string{"ext-mshr", "ext-prefetch", "ext-storemlp", "ext-storesets", "ext-smt", "ext-bandwidth"} {
 		if Find(id) == nil {
 			t.Errorf("missing exhibit %q", id)
 		}

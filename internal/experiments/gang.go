@@ -65,6 +65,7 @@ func (s Setup) RunMLPsimBatch(points []MLPPoint) []core.Result {
 		rs := g.Run()
 		for k, pi := range idxs {
 			results[pi] = rs[k]
+			s.noteDepStats(rs[k])
 		}
 		if s.GangStats != nil {
 			s.GangStats.Gangs.Add(1)

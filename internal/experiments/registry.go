@@ -49,6 +49,8 @@ func All() []Runner {
 			func(s Setup) fmt.Stringer { return RunExtPrefetch(s) }},
 		{"ext-storemlp", "Extension: store MLP / finite store buffers (§7)",
 			func(s Setup) fmt.Stringer { return RunExtStoreMLP(s) }},
+		{"ext-storesets", "Extension: store-set memory dependence speculation (Chrysos-Emer)",
+			func(s Setup) fmt.Stringer { return RunExtStoreSets(s) }},
 		{"ext-smt", "Extension: multithreaded MLP (§7)",
 			func(s Setup) fmt.Stringer { return RunExtSMT(s) }},
 		{"ext-bandwidth", "Extension: finite memory bandwidth (queueing model, §4.1)",

@@ -15,6 +15,7 @@ import (
 	"context"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"mlpsim/internal/annotate"
 	"mlpsim/internal/atrace"
@@ -61,6 +62,30 @@ type Setup struct {
 	// GangStats, when non-nil, accumulates gang occupancy counters
 	// across sweeps (the daemon exports them on /metrics).
 	GangStats *GangStats
+	// DepStats, when non-nil, accumulates memory-dependence speculation
+	// counters across every engine run (the daemon exports them on
+	// /metrics).
+	DepStats *DepStats
+}
+
+// DepStats accumulates memory-dependence speculation counters across
+// sweeps. Safe for concurrent use; the zero value is ready.
+type DepStats struct {
+	// Mispredicts counts store-set dependence mispredictions: loads that
+	// issued past a store they depended on and paid a recovery flush.
+	Mispredicts atomic.Uint64
+	// Serializes counts loads a non-oracle disambiguation mode needlessly
+	// held behind stores they did not depend on.
+	Serializes atomic.Uint64
+}
+
+// noteDepStats folds one engine result into the accumulated counters.
+func (s Setup) noteDepStats(res core.Result) {
+	if s.DepStats == nil {
+		return
+	}
+	s.DepStats.Mispredicts.Add(res.DepMispredicts)
+	s.DepStats.Serializes.Add(res.DepSerializes)
 }
 
 // Context returns the sweep's cancellation context, never nil.
@@ -175,7 +200,9 @@ func (s Setup) PrefetchStats(w workload.Config, acfg annotate.Config) (ipf, dpf 
 // RunMLPsim generates, annotates and runs one MLPsim configuration.
 func (s Setup) RunMLPsim(w workload.Config, cfg core.Config, acfg annotate.Config) core.Result {
 	cfg.MaxInstructions = s.Measure
-	return core.NewEngine(s.annotatedSource(w, acfg), cfg).Run()
+	res := core.NewEngine(s.annotatedSource(w, acfg), cfg).Run()
+	s.noteDepStats(res)
+	return res
 }
 
 // RunCycleSim generates, annotates and runs one cycle-simulator

@@ -88,6 +88,11 @@ func (s *Server) writeMetrics(w io.Writer) {
 	fmt.Fprintf(w, "mlpsim_gang_soa_insts_total %d\n", s.gang.SoAInsts.Load())
 	fmt.Fprintf(w, "mlpsim_gang_scalar_fallback_insts_total %d\n", s.gang.ScalarInsts.Load())
 
+	fmt.Fprintln(w, "# HELP mlpsim_dep Memory-dependence speculation events across all engine runs (non-oracle disambiguation modes).")
+	fmt.Fprintln(w, "# TYPE mlpsim_dep_mispredicts_total counter")
+	fmt.Fprintf(w, "mlpsim_dep_mispredicts_total %d\n", s.dep.Mispredicts.Load())
+	fmt.Fprintf(w, "mlpsim_dep_serializes_total %d\n", s.dep.Serializes.Load())
+
 	hits, misses, abandoned, entries := s.results.stats()
 	fmt.Fprintln(w, "# HELP mlpsim_result_cache Result-cache effectiveness.")
 	fmt.Fprintf(w, "mlpsim_result_cache_hits_total %d\n", hits)

@@ -69,6 +69,7 @@ type Server struct {
 	results  *resultCache
 	metrics  *metrics
 	gang     *experiments.GangStats
+	dep      *experiments.DepStats
 	mux      *http.ServeMux
 	draining atomic.Bool
 }
@@ -93,6 +94,7 @@ func New(opts Options) *Server {
 		results: newResultCache(opts.MaxResults),
 		metrics: newMetrics(),
 		gang:    &experiments.GangStats{},
+		dep:     &experiments.DepStats{},
 		mux:     http.NewServeMux(),
 	}
 	// Daemon-wide gang occupancy counters: every request's sweep reports
@@ -101,6 +103,12 @@ func New(opts Options) *Server {
 		s.opts.Setup.GangStats = s.gang
 	} else {
 		s.gang = s.opts.Setup.GangStats
+	}
+	// Likewise for the memory-dependence speculation counters.
+	if s.opts.Setup.DepStats == nil {
+		s.opts.Setup.DepStats = s.dep
+	} else {
+		s.dep = s.opts.Setup.DepStats
 	}
 	s.mux.HandleFunc("GET /v1/exhibits", s.handleList)
 	s.mux.HandleFunc("GET /v1/exhibits/{name}", s.handleExhibit)

@@ -270,6 +270,10 @@ func TestMetricsEndpoint(t *testing.T) {
 		// runs on the scalar fallback and none on the SoA fast path.
 		"mlpsim_gang_soa_insts_total 0",
 		"mlpsim_gang_scalar_fallback_insts_total",
+		// table5 runs oracle disambiguation only: the dep counters are
+		// exported and stay zero.
+		"mlpsim_dep_mispredicts_total 0",
+		"mlpsim_dep_serializes_total 0",
 		"mlpsim_trace_cache_builds_total",
 		"mlpsim_draining 0",
 	} {

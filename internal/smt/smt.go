@@ -50,7 +50,9 @@ type Config struct {
 	Warmup, Measure int64
 }
 
-// Validate reports configuration errors.
+// Validate reports configuration errors. A zero Measure is valid — Run
+// degrades to an all-zero Result — so callers that split an instruction
+// budget across many threads (budget / K rounding to zero) stay safe.
 func (c *Config) Validate() error {
 	if len(c.Threads) == 0 {
 		return fmt.Errorf("smt: no threads configured")
@@ -58,8 +60,11 @@ func (c *Config) Validate() error {
 	if c.Granule < 0 {
 		return fmt.Errorf("smt: negative granule %d", c.Granule)
 	}
-	if c.Measure <= 0 {
-		return fmt.Errorf("smt: measure %d must be positive", c.Measure)
+	if c.Measure < 0 {
+		return fmt.Errorf("smt: negative measure %d", c.Measure)
+	}
+	if c.Warmup < 0 {
+		return fmt.Errorf("smt: negative warmup %d", c.Warmup)
 	}
 	return nil
 }
@@ -139,6 +144,11 @@ func Run(cfg Config) Result {
 		SoloMLP:        make([]float64, k),
 		SoloMissRate:   make([]float64, k),
 		SharedMissRate: make([]float64, k),
+	}
+	if cfg.Measure == 0 {
+		// Nothing to measure: keep the per-thread slices sized so callers
+		// can index them, with every metric zero.
+		return res
 	}
 
 	// Solo baselines: each thread alone with a private hierarchy.

@@ -19,13 +19,41 @@ func quickCfg(threads ...workload.Config) Config {
 func TestValidation(t *testing.T) {
 	bad := []Config{
 		{},
-		{Threads: []workload.Config{workload.Database(1)}, Measure: 0},
+		{Threads: []workload.Config{workload.Database(1)}, Measure: -1},
 		{Threads: []workload.Config{workload.Database(1)}, Measure: 100, Granule: -1},
+		{Threads: []workload.Config{workload.Database(1)}, Measure: 100, Warmup: -5},
 	}
 	for i, cfg := range bad {
 		if err := cfg.Validate(); err == nil {
 			t.Errorf("bad config %d accepted", i)
 		}
+	}
+	// A zero measure is a valid boundary, not an error: budget/K splits
+	// round down to zero for large K and must not panic Run.
+	ok := Config{Threads: []workload.Config{workload.Database(1)}}
+	if err := ok.Validate(); err != nil {
+		t.Errorf("zero-measure config rejected: %v", err)
+	}
+}
+
+// TestRunZeroMeasure pins the graceful boundary: a zero-length measured
+// stream returns an all-zero Result with the per-thread slices sized,
+// instead of panicking in validation (the pre-fix behaviour).
+func TestRunZeroMeasure(t *testing.T) {
+	cfg := quickCfg(workload.Database(1), workload.Web(1))
+	cfg.Measure = 0
+	res := Run(cfg)
+	if len(res.PerThread) != 2 || len(res.SoloMLP) != 2 ||
+		len(res.SoloMissRate) != 2 || len(res.SharedMissRate) != 2 {
+		t.Fatalf("zero-measure result slices missized: %+v", res)
+	}
+	for t2 := range res.PerThread {
+		if res.PerThread[t2].Instructions != 0 || res.PerThread[t2].Accesses != 0 {
+			t.Errorf("thread %d measured work with a zero budget: %+v", t2, res.PerThread[t2])
+		}
+	}
+	if res.CombinedLower != 0 || res.CombinedUpper != 0 {
+		t.Errorf("zero-measure bounds %v/%v, want 0/0", res.CombinedLower, res.CombinedUpper)
 	}
 }
 

@@ -1,0 +1,266 @@
+// Package storeset implements a Chrysos & Emer store-set memory
+// dependence predictor (ISCA 1998): a Store Set ID Table (SSIT) indexed
+// by instruction PC, a Last Fetched Store Table (LFST) indexed by store
+// set, and a per-set saturating confidence counter.
+//
+// The predictor runs during trace annotation, not inside the engine:
+// each load is classified once, in program order, against the
+// annotator-private ground-truth last-store map, and the resulting
+// Outcome is baked into the annotated stream. The epoch-model engine
+// then charges recovery or serialization cost per its configured
+// disambiguation mode (see core.DisambMode) without re-running the
+// predictor — so annotated traces stay cacheable under a pure
+// configuration key, exactly like the prefetchers.
+package storeset
+
+import "fmt"
+
+// Outcome classifies one load's dependence prediction against ground
+// truth. It is stored in the annotated stream as a 2-bit field, so new
+// values must stay within [0,3].
+type Outcome uint8
+
+const (
+	// DepNone: no dependence predicted and none existed.
+	DepNone Outcome = iota
+	// DepHit: a dependence was predicted and matched the actual producing
+	// store — the load waits exactly as the oracle would.
+	DepHit
+	// DepViolation: the load actually depended on an earlier store that
+	// the predictor did not (correctly) identify. Speculative issue would
+	// have read stale data; the machine pays a recovery flush.
+	DepViolation
+	// DepFalse: a dependence was predicted but none existed — the load is
+	// needlessly serialized behind the last store.
+	DepFalse
+
+	numOutcomes = int(DepFalse) + 1
+)
+
+var outcomeNames = [numOutcomes]string{"None", "Hit", "Violation", "False"}
+
+// String names the outcome.
+func (o Outcome) String() string {
+	if int(o) < numOutcomes {
+		return outcomeNames[o]
+	}
+	return fmt.Sprintf("Outcome(%d)", uint8(o))
+}
+
+// Config sizes the predictor tables.
+type Config struct {
+	// SSITSize is the Store Set ID Table entry count (power of two).
+	SSITSize int
+	// LFSTSize is the Last Fetched Store Table entry count (power of
+	// two); it also bounds the store-set ID space and the confidence
+	// table.
+	LFSTSize int
+	// ConfThreshold is the minimum per-set confidence at which a
+	// predicted dependence is acted on; 0 predicts on any assigned set.
+	ConfThreshold uint8
+}
+
+// DefaultConfig returns the Chrysos & Emer paper's sizing: 4K-entry
+// SSIT, 1K-entry LFST, predict on any assigned set.
+func DefaultConfig() Config {
+	return Config{SSITSize: 4096, LFSTSize: 1024}
+}
+
+// Validate reports sizing errors.
+func (c Config) Validate() error {
+	if c.SSITSize <= 0 || c.SSITSize&(c.SSITSize-1) != 0 {
+		return fmt.Errorf("storeset: SSIT size %d not a positive power of two", c.SSITSize)
+	}
+	if c.LFSTSize <= 0 || c.LFSTSize&(c.LFSTSize-1) != 0 {
+		return fmt.Errorf("storeset: LFST size %d not a positive power of two", c.LFSTSize)
+	}
+	return nil
+}
+
+// truth table geometry mirrors core.StoreTable: open-addressed, 0.5 max
+// load factor, full clear past 64K distinct keys (stale producers
+// resolve as retired).
+const (
+	truthClear = 1 << 16
+	truthBits  = 17
+	truthSize  = 1 << truthBits
+	truthMask  = truthSize - 1
+)
+
+// truthTable is the annotator-side oracle: the program-order index and
+// PC of the most recent store to each 8-byte-aligned address.
+type truthTable struct {
+	keys []uint64 // key+1; 0 means empty
+	idx  []int64
+	pc   []uint64
+	used int
+}
+
+func (t *truthTable) init() {
+	t.keys = make([]uint64, truthSize)
+	t.idx = make([]int64, truthSize)
+	t.pc = make([]uint64, truthSize)
+}
+
+func truthSlot(key uint64) uint64 {
+	return (key * 0x9E3779B97F4A7C15) >> (64 - truthBits) & truthMask
+}
+
+func (t *truthTable) put(key uint64, idx int64, pc uint64) {
+	k := key + 1
+	for i := truthSlot(key); ; i = (i + 1) & truthMask {
+		switch t.keys[i] {
+		case k:
+			t.idx[i], t.pc[i] = idx, pc
+			return
+		case 0:
+			t.keys[i] = k
+			t.idx[i], t.pc[i] = idx, pc
+			t.used++
+			if t.used > truthClear {
+				for j := range t.keys {
+					t.keys[j] = 0
+				}
+				t.used = 0
+			}
+			return
+		}
+	}
+}
+
+func (t *truthTable) get(key uint64) (idx int64, pc uint64, ok bool) {
+	k := key + 1
+	for i := truthSlot(key); ; i = (i + 1) & truthMask {
+		switch t.keys[i] {
+		case k:
+			return t.idx[i], t.pc[i], true
+		case 0:
+			return 0, 0, false
+		}
+	}
+}
+
+// Predictor is one store-set predictor instance. It is not safe for
+// concurrent use; each annotator owns its own.
+type Predictor struct {
+	cfg      Config
+	ssitMask uint64
+	ssit     []int32 // store-set ID per PC slot, -1 when unassigned
+	lfst     []int64 // last fetched store index per set, -1 when none
+	conf     []uint8 // saturating per-set confidence
+	nextSSID uint32
+	trained  bool
+	truth    truthTable
+}
+
+// New builds a predictor; it panics on invalid sizing (configurations
+// are produced by code, not end users), matching core.NewEngine.
+func New(cfg Config) *Predictor {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	p := &Predictor{
+		cfg:      cfg,
+		ssitMask: uint64(cfg.SSITSize) - 1,
+		ssit:     make([]int32, cfg.SSITSize),
+		lfst:     make([]int64, cfg.LFSTSize),
+		conf:     make([]uint8, cfg.LFSTSize),
+	}
+	for i := range p.ssit {
+		p.ssit[i] = -1
+	}
+	for i := range p.lfst {
+		p.lfst[i] = -1
+	}
+	p.truth.init()
+	return p
+}
+
+// Config returns the sizing the predictor was built with.
+func (p *Predictor) Config() Config { return p.cfg }
+
+// Untrained reports whether the predictor has observed no memory
+// operations yet, so a fresh instance of the same Config is equivalent
+// (the cache-keyability test, like the prefetchers').
+func (p *Predictor) Untrained() bool { return !p.trained }
+
+// slot maps a PC to its SSIT index. PCs are 4-byte aligned; the
+// Fibonacci multiply spreads the dense PC footprint across the table.
+func (p *Predictor) slot(pc uint64) uint64 {
+	return ((pc >> 2) * 0x9E3779B97F4A7C15 >> 17) & p.ssitMask
+}
+
+// ObserveStore trains the predictor with store idx at pc writing ea: it
+// becomes the ground-truth producer for the address, and the last
+// fetched store of its set (if it belongs to one).
+func (p *Predictor) ObserveStore(pc, ea uint64, idx int64) {
+	p.trained = true
+	p.truth.put(ea>>3, idx, pc)
+	if id := p.ssit[p.slot(pc)]; id >= 0 {
+		p.lfst[id] = idx
+	}
+}
+
+// ObserveLoad classifies load idx at pc reading ea against ground truth
+// and trains the tables: violations merge the load and store into one
+// set (the Chrysos & Emer rule) and raise its confidence; false
+// dependences decay it.
+func (p *Predictor) ObserveLoad(pc, ea uint64, idx int64) Outcome {
+	p.trained = true
+	prodIdx, prodPC, hasProd := p.truth.get(ea >> 3)
+	ls := p.ssit[p.slot(pc)]
+	predIdx := int64(-1)
+	if ls >= 0 && p.conf[ls] >= p.cfg.ConfThreshold {
+		predIdx = p.lfst[ls]
+	}
+	switch {
+	case hasProd && predIdx == prodIdx:
+		p.bump(ls)
+		return DepHit
+	case hasProd:
+		p.merge(pc, prodPC, prodIdx)
+		return DepViolation
+	case predIdx >= 0:
+		p.decay(ls)
+		return DepFalse
+	default:
+		return DepNone
+	}
+}
+
+// merge assigns the violating load and its producing store to one store
+// set: the smaller existing ID wins when both have one, a fresh ID is
+// allocated round-robin when neither does. The set's LFST entry is
+// pointed at the store that caused the violation (the recovery resync)
+// and its confidence raised.
+func (p *Predictor) merge(loadPC, storePC uint64, storeIdx int64) {
+	li, si := p.slot(loadPC), p.slot(storePC)
+	ls, ss := p.ssit[li], p.ssit[si]
+	var id int32
+	switch {
+	case ls < 0 && ss < 0:
+		id = int32(p.nextSSID) & int32(len(p.lfst)-1)
+		p.nextSSID++
+	case ls < 0:
+		id = ss
+	case ss < 0 || ls < ss:
+		id = ls
+	default:
+		id = ss
+	}
+	p.ssit[li], p.ssit[si] = id, id
+	p.lfst[id] = storeIdx
+	p.bump(id)
+}
+
+func (p *Predictor) bump(id int32) {
+	if id >= 0 && p.conf[id] < 0xFF {
+		p.conf[id]++
+	}
+}
+
+func (p *Predictor) decay(id int32) {
+	if id >= 0 && p.conf[id] > 0 {
+		p.conf[id]--
+	}
+}

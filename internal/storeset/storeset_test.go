@@ -1,0 +1,278 @@
+package storeset
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// refPredictor is a map-based reference implementation of the exact
+// store-set semantics: same SSIT slot aliasing, same merge rule, same
+// confidence behaviour, with the open-addressed ground-truth table
+// replaced by a plain map carrying the same clear-at-64K bound.
+type refStore struct {
+	idx int64
+	pc  uint64
+}
+
+type refPredictor struct {
+	cfg   Config
+	ssit  map[uint64]int32
+	lfst  map[int32]int64
+	conf  map[int32]uint8
+	next  uint32
+	truth map[uint64]refStore
+}
+
+func newRef(cfg Config) *refPredictor {
+	return &refPredictor{
+		cfg:   cfg,
+		ssit:  make(map[uint64]int32),
+		lfst:  make(map[int32]int64),
+		conf:  make(map[int32]uint8),
+		truth: make(map[uint64]refStore),
+	}
+}
+
+func (r *refPredictor) slot(pc uint64) uint64 {
+	return ((pc >> 2) * 0x9E3779B97F4A7C15 >> 17) & (uint64(r.cfg.SSITSize) - 1)
+}
+
+func (r *refPredictor) observeStore(pc, ea uint64, idx int64) {
+	key := ea >> 3
+	_, existed := r.truth[key]
+	r.truth[key] = refStore{idx, pc}
+	if !existed && len(r.truth) > truthClear {
+		r.truth = make(map[uint64]refStore)
+	}
+	if id, ok := r.ssit[r.slot(pc)]; ok {
+		r.lfst[id] = idx
+	}
+}
+
+func (r *refPredictor) observeLoad(pc, ea uint64, idx int64) Outcome {
+	prod, hasProd := r.truth[ea>>3]
+	ls, hasSet := r.ssit[r.slot(pc)]
+	predIdx := int64(-1)
+	if hasSet && r.conf[ls] >= r.cfg.ConfThreshold {
+		if v, ok := r.lfst[ls]; ok {
+			predIdx = v
+		}
+	}
+	switch {
+	case hasProd && predIdx == prod.idx:
+		if r.conf[ls] < 0xFF {
+			r.conf[ls]++
+		}
+		return DepHit
+	case hasProd:
+		li, si := r.slot(pc), r.slot(prod.pc)
+		ls, hasL := r.ssit[li]
+		ss, hasS := r.ssit[si]
+		var id int32
+		switch {
+		case !hasL && !hasS:
+			id = int32(r.next) & int32(r.cfg.LFSTSize-1)
+			r.next++
+		case !hasL:
+			id = ss
+		case !hasS || ls < ss:
+			id = ls
+		default:
+			id = ss
+		}
+		r.ssit[li], r.ssit[si] = id, id
+		r.lfst[id] = prod.idx
+		if r.conf[id] < 0xFF {
+			r.conf[id]++
+		}
+		return DepViolation
+	case predIdx >= 0:
+		if r.conf[ls] > 0 {
+			r.conf[ls]--
+		}
+		return DepFalse
+	default:
+		return DepNone
+	}
+}
+
+// TestPredictorMatchesMapReferenceRandom drives random load/store
+// sequences through the flat predictor and the map reference in
+// lock-step across random geometries. PC and address spaces are drawn
+// small relative to the tables so that SSIT aliasing, set merging and
+// confidence churn all fire constantly.
+func TestPredictorMatchesMapReferenceRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	for trial := 0; trial < 60; trial++ {
+		cfg := Config{
+			SSITSize:      1 << (3 + rng.Intn(8)),
+			LFSTSize:      1 << (2 + rng.Intn(6)),
+			ConfThreshold: uint8(rng.Intn(4)),
+		}
+		p := New(cfg)
+		ref := newRef(cfg)
+		if !p.Untrained() {
+			t.Fatal("fresh predictor reports trained")
+		}
+		pcSpace := uint64(4 * (1 + rng.Intn(cfg.SSITSize)))
+		addrSpace := uint64(8 * (4 + rng.Intn(256)))
+		for i := int64(0); i < 6000; i++ {
+			pc := uint64(rng.Int63()) % pcSpace * 4
+			ea := uint64(rng.Int63()) % addrSpace * 8
+			if rng.Intn(3) == 0 {
+				p.ObserveStore(pc, ea, i)
+				ref.observeStore(pc, ea, i)
+				continue
+			}
+			got := p.ObserveLoad(pc, ea, i)
+			want := ref.observeLoad(pc, ea, i)
+			if got != want {
+				t.Fatalf("trial %d (cfg=%+v) op %d pc=%#x ea=%#x: outcome %v, reference %v",
+					trial, cfg, i, pc, ea, got, want)
+			}
+		}
+		if p.Untrained() {
+			t.Fatal("exercised predictor reports untrained")
+		}
+	}
+}
+
+// TestPredictorLearnsDependence pins the training arc on a single
+// store→load pair: first encounter is a violation (nothing predicted),
+// every later encounter is a hit — and an unrelated load never pays for
+// the pair's store set.
+func TestPredictorLearnsDependence(t *testing.T) {
+	p := New(DefaultConfig())
+	const storePC, loadPC, otherPC = 0x1000, 0x2000, 0x3000
+	idx := int64(0)
+	p.ObserveStore(storePC, 0x800, idx)
+	idx++
+	if got := p.ObserveLoad(loadPC, 0x800, idx); got != DepViolation {
+		t.Fatalf("first dependent load: %v, want DepViolation", got)
+	}
+	for round := 0; round < 5; round++ {
+		idx++
+		p.ObserveStore(storePC, 0x800, idx)
+		idx++
+		if got := p.ObserveLoad(loadPC, 0x800, idx); got != DepHit {
+			t.Fatalf("round %d dependent load: %v, want DepHit", round, got)
+		}
+		idx++
+		if got := p.ObserveLoad(otherPC, 0x9000+uint64(round)*64, idx); got != DepNone {
+			t.Fatalf("round %d independent load: %v, want DepNone", round, got)
+		}
+	}
+}
+
+// TestPredictorFalseDependenceDecays pins the confidence decay: once a
+// load's set keeps predicting dependences that never materialize, the
+// counter decays below the threshold and the set goes quiet.
+func TestPredictorFalseDependenceDecays(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.ConfThreshold = 1
+	p := New(cfg)
+	const storePC, loadPC = 0x1000, 0x2000
+	idx := int64(0)
+	// Train the pair: violation, then hits push confidence up to 3.
+	p.ObserveStore(storePC, 0x800, idx)
+	idx++
+	p.ObserveLoad(loadPC, 0x800, idx)
+	for i := 0; i < 2; i++ {
+		idx++
+		p.ObserveStore(storePC, 0x800, idx)
+		idx++
+		if got := p.ObserveLoad(loadPC, 0x800, idx); got != DepHit {
+			t.Fatalf("training hit %d: %v", i, got)
+		}
+	}
+	// Now the load reads addresses the store never wrote: false
+	// dependences until confidence decays below the threshold, DepNone
+	// after.
+	falses := 0
+	for i := 0; i < 8; i++ {
+		idx++
+		got := p.ObserveLoad(loadPC, 0x10000+uint64(i)*64, idx)
+		switch got {
+		case DepFalse:
+			falses++
+		case DepNone:
+			if falses == 0 {
+				t.Fatal("set went quiet before paying any false dependence")
+			}
+			return
+		default:
+			t.Fatalf("independent load %d: %v", i, got)
+		}
+	}
+	t.Fatalf("confidence never decayed below threshold (%d false dependences)", falses)
+}
+
+// TestConfigValidate rejects non-power-of-two and non-positive sizings.
+func TestConfigValidate(t *testing.T) {
+	good := DefaultConfig()
+	if err := good.Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+	bad := []Config{
+		{SSITSize: 0, LFSTSize: 16},
+		{SSITSize: 48, LFSTSize: 16},
+		{SSITSize: 64, LFSTSize: 0},
+		{SSITSize: 64, LFSTSize: 3},
+		{SSITSize: -64, LFSTSize: 16},
+	}
+	for _, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("config %+v validated", cfg)
+		}
+	}
+}
+
+// FuzzStoreSetUpdate feeds arbitrary operation tapes through the
+// SSIT/LFST update path against the map reference: every classification
+// must agree and the tables must stay in range.
+func FuzzStoreSetUpdate(f *testing.F) {
+	f.Add([]byte{0x01, 0x10, 0x20, 0x81, 0x10, 0x20, 0x02, 0x30, 0x40})
+	f.Add([]byte{0x80, 0xFF, 0x00, 0x00, 0x01, 0x02})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 3 {
+			return
+		}
+		cfg := Config{
+			SSITSize:      1 << (2 + int(data[0]&0x07)),
+			LFSTSize:      1 << (2 + int(data[1]&0x03)),
+			ConfThreshold: data[2] & 0x07,
+		}
+		p := New(cfg)
+		ref := newRef(cfg)
+		idx := int64(0)
+		for i := 3; i+2 < len(data); i += 3 {
+			op, b1, b2 := data[i], data[i+1], data[i+2]
+			pc := uint64(b1) * 4
+			ea := uint64(b2) * 8
+			idx++
+			if op&0x80 != 0 {
+				p.ObserveStore(pc, ea, idx)
+				ref.observeStore(pc, ea, idx)
+				continue
+			}
+			got := p.ObserveLoad(pc, ea, idx)
+			want := ref.observeLoad(pc, ea, idx)
+			if got != want {
+				t.Fatalf("op %d pc=%#x ea=%#x: outcome %v, reference %v", i, pc, ea, got, want)
+			}
+			if int(got) >= numOutcomes {
+				t.Fatalf("outcome %d out of range", got)
+			}
+		}
+		for i, id := range p.ssit {
+			if id < -1 || int(id) >= cfg.LFSTSize {
+				t.Fatalf("ssit[%d]=%d out of range (LFST size %d)", i, id, cfg.LFSTSize)
+			}
+		}
+		for id, last := range p.lfst {
+			if last < -1 || last > idx {
+				t.Fatalf("lfst[%d]=%d outside observed index range [%d,%d]", id, last, -1, idx)
+			}
+		}
+	})
+}
