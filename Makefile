@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet bench bench-full bench-compare bench-gate bench-baseline profile fuzz serve-smoke clean
+.PHONY: all build test cover race vet bench bench-full bench-compare bench-gate bench-baseline profile fuzz serve-smoke clean
 
 all: build test vet
 
@@ -20,18 +20,25 @@ test:
 	$(GO) test -race ./internal/experiments -run 'TestGangMatchesSequential|TestExtStoreSets'
 	$(GO) test -race ./internal/core -run 'TestRunGangDivergentMatchesSequential|TestDisambMatchesBruteForceReferenceRandom'
 	$(GO) test -race ./internal/storeset
+	$(GO) test -race ./internal/smt -run 'TestSchedBracketingRandom|TestRoundRobinK1BitIdentity'
 	$(GO) test -race ./internal/mem ./internal/prefetch ./internal/annotate \
 		-run 'MatchesMapReference|ZeroAllocSteadyState|AnnotateIntoMatchesNext'
 	$(MAKE) bench-gate
 
 bench-gate:
-	$(GO) run ./cmd/bench -scale quick -skip-sweep -skip-capture -skip-gang -skip-storesets \
+	$(GO) run ./cmd/bench -scale quick -skip-sweep -skip-capture -skip-gang -skip-storesets -skip-smtsched \
 		-out /tmp/bench_gate.json -compare BENCH_BASELINE.json -gate-pct 50
 
 # bench-baseline refreshes the committed gate baseline. Run it on the
 # machine class the gate will run on, with the tree otherwise idle.
 bench-baseline:
-	$(GO) run ./cmd/bench -scale quick -skip-sweep -skip-capture -skip-gang -skip-storesets -out BENCH_BASELINE.json
+	$(GO) run ./cmd/bench -scale quick -skip-sweep -skip-capture -skip-gang -skip-storesets -skip-smtsched -out BENCH_BASELINE.json
+
+# cover prints per-package statement coverage and gates the scheduled-SMT
+# package (internal/smt) against the floor in scripts/cover.sh;
+# MLPSIM_COVER_GATE=off demotes the gate to report-only.
+cover:
+	sh scripts/cover.sh
 
 # Concurrency-sensitive packages: the annotated-trace cache (singleflight,
 # mmap, flock-coordinated disk spill) and the experiment worker pool that
@@ -43,20 +50,21 @@ vet:
 	$(GO) vet ./...
 
 # Performance report: micro-benchmarks (engine, gang dispatch at
-# K=1/4/16/32/64), the monolithic-vs-segmented capture comparison, the
-# sequential-vs-gang Figure 4 sweep, the ext-storesets disambiguation
-# sweep, plus the uncached / in-heap-cached / memory-mapped Figure 4+5+6
-# sweeps. `make bench` is the quick loop; `make bench-full` writes the
-# committed BENCH_8.json at paper scale, and `make bench-compare`
-# additionally prints deltas against BENCH_7.json.
+# K=1/4/16/32/64, the SMT policy scheduler), the monolithic-vs-segmented
+# capture comparison, the sequential-vs-gang Figure 4 sweep, the
+# ext-storesets disambiguation and ext-smtsched policy sweeps, plus the
+# uncached / in-heap-cached / memory-mapped Figure 4+5+6 sweeps. `make
+# bench` is the quick loop; `make bench-full` writes the committed
+# BENCH_9.json at paper scale, and `make bench-compare` additionally
+# prints deltas against BENCH_8.json.
 bench:
 	$(GO) run ./cmd/bench -scale quick -out /tmp/bench_quick.json
 
 bench-full:
-	$(GO) run ./cmd/bench -scale default -out BENCH_8.json
+	$(GO) run ./cmd/bench -scale default -out BENCH_9.json
 
 bench-compare:
-	$(GO) run ./cmd/bench -scale default -out BENCH_8.json -compare BENCH_7.json
+	$(GO) run ./cmd/bench -scale default -out BENCH_9.json -compare BENCH_8.json
 
 # profile writes CPU and heap profiles for the engine hot loop, the gang
 # sweep end to end, and the SoA gang stepper in isolation (construction

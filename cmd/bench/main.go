@@ -4,10 +4,12 @@
 // writer behind MLPCOLS2), the Figure 4+5+6 sweep three ways — uncached,
 // with the in-heap annotated-trace cache, and replaying memory-mapped
 // spills from a warm on-disk cache — a sequential-vs-gang-dispatch
-// comparison of the Figure 4 sweep, and the ext-storesets memory
-// disambiguation sweep (bracketing check plus dep-event totals), then
-// writes a JSON report with ns/op, wall times, peak Go-heap occupancy
-// and headline MLP metrics.
+// comparison of the Figure 4 sweep, the ext-storesets memory
+// disambiguation sweep (bracketing check plus dep-event totals), and the
+// ext-smtsched scheduled-SMT policy sweep (every policy's aggregate MLP
+// checked against its point's combined bounds), then writes a JSON
+// report with ns/op, wall times, peak Go-heap occupancy and headline
+// MLP metrics.
 //
 // With -compare and -gate-pct the command doubles as a regression gate:
 // it exits non-zero when any micro-benchmark's ns/op or a sweep heap
@@ -26,6 +28,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math/rand"
 	"os"
 	"path/filepath"
 	"reflect"
@@ -37,6 +40,7 @@ import (
 	"mlpsim/internal/atrace"
 	"mlpsim/internal/core"
 	"mlpsim/internal/experiments"
+	"mlpsim/internal/smt"
 	"mlpsim/internal/workload"
 	"testing"
 )
@@ -98,6 +102,21 @@ type storeSetsResult struct {
 	Bracketed      bool    `json:"bracketed"`
 }
 
+// smtSchedResult records the ext-smtsched scheduled-SMT policy sweep.
+// Bracketed asserts the exhibit's physical invariant — every policy's
+// aggregate MLP lies inside its point's [CombinedLower, CombinedUpper]
+// bracket — and the scheduler-event totals pin policy behaviour across
+// report generations.
+type smtSchedResult struct {
+	Rows       int     `json:"rows"`
+	Seconds    float64 `json:"seconds"`
+	Switches   uint64  `json:"switches"`
+	Bursts     uint64  `json:"bursts"`
+	Overlapped uint64  `json:"overlapped"`
+	FloorPicks uint64  `json:"floor_picks"`
+	Bracketed  bool    `json:"bracketed"`
+}
+
 // captureResult records the monolithic-vs-segmented capture comparison.
 // The speedup scales with cores (each worker runs an independent
 // generation->annotation->encoding pipeline); NumCPU records the machine
@@ -136,6 +155,7 @@ type report struct {
 	Sweep      *sweepResult           `json:"sweep,omitempty"`
 	GangSweep  *gangSweepResult       `json:"gang_sweep,omitempty"`
 	StoreSets  *storeSetsResult       `json:"store_sets,omitempty"`
+	SMTSched   *smtSchedResult        `json:"smt_sched,omitempty"`
 	MLP        map[string]float64     `json:"mlp"`
 }
 
@@ -274,6 +294,29 @@ func microBenchmarks(w workload.Config) map[string]benchResult {
 			}
 		}))
 	}
+	// Pure policy replay over fixed synthetic per-thread epoch traces:
+	// one op = one full Schedule pass (K=4 threads, 4k epochs each) under
+	// the most stateful policy. The trace pre-pass is the annotator's
+	// cost, already covered above; this pins the scheduler itself.
+	out["SMTSchedule"] = toResult(testing.Benchmark(func(b *testing.B) {
+		rng := rand.New(rand.NewSource(9))
+		traces := make([][]smt.EpochRec, 4)
+		for t := range traces {
+			traces[t] = make([]smt.EpochRec, 4000)
+			for i := range traces[t] {
+				traces[t][i] = smt.EpochRec{
+					Insts:     1 + rng.Int63n(200),
+					Accesses:  uint64(rng.Intn(6)),
+					Unretired: rng.Int63n(128),
+				}
+			}
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			smt.Schedule(traces, smt.PolicyMLPAware, 64, 512, 0.125)
+		}
+	}))
 	return out
 }
 
@@ -558,6 +601,44 @@ func runStoreSets(s experiments.Setup, mlp map[string]float64) *storeSetsResult 
 	return res
 }
 
+// runSMTSched times the ext-smtsched scheduled-SMT sweep, checks every
+// policy row against its point's combined bounds, and records the
+// heterogeneous-mix aggregate MLPs as headline metrics for the CHANGED
+// comparison.
+func runSMTSched(s experiments.Setup, mlp map[string]float64) *smtSchedResult {
+	s.SMTSched = &experiments.SMTSchedStats{}
+	fmt.Fprintln(os.Stderr, "bench: running ext-smtsched scheduled-SMT policy sweep...")
+	start := time.Now()
+	ext := experiments.RunExtSMTSched(s)
+	d := time.Since(start)
+
+	const eps = 1e-9
+	bracketed := true
+	for _, r := range ext.Rows {
+		if r.AggMLP < r.CombinedLower-eps || r.AggMLP > r.CombinedUpper+eps {
+			bracketed = false
+			fmt.Fprintf(os.Stderr, "bench: warning: %s K=%d %s AggMLP %.4f outside [%.4f, %.4f]\n",
+				r.Mix, r.Threads, r.Policy, r.AggMLP, r.CombinedLower, r.CombinedUpper)
+		}
+		if r.Mix == "hetero" {
+			mlp[fmt.Sprintf("smt/%s%d/%s", r.Mix, r.Threads, r.Policy)] = r.AggMLP
+		}
+	}
+
+	res := &smtSchedResult{
+		Rows:       len(ext.Rows),
+		Seconds:    d.Seconds(),
+		Switches:   s.SMTSched.Switches.Load(),
+		Bursts:     s.SMTSched.Bursts.Load(),
+		Overlapped: s.SMTSched.Overlapped.Load(),
+		FloorPicks: s.SMTSched.FloorPicks.Load(),
+		Bracketed:  bracketed,
+	}
+	fmt.Fprintf(os.Stderr, "bench: smt-sched sweep: %d rows in %.1fs, %d switches, %d bursts (%d overlapped), %d floor picks, bracketed: %v\n",
+		res.Rows, res.Seconds, res.Switches, res.Bursts, res.Overlapped, res.FloorPicks, res.Bracketed)
+	return res
+}
+
 // maxStoreSetSSIT is the largest swept SSIT size (the headline
 // geometry for the MLP metrics map).
 func maxStoreSetSSIT() int {
@@ -656,6 +737,11 @@ func gateViolations(old, cur report, pct float64) []string {
 	if cur.StoreSets != nil && !cur.StoreSets.Bracketed {
 		out = append(out, "store-sets sweep: a predictor point's MLP fell outside the conservative/oracle bracket")
 	}
+	// Same for scheduled SMT: every policy's aggregate MLP must lie inside
+	// its sweep point's combined lower/upper bounds.
+	if cur.SMTSched != nil && !cur.SMTSched.Bracketed {
+		out = append(out, "smt-sched sweep: a policy's aggregate MLP fell outside its combined-bounds bracket")
+	}
 	return out
 }
 
@@ -733,6 +819,16 @@ func printComparison(path string, old, cur report) {
 				c.Rows, c.Seconds, c.DepMispredicts, c.DepSerializes, c.Bracketed, old.Schema)
 		}
 	}
+	if cur.SMTSched != nil {
+		c := cur.SMTSched
+		if old.SMTSched != nil {
+			fmt.Printf("  smt-sched sweep  %8d -> %8d switches, %d -> %d overlapped, bracketed: %v\n",
+				old.SMTSched.Switches, c.Switches, old.SMTSched.Overlapped, c.Overlapped, c.Bracketed)
+		} else {
+			fmt.Printf("  smt-sched sweep  %8d rows in %.1f s, %d switches, %d overlapped, bracketed: %v (no baseline in %s)\n",
+				c.Rows, c.Seconds, c.Switches, c.Overlapped, c.Bracketed, old.Schema)
+		}
+	}
 	mismatch := false
 	for k, v := range cur.MLP {
 		if ov, ok := old.MLP[k]; ok && ov != v {
@@ -759,12 +855,13 @@ func sameCells(a, b experiments.Figure4) bool {
 
 func main() {
 	scale := flag.String("scale", "quick", "sweep scale: quick or default")
-	out := flag.String("out", "BENCH_8.json", "output JSON path")
+	out := flag.String("out", "BENCH_9.json", "output JSON path")
 	seed := flag.Int64("seed", 1, "workload seed")
 	skipSweep := flag.Bool("skip-sweep", false, "skip the cached-vs-uncached sweep comparison")
 	skipCapture := flag.Bool("skip-capture", false, "skip the monolithic-vs-segmented capture comparison")
 	skipGang := flag.Bool("skip-gang", false, "skip the sequential-vs-gang dispatch comparison")
 	skipStoreSets := flag.Bool("skip-storesets", false, "skip the ext-storesets disambiguation sweep")
+	skipSMTSched := flag.Bool("skip-smtsched", false, "skip the ext-smtsched scheduled-SMT policy sweep")
 	compare := flag.String("compare", "", "print deltas against a previous report (e.g. BENCH_1.json)")
 	gatePct := flag.Float64("gate-pct", 0, "with -compare: exit 1 if any ns/op or heap-peak metric grew more than this percent (0 = report only; MLPSIM_BENCH_GATE=off disables)")
 	cacheDir := flag.String("cache-dir", "", "disk-cache directory for the mapped sweep (default: a temp dir, removed on exit)")
@@ -782,7 +879,7 @@ func main() {
 	}
 
 	rep := report{
-		Schema:  "mlpsim-bench/8",
+		Schema:  "mlpsim-bench/9",
 		Scale:   *scale,
 		Seed:    *seed,
 		Warmup:  s.Warmup,
@@ -857,6 +954,12 @@ func main() {
 	// shared trace cache and inflate the cached/mapped heap peaks.
 	if !*skipStoreSets {
 		rep.StoreSets = runStoreSets(s, rep.MLP)
+	}
+
+	// Same reasoning: the scheduled-SMT pre-pass annotates K interleaved
+	// streams per point, so it runs after the heap-peak measurements too.
+	if !*skipSMTSched {
+		rep.SMTSched = runSMTSched(s, rep.MLP)
 	}
 
 	var violations []string

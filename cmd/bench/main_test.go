@@ -125,6 +125,18 @@ func TestGateViolations(t *testing.T) {
 		}
 	})
 
+	t.Run("unbracketedSMTSchedFlagged", func(t *testing.T) {
+		cur := report{SMTSched: &smtSchedResult{Rows: 18, Bracketed: false}}
+		v := gateViolations(report{}, cur, 50)
+		if len(v) != 1 || !strings.Contains(v[0], "combined-bounds bracket") {
+			t.Errorf("expected one smt-sched bracketing violation, got %v", v)
+		}
+		cur.SMTSched.Bracketed = true
+		if v := gateViolations(report{}, cur, 50); len(v) != 0 {
+			t.Errorf("bracketed smt-sched sweep must pass, got %v", v)
+		}
+	})
+
 	t.Run("deterministicOrder", func(t *testing.T) {
 		cur := report{
 			Benchmarks: map[string]benchResult{

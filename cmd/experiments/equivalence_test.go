@@ -72,6 +72,9 @@ func TestServerMatchesCLI(t *testing.T) {
 		{"table6", ""},
 		// Mixed SoA/scalar gangs on the daemon side vs sequential CLI.
 		{"ext-storesets", "-gang 1"},
+		// Scheduled-SMT policy sweep: pins the trace pre-pass + policy
+		// replays deterministic across the process boundary.
+		{"ext-smtsched", ""},
 	}
 
 	// CLI side: Quick scale (seed 1, 300k warm-up, 1M measured).

@@ -1,0 +1,53 @@
+package core_test
+
+import (
+	"reflect"
+	"testing"
+
+	"mlpsim/internal/annotate"
+	"mlpsim/internal/core"
+	"mlpsim/internal/workload"
+)
+
+// TestStepperMatchesRun pins that stepping an engine epoch-at-a-time
+// through the exported cursor is bit-identical to Engine.Run, and that
+// the per-epoch observables are monotone and land on the final result's
+// totals.
+func TestStepperMatchesRun(t *testing.T) {
+	for _, w := range workload.Presets(11) {
+		newSrc := func() core.AnnotatedSource {
+			a := annotate.New(workload.MustNew(w), annotate.Config{})
+			a.Warm(100_000)
+			return a
+		}
+		cfg := core.Default()
+		cfg.MaxInstructions = 300_000
+
+		want := core.NewEngine(newSrc(), cfg).Run()
+
+		st := core.NewStepper(newSrc(), cfg)
+		var prevFetch int64
+		var prevAcc, prevEp uint64
+		steps := 0
+		for st.Step() {
+			steps++
+			if st.Fetched() < prevFetch || st.Accesses() < prevAcc || st.Epochs() < prevEp {
+				t.Fatalf("%s: stepper observables went backwards at step %d", w.Name, steps)
+			}
+			if st.Unretired() < 0 || st.Unretired() > st.Fetched() {
+				t.Fatalf("%s: unretired %d outside [0, fetched %d]", w.Name, st.Unretired(), st.Fetched())
+			}
+			prevFetch, prevAcc, prevEp = st.Fetched(), st.Accesses(), st.Epochs()
+		}
+		got := st.Finish()
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("%s: stepped result diverged from Run:\n%+v\nvs\n%+v", w.Name, got, want)
+		}
+		if st.Accesses() != got.Accesses || st.Epochs() != got.Epochs || st.Fetched() != got.Instructions {
+			t.Fatalf("%s: stepper totals disagree with the sealed result", w.Name)
+		}
+		if steps == 0 {
+			t.Fatalf("%s: stepper made no steps", w.Name)
+		}
+	}
+}

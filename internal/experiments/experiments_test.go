@@ -409,8 +409,8 @@ func TestFigure11Performance(t *testing.T) {
 
 func TestRegistryComplete(t *testing.T) {
 	all := All()
-	if len(all) != 22 {
-		t.Fatalf("registry has %d exhibits, want 22 (14 paper + 8 extensions)", len(all))
+	if len(all) != 23 {
+		t.Fatalf("registry has %d exhibits, want 23 (14 paper + 9 extensions)", len(all))
 	}
 	want := []string{"table1", "figure2", "table3", "table4", "table5", "figure4",
 		"figure5", "figure6", "figure7", "figure8", "table6", "figure9", "figure10", "figure11"}

@@ -1,0 +1,81 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"mlpsim/internal/smt"
+)
+
+// TestExtSMTSchedBracketsBounds is the exhibit's headline property,
+// asserted per sweep point: every policy's aggregate MLP lands inside
+// its point's [CombinedLower, CombinedUpper] bracket, the bounds are
+// identical across the point's policies (they share one trace
+// pre-pass), and fairness shares are sane. The per-policy counters must
+// fold into Setup.SMTSched.
+func TestExtSMTSchedBracketsBounds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-thread passes")
+	}
+	s := Quick(51)
+	s.Warmup = 60_000
+	s.Measure = 240_000
+	s.SMTSched = &SMTSchedStats{}
+	res := RunExtSMTSched(s)
+
+	pols := smt.PolicyNames()
+	wantRows := 2 * len(ExtSMTSchedThreads) * len(pols)
+	if len(res.Rows) != wantRows {
+		t.Fatalf("rows = %d, want %d", len(res.Rows), wantRows)
+	}
+
+	const eps = 1e-9
+	var sumSwitches, sumBursts, sumOverlapped, sumFloor uint64
+	for i, r := range res.Rows {
+		if r.AggMLP < r.CombinedLower-eps || r.AggMLP > r.CombinedUpper+eps {
+			t.Errorf("%s K=%d %s: AggMLP %.4f outside [%.4f, %.4f]",
+				r.Mix, r.Threads, r.Policy, r.AggMLP, r.CombinedLower, r.CombinedUpper)
+		}
+		if r.Bursts == 0 || r.AggMLP <= 0 {
+			t.Errorf("%s K=%d %s: empty point (%d bursts, AggMLP %.4f)",
+				r.Mix, r.Threads, r.Policy, r.Bursts, r.AggMLP)
+		}
+		if r.MinShare < 0 || r.MinShare > r.MaxShare || r.MaxShare > 1+eps {
+			t.Errorf("%s K=%d %s: shares [%.4f, %.4f] implausible",
+				r.Mix, r.Threads, r.Policy, r.MinShare, r.MaxShare)
+		}
+		if want := pols[i%len(pols)]; r.Policy != want {
+			t.Errorf("row %d policy %q, want %q (rows must be in policy order)", i, r.Policy, want)
+		}
+		// Policies at the same point share one trace pre-pass: identical
+		// bounds.
+		first := res.Rows[i-i%len(pols)]
+		if r.CombinedLower != first.CombinedLower || r.CombinedUpper != first.CombinedUpper {
+			t.Errorf("%s K=%d %s: bounds differ from the point's first policy", r.Mix, r.Threads, r.Policy)
+		}
+		sumSwitches += r.Switches
+		sumBursts += r.Bursts
+		sumOverlapped += r.Overlapped
+		sumFloor += r.FloorPicks
+	}
+
+	if got := s.SMTSched.Runs.Load(); got != uint64(wantRows) {
+		t.Errorf("SMTSched.Runs = %d, want %d", got, wantRows)
+	}
+	if s.SMTSched.Switches.Load() != sumSwitches || s.SMTSched.Bursts.Load() != sumBursts ||
+		s.SMTSched.Overlapped.Load() != sumOverlapped || s.SMTSched.FloorPicks.Load() != sumFloor {
+		t.Errorf("SMTSched counters disagree with row sums")
+	}
+	// K >= 2 with real workloads must overlap at least one burst
+	// somewhere in the sweep — otherwise the scheduler never interleaved.
+	if sumOverlapped == 0 {
+		t.Error("no overlapped bursts across the whole sweep")
+	}
+
+	out := res.String()
+	for _, want := range []string{"SMT Fetch Scheduling", "round-robin", "icount", "mlp-aware", "hetero"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendering missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -197,7 +197,7 @@ func TestExtBandwidth(t *testing.T) {
 }
 
 func TestRegistryIncludesExtensions(t *testing.T) {
-	for _, id := range []string{"ext-mshr", "ext-prefetch", "ext-storemlp", "ext-storesets", "ext-smt", "ext-bandwidth"} {
+	for _, id := range []string{"ext-mshr", "ext-prefetch", "ext-storemlp", "ext-storesets", "ext-smt", "ext-smtsched", "ext-bandwidth"} {
 		if Find(id) == nil {
 			t.Errorf("missing exhibit %q", id)
 		}

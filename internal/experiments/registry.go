@@ -53,6 +53,8 @@ func All() []Runner {
 			func(s Setup) fmt.Stringer { return RunExtStoreSets(s) }},
 		{"ext-smt", "Extension: multithreaded MLP (§7)",
 			func(s Setup) fmt.Stringer { return RunExtSMT(s) }},
+		{"ext-smtsched", "Extension: MLP-aware SMT fetch scheduling (policies inside the bounds)",
+			func(s Setup) fmt.Stringer { return RunExtSMTSched(s) }},
 		{"ext-bandwidth", "Extension: finite memory bandwidth (queueing model, §4.1)",
 			func(s Setup) fmt.Stringer { return RunExtBandwidth(s) }},
 		{"stability", "Multi-seed stability (error bars for every exhibit)",

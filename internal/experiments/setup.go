@@ -22,6 +22,7 @@ import (
 	"mlpsim/internal/core"
 	"mlpsim/internal/cyclesim"
 	"mlpsim/internal/prefetch"
+	"mlpsim/internal/smt"
 	"mlpsim/internal/workload"
 )
 
@@ -66,6 +67,36 @@ type Setup struct {
 	// counters across every engine run (the daemon exports them on
 	// /metrics).
 	DepStats *DepStats
+	// SMTSched, when non-nil, accumulates scheduled-SMT fetch-policy
+	// counters across ext-smtsched sweeps (the daemon exports them on
+	// /metrics).
+	SMTSched *SMTSchedStats
+}
+
+// SMTSchedStats accumulates scheduled-SMT policy counters across
+// sweeps. Safe for concurrent use; the zero value is ready.
+type SMTSchedStats struct {
+	// Runs counts scheduled policy replays; Switches the fetch grants
+	// that moved between threads; Bursts the issued miss bursts;
+	// Overlapped the bursts issued while another was in flight;
+	// FloorPicks the mlp-aware anti-starvation overrides.
+	Runs       atomic.Uint64
+	Switches   atomic.Uint64
+	Bursts     atomic.Uint64
+	Overlapped atomic.Uint64
+	FloorPicks atomic.Uint64
+}
+
+// noteSMTSched folds one scheduled run into the accumulated counters.
+func (s Setup) noteSMTSched(r smt.SchedResult) {
+	if s.SMTSched == nil {
+		return
+	}
+	s.SMTSched.Runs.Add(1)
+	s.SMTSched.Switches.Add(r.Switches)
+	s.SMTSched.Bursts.Add(r.Bursts)
+	s.SMTSched.Overlapped.Add(r.Overlapped)
+	s.SMTSched.FloorPicks.Add(r.FloorPicks)
 }
 
 // DepStats accumulates memory-dependence speculation counters across

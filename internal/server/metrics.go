@@ -93,6 +93,14 @@ func (s *Server) writeMetrics(w io.Writer) {
 	fmt.Fprintf(w, "mlpsim_dep_mispredicts_total %d\n", s.dep.Mispredicts.Load())
 	fmt.Fprintf(w, "mlpsim_dep_serializes_total %d\n", s.dep.Serializes.Load())
 
+	fmt.Fprintln(w, "# HELP mlpsim_smt_sched Scheduled-SMT fetch-policy counters across ext-smtsched sweeps.")
+	fmt.Fprintln(w, "# TYPE mlpsim_smt_sched_runs_total counter")
+	fmt.Fprintf(w, "mlpsim_smt_sched_runs_total %d\n", s.smtSched.Runs.Load())
+	fmt.Fprintf(w, "mlpsim_smt_sched_switches_total %d\n", s.smtSched.Switches.Load())
+	fmt.Fprintf(w, "mlpsim_smt_sched_bursts_total %d\n", s.smtSched.Bursts.Load())
+	fmt.Fprintf(w, "mlpsim_smt_sched_overlapped_total %d\n", s.smtSched.Overlapped.Load())
+	fmt.Fprintf(w, "mlpsim_smt_sched_floor_picks_total %d\n", s.smtSched.FloorPicks.Load())
+
 	hits, misses, abandoned, entries := s.results.stats()
 	fmt.Fprintln(w, "# HELP mlpsim_result_cache Result-cache effectiveness.")
 	fmt.Fprintf(w, "mlpsim_result_cache_hits_total %d\n", hits)

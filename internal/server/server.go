@@ -70,6 +70,7 @@ type Server struct {
 	metrics  *metrics
 	gang     *experiments.GangStats
 	dep      *experiments.DepStats
+	smtSched *experiments.SMTSchedStats
 	mux      *http.ServeMux
 	draining atomic.Bool
 }
@@ -89,13 +90,14 @@ func New(opts Options) *Server {
 		opts.MaxResults = 64
 	}
 	s := &Server{
-		opts:    opts,
-		sem:     make(chan struct{}, opts.MaxConcurrent),
-		results: newResultCache(opts.MaxResults),
-		metrics: newMetrics(),
-		gang:    &experiments.GangStats{},
-		dep:     &experiments.DepStats{},
-		mux:     http.NewServeMux(),
+		opts:     opts,
+		sem:      make(chan struct{}, opts.MaxConcurrent),
+		results:  newResultCache(opts.MaxResults),
+		metrics:  newMetrics(),
+		gang:     &experiments.GangStats{},
+		dep:      &experiments.DepStats{},
+		smtSched: &experiments.SMTSchedStats{},
+		mux:      http.NewServeMux(),
 	}
 	// Daemon-wide gang occupancy counters: every request's sweep reports
 	// into the same stats, exported on /metrics.
@@ -109,6 +111,12 @@ func New(opts Options) *Server {
 		s.opts.Setup.DepStats = s.dep
 	} else {
 		s.dep = s.opts.Setup.DepStats
+	}
+	// And the scheduled-SMT fetch-policy counters.
+	if s.opts.Setup.SMTSched == nil {
+		s.opts.Setup.SMTSched = s.smtSched
+	} else {
+		s.smtSched = s.opts.Setup.SMTSched
 	}
 	s.mux.HandleFunc("GET /v1/exhibits", s.handleList)
 	s.mux.HandleFunc("GET /v1/exhibits/{name}", s.handleExhibit)

@@ -274,6 +274,13 @@ func TestMetricsEndpoint(t *testing.T) {
 		// exported and stay zero.
 		"mlpsim_dep_mispredicts_total 0",
 		"mlpsim_dep_serializes_total 0",
+		// table5 never schedules SMT threads: the policy counters are
+		// exported and stay zero.
+		"mlpsim_smt_sched_runs_total 0",
+		"mlpsim_smt_sched_switches_total 0",
+		"mlpsim_smt_sched_bursts_total 0",
+		"mlpsim_smt_sched_overlapped_total 0",
+		"mlpsim_smt_sched_floor_picks_total 0",
 		"mlpsim_trace_cache_builds_total",
 		"mlpsim_draining 0",
 	} {
@@ -283,6 +290,29 @@ func TestMetricsEndpoint(t *testing.T) {
 	}
 	if strings.Contains(string(body), "mlpsim_gang_scalar_fallback_insts_total 0\n") {
 		t.Errorf("table5's in-order gangs recorded no scalar-fallback instructions")
+	}
+}
+
+// TestMetricsSMTSched pins the daemon-wide fold-in of the scheduled-SMT
+// policy counters: one ext-smtsched sweep is 2 mixes x 3 thread counts
+// x 3 policies = 18 policy runs, all reported on /metrics.
+func TestMetricsSMTSched(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-thread sweep")
+	}
+	_, ts := testServer(t)
+	if code, body := get(t, ts, "/v1/exhibits/ext-smtsched"); code != http.StatusOK {
+		t.Fatalf("ext-smtsched request: status %d\n%s", code, body)
+	}
+	code, body := get(t, ts, "/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("metrics status %d", code)
+	}
+	if want := "mlpsim_smt_sched_runs_total 18"; !strings.Contains(string(body), want) {
+		t.Errorf("metrics output missing %q\n%s", want, body)
+	}
+	if strings.Contains(string(body), "mlpsim_smt_sched_bursts_total 0\n") {
+		t.Errorf("ext-smtsched sweep recorded no miss bursts")
 	}
 }
 

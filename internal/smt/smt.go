@@ -86,23 +86,53 @@ type Result struct {
 }
 
 // interleaver round-robins instruction granules from per-thread sources
-// and remembers which thread produced the last instruction.
+// and remembers which thread produced the last instruction. A source
+// that dries up drops out of the rotation: the remaining threads keep
+// their budget instead of the whole pass ending at the first exhausted
+// thread (uneven-length mixes used to lose every longer thread's tail).
 type interleaver struct {
 	srcs    []trace.Source
 	granule int
 	cur     int
 	left    int
 	last    int
+	dead    []bool
+	alive   int
 }
 
 func (iv *interleaver) Next() (isa.Inst, bool) {
-	if iv.left == 0 {
-		iv.cur = (iv.cur + 1) % len(iv.srcs)
-		iv.left = iv.granule
+	if iv.dead == nil {
+		iv.dead = make([]bool, len(iv.srcs))
+		iv.alive = len(iv.srcs)
 	}
-	iv.left--
-	iv.last = iv.cur
-	return iv.srcs[iv.cur].Next()
+	for iv.alive > 0 {
+		if iv.left == 0 {
+			iv.advance()
+		}
+		iv.left--
+		iv.last = iv.cur
+		if in, ok := iv.srcs[iv.cur].Next(); ok {
+			return in, true
+		}
+		// The current source dried up mid-granule: retire it from the
+		// rotation and hand the turn to the next live thread with a fresh
+		// granule.
+		iv.dead[iv.cur] = true
+		iv.alive--
+		iv.left = 0
+	}
+	return isa.Inst{}, false
+}
+
+// advance moves cur to the next live source and refills the granule.
+func (iv *interleaver) advance() {
+	for {
+		iv.cur = (iv.cur + 1) % len(iv.srcs)
+		if !iv.dead[iv.cur] {
+			break
+		}
+	}
+	iv.left = iv.granule
 }
 
 // threadFilter runs a fresh deterministic interleaved annotation pass and

@@ -1,0 +1,47 @@
+#!/bin/sh
+# cover.sh — per-package statement coverage with a floor gate.
+#
+# Runs `go test -cover` across the module, prints every package's
+# coverage, and fails if mlpsim/internal/smt (the scheduled-SMT policy
+# engine, whose bracketing and bit-identity guarantees live almost
+# entirely in tests) drops below SMT_FLOOR percent. The floor sits just
+# under the level the package shipped with, so refactors that silently
+# shed tests fail here instead of rotting quietly.
+#
+# MLPSIM_COVER_GATE=off demotes the gate to report-only.
+set -eu
+
+GO="${GO:-go}"
+SMT_FLOOR="${SMT_FLOOR:-92.0}"
+SMT_PKG="mlpsim/internal/smt"
+
+tmp="$(mktemp)"
+trap 'rm -f "$tmp"' EXIT INT TERM
+
+echo "cover: running go test -cover ./..."
+if ! "$GO" test -count=1 -cover ./... >"$tmp" 2>&1; then
+    cat "$tmp" >&2
+    echo "cover: FAIL tests failed" >&2
+    exit 1
+fi
+
+# One line per package: "ok  <pkg>  <time>  coverage: NN.N% of statements"
+# (packages without test files report no coverage and are printed as-is).
+grep '^ok' "$tmp" | awk '{ cov = "-"; for (i = 1; i <= NF; i++) if ($i == "coverage:") cov = $(i+1); printf "cover: %-40s %s\n", $2, cov }'
+
+smt_pct="$(grep "^ok[[:space:]]*$SMT_PKG[[:space:]]" "$tmp" | awk '{ for (i = 1; i <= NF; i++) if ($i == "coverage:") print $(i+1) }' | tr -d '%')"
+if [ -z "$smt_pct" ]; then
+    echo "cover: FAIL no coverage reported for $SMT_PKG" >&2
+    exit 1
+fi
+
+if awk "BEGIN { exit !($smt_pct < $SMT_FLOOR) }"; then
+    echo "cover: $SMT_PKG coverage $smt_pct% is below the $SMT_FLOOR% floor" >&2
+    if [ "${MLPSIM_COVER_GATE:-}" = "off" ]; then
+        echo "cover: MLPSIM_COVER_GATE=off, reporting only" >&2
+        exit 0
+    fi
+    echo "cover: FAIL (set MLPSIM_COVER_GATE=off to demote to report-only)" >&2
+    exit 1
+fi
+echo "cover: PASS ($SMT_PKG at $smt_pct%, floor $SMT_FLOOR%)"
