@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test cover race vet bench bench-full bench-compare bench-gate bench-baseline profile fuzz serve-smoke clean
+.PHONY: all build test cover race vet bench bench-full bench-compare bench-gate bench-baseline profile fuzz serve-smoke shard-smoke clean
 
 all: build test vet
 
@@ -15,7 +15,7 @@ build:
 test:
 	$(GO) vet ./...
 	$(GO) test ./...
-	$(GO) test -race ./internal/atrace -run 'TestCacheSingleflight|TestCrossProcessSingleflight|TestCacheDiskSpill|TestCorruptSpillQuarantined|TestDiskEviction|TestSegmented|TestCrashDuringPublishRecovery'
+	$(GO) test -race ./internal/atrace -run 'TestCacheSingleflight|TestCrossProcessSingleflight|TestCacheDiskSpill|TestCorruptSpillQuarantined|TestDiskEviction|TestSegmented|TestCrashDuringPublishRecovery|TestLease|TestPartialEviction'
 	$(GO) test -race ./internal/server
 	$(GO) test -race ./internal/experiments -run 'TestGangMatchesSequential|TestExtStoreSets'
 	$(GO) test -race ./internal/core -run 'TestRunGangDivergentMatchesSequential|TestDisambMatchesBruteForceReferenceRandom'
@@ -52,19 +52,21 @@ vet:
 # Performance report: micro-benchmarks (engine, gang dispatch at
 # K=1/4/16/32/64, the SMT policy scheduler), the monolithic-vs-segmented
 # capture comparison, the sequential-vs-gang Figure 4 sweep, the
-# ext-storesets disambiguation and ext-smtsched policy sweeps, plus the
-# uncached / in-heap-cached / memory-mapped Figure 4+5+6 sweeps. `make
-# bench` is the quick loop; `make bench-full` writes the committed
-# BENCH_9.json at paper scale, and `make bench-compare` additionally
-# prints deltas against BENCH_8.json.
+# ext-storesets disambiguation and ext-smtsched policy sweeps, the
+# uncached / in-heap-cached / memory-mapped Figure 4+5+6 sweeps, plus
+# the peer-mode shard sweep (figure4 through a 3-replica in-process
+# fleet, byte-compared against a solo daemon). `make bench` is the
+# quick loop; `make bench-full` writes the committed BENCH_10.json at
+# paper scale, and `make bench-compare` additionally prints deltas
+# against BENCH_9.json.
 bench:
 	$(GO) run ./cmd/bench -scale quick -out /tmp/bench_quick.json
 
 bench-full:
-	$(GO) run ./cmd/bench -scale default -out BENCH_9.json
+	$(GO) run ./cmd/bench -scale default -out BENCH_10.json
 
 bench-compare:
-	$(GO) run ./cmd/bench -scale default -out BENCH_9.json -compare BENCH_8.json
+	$(GO) run ./cmd/bench -scale default -out BENCH_10.json -compare BENCH_9.json
 
 # profile writes CPU and heap profiles for the engine hot loop, the gang
 # sweep end to end, and the SoA gang stepper in isolation (construction
@@ -92,6 +94,13 @@ fuzz:
 # SIGTERM drain. See scripts/serve-smoke.sh.
 serve-smoke:
 	sh scripts/serve-smoke.sh
+
+# shard-smoke boots three real daemon replicas sharing one trace-cache
+# directory plus a coordinator-only observer that owns no points, then
+# byte-diffs figure4 fetched through the observer against a solo
+# daemon's answer. See scripts/shard-smoke.sh.
+shard-smoke:
+	sh scripts/shard-smoke.sh
 
 clean:
 	$(GO) clean ./...

@@ -7,9 +7,11 @@
 // comparison of the Figure 4 sweep, the ext-storesets memory
 // disambiguation sweep (bracketing check plus dep-event totals), and the
 // ext-smtsched scheduled-SMT policy sweep (every policy's aggregate MLP
-// checked against its point's combined bounds), then writes a JSON
-// report with ns/op, wall times, peak Go-heap occupancy and headline
-// MLP metrics.
+// checked against its point's combined bounds), and a peer-mode shard
+// sweep — figure4 answered by a 3-replica in-process fleet through a
+// coordinator that owns none of the points, byte-compared against a
+// solo daemon — then writes a JSON report with ns/op, wall times, peak
+// Go-heap occupancy and headline MLP metrics.
 //
 // With -compare and -gate-pct the command doubles as a regression gate:
 // it exits non-zero when any micro-benchmark's ns/op or a sweep heap
@@ -25,21 +27,29 @@
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"math/rand"
+	"net/http"
+	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"reflect"
 	"runtime"
 	"sort"
+	"strconv"
+	"strings"
+	"sync/atomic"
 	"time"
 
 	"mlpsim/internal/annotate"
 	"mlpsim/internal/atrace"
 	"mlpsim/internal/core"
 	"mlpsim/internal/experiments"
+	"mlpsim/internal/server"
 	"mlpsim/internal/smt"
 	"mlpsim/internal/workload"
 	"testing"
@@ -144,6 +154,24 @@ type captureResult struct {
 	Identical               bool    `json:"bit_identical"`
 }
 
+// shardSweepResult records the peer-mode fleet comparison: an
+// in-process fleet of replicas plus a coordinator-only observer (on
+// nobody's hash ring, so it owns zero points) answers one exhibit over
+// HTTP, byte-compared in every format against a solo daemon.
+// Identical is the correctness invariant; the fetched/served totals
+// prove the observer's answer really was assembled from peer shards
+// rather than silent local fallback.
+type shardSweepResult struct {
+	Exhibit       string  `json:"exhibit"`
+	Replicas      int     `json:"replicas"`
+	SoloSeconds   float64 `json:"solo_seconds"`
+	FleetSeconds  float64 `json:"fleet_seconds"`
+	PointsFetched uint64  `json:"points_fetched"`
+	PointsServed  uint64  `json:"points_served"`
+	FetchErrors   uint64  `json:"fetch_errors"`
+	Identical     bool    `json:"results_identical"`
+}
+
 type report struct {
 	Schema     string                 `json:"schema"`
 	Scale      string                 `json:"scale"`
@@ -156,6 +184,7 @@ type report struct {
 	GangSweep  *gangSweepResult       `json:"gang_sweep,omitempty"`
 	StoreSets  *storeSetsResult       `json:"store_sets,omitempty"`
 	SMTSched   *smtSchedResult        `json:"smt_sched,omitempty"`
+	ShardSweep *shardSweepResult      `json:"shard_sweep,omitempty"`
 	MLP        map[string]float64     `json:"mlp"`
 }
 
@@ -297,7 +326,10 @@ func microBenchmarks(w workload.Config) map[string]benchResult {
 	// Pure policy replay over fixed synthetic per-thread epoch traces:
 	// one op = one full Schedule pass (K=4 threads, 4k epochs each) under
 	// the most stateful policy. The trace pre-pass is the annotator's
-	// cost, already covered above; this pins the scheduler itself.
+	// cost, already covered above; this pins the scheduler itself. The
+	// reusable Scheduler is warmed before the clock starts, so steady
+	// state is exactly zero allocations per pass — the gate treats any
+	// return of per-op allocation here as a regression.
 	out["SMTSchedule"] = toResult(testing.Benchmark(func(b *testing.B) {
 		rng := rand.New(rand.NewSource(9))
 		traces := make([][]smt.EpochRec, 4)
@@ -311,10 +343,12 @@ func microBenchmarks(w workload.Config) map[string]benchResult {
 				}
 			}
 		}
+		sched := smt.NewScheduler()
+		sched.Schedule(traces, smt.PolicyMLPAware, 64, 512, 0.125)
 		b.ReportAllocs()
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
-			smt.Schedule(traces, smt.PolicyMLPAware, 64, 512, 0.125)
+			sched.Schedule(traces, smt.PolicyMLPAware, 64, 512, 0.125)
 		}
 	}))
 	return out
@@ -639,6 +673,138 @@ func runSMTSched(s experiments.Setup, mlp map[string]float64) *smtSchedResult {
 	return res
 }
 
+// runShardSweep answers figure4 through a 3-replica in-process peer
+// fleet and byte-compares every response format against a solo daemon.
+// The request goes to a coordinator-only observer whose id is on
+// nobody's ring, so each point is fetched from the replica that owns
+// it — the strongest form of the fabric's invariant: a daemon owning
+// zero points still answers byte-identical to solo. Replica wall time
+// includes the HTTP hops and each executor re-deriving its shard's
+// points, so it is reported but never gated.
+func runShardSweep(s experiments.Setup) *shardSweepResult {
+	const exhibit, replicas = "figure4", 3
+	fmt.Fprintf(os.Stderr, "bench: running %s through a %d-replica peer fleet...\n", exhibit, replicas)
+
+	// Each daemon gets a private in-heap trace cache: fleet members
+	// share nothing but the wire protocol, exactly like separate hosts.
+	freshSetup := func() experiments.Setup {
+		fs := s
+		fs.Cache = atrace.NewCache()
+		return fs
+	}
+	newHTTP := func(h http.Handler) *httptest.Server { return httptest.NewServer(h) }
+
+	solo := server.New(server.Options{Setup: freshSetup(), RequestTimeout: 10 * time.Minute})
+	soloHTTP := newHTTP(solo.Handler())
+	defer soloHTTP.Close()
+
+	// Peer URLs must exist before the Servers do, so each httptest
+	// server fronts a swappable handler installed once the fleet list
+	// is known.
+	handlers := make([]atomic.Value, replicas)
+	https := make([]*httptest.Server, replicas)
+	for i := range https {
+		i := i
+		https[i] = newHTTP(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			h, _ := handlers[i].Load().(http.Handler)
+			if h == nil {
+				http.Error(w, "not ready", http.StatusServiceUnavailable)
+				return
+			}
+			h.ServeHTTP(w, r)
+		}))
+		defer https[i].Close()
+	}
+	peers := make([]server.Peer, replicas)
+	for i := range peers {
+		peers[i] = server.Peer{ID: fmt.Sprintf("r%d", i), URL: https[i].URL}
+	}
+	for i := range peers {
+		rs := server.New(server.Options{
+			Setup: freshSetup(), RequestTimeout: 10 * time.Minute,
+			PeerID: peers[i].ID, Peers: peers,
+		})
+		handlers[i].Store(rs.Handler())
+	}
+	obs := server.New(server.Options{
+		Setup: freshSetup(), RequestTimeout: 10 * time.Minute,
+		PeerID: "bench-observer", Peers: peers,
+	})
+	obsHTTP := newHTTP(obs.Handler())
+	defer obsHTTP.Close()
+
+	get := func(base, path string) ([]byte, error) {
+		resp, err := http.Get(base + path)
+		if err != nil {
+			return nil, err
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			return nil, err
+		}
+		if resp.StatusCode != http.StatusOK {
+			return nil, fmt.Errorf("GET %s: %d: %s", path, resp.StatusCode, body)
+		}
+		return body, nil
+	}
+
+	res := &shardSweepResult{Exhibit: exhibit, Replicas: replicas, Identical: true}
+	for fi, format := range []string{"json", "csv", "text"} {
+		path := "/v1/exhibits/" + exhibit + "?format=" + format
+		start := time.Now()
+		want, err := get(soloHTTP.URL, path)
+		soloD := time.Since(start)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bench: shard sweep skipped: solo %v\n", err)
+			return nil
+		}
+		start = time.Now()
+		got, err := get(obsHTTP.URL, path)
+		fleetD := time.Since(start)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bench: shard sweep skipped: fleet %v\n", err)
+			return nil
+		}
+		if !bytes.Equal(got, want) {
+			res.Identical = false
+		}
+		// Later formats re-render the result cache on both sides; only
+		// the first pair measures the actual sweeps.
+		if fi == 0 {
+			res.SoloSeconds = soloD.Seconds()
+			res.FleetSeconds = fleetD.Seconds()
+		}
+	}
+
+	res.PointsFetched = scrapeCounter(get, obsHTTP.URL, "mlpsim_peer_points_fetched_total")
+	res.FetchErrors = scrapeCounter(get, obsHTTP.URL, "mlpsim_peer_fetch_errors_total")
+	for _, ts := range https {
+		res.PointsServed += scrapeCounter(get, ts.URL, "mlpsim_peer_points_served_total")
+	}
+	fmt.Fprintf(os.Stderr, "bench: shard sweep: solo %.1fs, fleet %.1fs, %d points fetched (%d errors), %d served, identical: %v\n",
+		res.SoloSeconds, res.FleetSeconds, res.PointsFetched, res.FetchErrors, res.PointsServed, res.Identical)
+	return res
+}
+
+// scrapeCounter reads one counter from a daemon's /metrics page;
+// unreachable pages and absent names read as zero (the report fields
+// then make the failure visible instead of crashing the run).
+func scrapeCounter(get func(base, path string) ([]byte, error), base, name string) uint64 {
+	body, err := get(base, "/metrics")
+	if err != nil {
+		return 0
+	}
+	for _, line := range strings.Split(string(body), "\n") {
+		fields := strings.Fields(line)
+		if len(fields) == 2 && fields[0] == name {
+			v, _ := strconv.ParseUint(fields[1], 10, 64)
+			return v
+		}
+	}
+	return 0
+}
+
 // maxStoreSetSSIT is the largest swept SSIT size (the headline
 // geometry for the MLP metrics map).
 func maxStoreSetSSIT() int {
@@ -694,6 +860,13 @@ func gateViolations(old, cur report, pct float64) []string {
 			out = append(out, fmt.Sprintf("%s: %.1f -> %.1f ns/op (+%.1f%%, limit %.0f%%)",
 				name, o.NsPerOp, c.NsPerOp, growth, pct))
 		}
+		// A benchmark the baseline pins at zero allocations per op stays
+		// there: any return of steady-state allocation is a regression in
+		// kind, not degree, so it gates regardless of the percent limit.
+		if o.AllocsPerOp == 0 && c.AllocsPerOp > 0 {
+			out = append(out, fmt.Sprintf("%s: 0 -> %d allocs/op (zero-alloc steady state regressed)",
+				name, c.AllocsPerOp))
+		}
 	}
 	if len(old.Benchmarks) > 0 {
 		for _, name := range sortedNames(cur.Benchmarks) {
@@ -741,6 +914,11 @@ func gateViolations(old, cur report, pct float64) []string {
 	// its sweep point's combined lower/upper bounds.
 	if cur.SMTSched != nil && !cur.SMTSched.Bracketed {
 		out = append(out, "smt-sched sweep: a policy's aggregate MLP fell outside its combined-bounds bracket")
+	}
+	// The shard fabric's invariant is exact: a fleet answer that is not
+	// byte-identical to solo is wrong no matter how fast it arrived.
+	if cur.ShardSweep != nil && !cur.ShardSweep.Identical {
+		out = append(out, "shard sweep: the peer fleet's answer differs from the solo daemon's")
 	}
 	return out
 }
@@ -829,6 +1007,17 @@ func printComparison(path string, old, cur report) {
 				c.Rows, c.Seconds, c.Switches, c.Overlapped, c.Bracketed, old.Schema)
 		}
 	}
+	if cur.ShardSweep != nil {
+		c := cur.ShardSweep
+		if old.ShardSweep != nil {
+			fmt.Printf("  shard sweep      %8.1f -> %8.1f s fleet, %d -> %d points fetched, identical: %v\n",
+				old.ShardSweep.FleetSeconds, c.FleetSeconds,
+				old.ShardSweep.PointsFetched, c.PointsFetched, c.Identical)
+		} else {
+			fmt.Printf("  shard sweep      %8.1f s solo -> %.1f s via %d replicas, %d points fetched, identical: %v (no baseline in %s)\n",
+				c.SoloSeconds, c.FleetSeconds, c.Replicas, c.PointsFetched, c.Identical, old.Schema)
+		}
+	}
 	mismatch := false
 	for k, v := range cur.MLP {
 		if ov, ok := old.MLP[k]; ok && ov != v {
@@ -855,13 +1044,14 @@ func sameCells(a, b experiments.Figure4) bool {
 
 func main() {
 	scale := flag.String("scale", "quick", "sweep scale: quick or default")
-	out := flag.String("out", "BENCH_9.json", "output JSON path")
+	out := flag.String("out", "BENCH_10.json", "output JSON path")
 	seed := flag.Int64("seed", 1, "workload seed")
 	skipSweep := flag.Bool("skip-sweep", false, "skip the cached-vs-uncached sweep comparison")
 	skipCapture := flag.Bool("skip-capture", false, "skip the monolithic-vs-segmented capture comparison")
 	skipGang := flag.Bool("skip-gang", false, "skip the sequential-vs-gang dispatch comparison")
 	skipStoreSets := flag.Bool("skip-storesets", false, "skip the ext-storesets disambiguation sweep")
 	skipSMTSched := flag.Bool("skip-smtsched", false, "skip the ext-smtsched scheduled-SMT policy sweep")
+	skipShard := flag.Bool("skip-shard", false, "skip the peer-mode fleet-vs-solo shard sweep")
 	compare := flag.String("compare", "", "print deltas against a previous report (e.g. BENCH_1.json)")
 	gatePct := flag.Float64("gate-pct", 0, "with -compare: exit 1 if any ns/op or heap-peak metric grew more than this percent (0 = report only; MLPSIM_BENCH_GATE=off disables)")
 	cacheDir := flag.String("cache-dir", "", "disk-cache directory for the mapped sweep (default: a temp dir, removed on exit)")
@@ -879,7 +1069,7 @@ func main() {
 	}
 
 	rep := report{
-		Schema:  "mlpsim-bench/9",
+		Schema:  "mlpsim-bench/10",
 		Scale:   *scale,
 		Seed:    *seed,
 		Warmup:  s.Warmup,
@@ -960,6 +1150,12 @@ func main() {
 	// streams per point, so it runs after the heap-peak measurements too.
 	if !*skipSMTSched {
 		rep.SMTSched = runSMTSched(s, rep.MLP)
+	}
+
+	// The fleet's four daemons each carry a private trace cache, so this
+	// too stays clear of the heap-peak phases.
+	if !*skipShard {
+		rep.ShardSweep = runShardSweep(s)
 	}
 
 	var violations []string

@@ -137,6 +137,34 @@ func TestGateViolations(t *testing.T) {
 		}
 	})
 
+	t.Run("zeroAllocRegressionFlagged", func(t *testing.T) {
+		// A zero-alloc baseline gates on allocations in kind, not degree:
+		// 0 -> 1 allocs/op fails even when ns/op is well inside the limit.
+		zeroOld := report{Benchmarks: map[string]benchResult{"SMTSchedule": {NsPerOp: 100, AllocsPerOp: 0}}}
+		cur := report{Benchmarks: map[string]benchResult{"SMTSchedule": {NsPerOp: 100, AllocsPerOp: 1}}}
+		v := gateViolations(zeroOld, cur, 50)
+		if len(v) != 1 || !strings.Contains(v[0], "SMTSchedule") || !strings.Contains(v[0], "zero-alloc steady state") {
+			t.Errorf("expected one zero-alloc violation, got %v", v)
+		}
+		// An already-allocating baseline stays percent-gated only.
+		allocOld := report{Benchmarks: map[string]benchResult{"SMTSchedule": {NsPerOp: 100, AllocsPerOp: 3}}}
+		if v := gateViolations(allocOld, cur, 50); len(v) != 0 {
+			t.Errorf("nonzero baseline must not trip the zero-alloc rule, got %v", v)
+		}
+	})
+
+	t.Run("nonIdenticalShardSweepFlagged", func(t *testing.T) {
+		cur := report{ShardSweep: &shardSweepResult{Exhibit: "figure4", Identical: false}}
+		v := gateViolations(report{}, cur, 50)
+		if len(v) != 1 || !strings.Contains(v[0], "shard sweep") {
+			t.Errorf("expected one shard-sweep violation, got %v", v)
+		}
+		cur.ShardSweep.Identical = true
+		if v := gateViolations(report{}, cur, 50); len(v) != 0 {
+			t.Errorf("identical shard sweep must pass, got %v", v)
+		}
+	})
+
 	t.Run("deterministicOrder", func(t *testing.T) {
 		cur := report{
 			Benchmarks: map[string]benchResult{

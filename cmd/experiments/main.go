@@ -15,13 +15,17 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net/url"
 	"os"
 	"path/filepath"
 	"runtime"
 	"runtime/pprof"
+	"strings"
 	"time"
 
+	"mlpsim/internal/atrace"
 	"mlpsim/internal/experiments"
+	"mlpsim/internal/server"
 )
 
 func main() {
@@ -37,6 +41,9 @@ func main() {
 		jsonDir      = flag.String("json", "", "also write each exhibit's rows as JSON into this directory")
 		serveAddr    = flag.String("serve", "", "serve exhibits over HTTP on this address instead of running once (e.g. 127.0.0.1:8080)")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "with -serve: how long SIGTERM waits for in-flight requests")
+		peerID       = flag.String("peer-id", "", "this replica's stable identity: hash-ring membership with -peers, build-lease ownership with -trace-cache-dir")
+		peersFlag    = flag.String("peers", "", "comma-separated fleet list id=url,... naming every replica (this one included); requires -serve and -peer-id")
+		leaseTTL     = flag.Duration("lease-ttl", atrace.DefaultLeaseTTL, "cross-host build lease time-to-live for a shared -trace-cache-dir (active with -peer-id; a dead owner's lease is reclaimable after this long)")
 		cacheDir     = flag.String("trace-cache-dir", "", "spill annotated-trace cache entries to this directory (shared across invocations and processes)")
 		cacheBytes   = flag.Int64("trace-cache-bytes", 0, "byte cap for -trace-cache-dir; least-recently-used spills are evicted (0 = default cap)")
 		segInsts     = flag.Int64("trace-segment-insts", 0, "capture annotated traces as N-instruction segments built by parallel pipelines (0 = monolithic)")
@@ -47,6 +54,11 @@ func main() {
 	flag.Parse()
 
 	if err := validateFlags(*gang, *segInsts, *segWorkers, *cacheBytes); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(2)
+	}
+	fleet, err := validatePeerFlags(*peerID, *peersFlag, *leaseTTL, *serveAddr != "")
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(2)
 	}
@@ -96,13 +108,21 @@ func main() {
 		if *cacheBytes > 0 {
 			setup.Cache.SetDiskCapBytes(*cacheBytes)
 		}
+		if *peerID != "" {
+			// A replica with an identity coordinates spill builds via
+			// expiring lease files instead of flocks, so replicas on
+			// different hosts sharing the directory over a network
+			// filesystem still build each trace once — and a SIGKILL'd
+			// builder's claim expires instead of wedging the key.
+			setup.Cache.SetLease(*peerID, *leaseTTL)
+		}
 	}
 	if *segInsts > 0 {
 		setup.Cache.SetSegments(*segInsts, *segWorkers)
 	}
 
 	if *serveAddr != "" {
-		if err := serve(*serveAddr, setup, *drainTimeout); err != nil {
+		if err := serve(*serveAddr, setup, *drainTimeout, *peerID, fleet); err != nil {
 			fmt.Fprintln(os.Stderr, "experiments:", err)
 			os.Exit(1)
 		}
@@ -162,6 +182,60 @@ func validateFlags(gang int, segInsts int64, segWorkers int, cacheBytes int64) e
 		return fmt.Errorf("-trace-cache-bytes %d: must be >= 0 (0 = default cap)", cacheBytes)
 	}
 	return nil
+}
+
+// validatePeerFlags checks the peer-fleet flags and parses -peers into
+// the fleet list. The rules: -lease-ttl must be positive (it defaults
+// sanely, so a non-positive value is always an explicit mistake), and a
+// fleet needs both an identity for this replica and a daemon to answer
+// peer requests with.
+func validatePeerFlags(peerID, peers string, leaseTTL time.Duration, serving bool) ([]server.Peer, error) {
+	if leaseTTL <= 0 {
+		return nil, fmt.Errorf("-lease-ttl %s: must be > 0", leaseTTL)
+	}
+	if peers == "" {
+		return nil, nil
+	}
+	if peerID == "" {
+		return nil, fmt.Errorf("-peers requires -peer-id (this replica's identity on the hash ring)")
+	}
+	if !serving {
+		return nil, fmt.Errorf("-peers requires -serve (peers fetch shards from this replica over HTTP)")
+	}
+	return parsePeers(peers)
+}
+
+// parsePeers parses "id=url,id=url,..." into the fleet list, rejecting
+// malformed URLs, blank or duplicate ids, and entries without an "=".
+func parsePeers(spec string) ([]server.Peer, error) {
+	var fleet []server.Peer
+	seen := make(map[string]bool)
+	for _, entry := range strings.Split(spec, ",") {
+		entry = strings.TrimSpace(entry)
+		if entry == "" {
+			continue
+		}
+		id, rawURL, ok := strings.Cut(entry, "=")
+		if !ok {
+			return nil, fmt.Errorf("-peers: entry %q is not id=url", entry)
+		}
+		if id = strings.TrimSpace(id); id == "" {
+			return nil, fmt.Errorf("-peers: entry %q has a blank id", entry)
+		}
+		if seen[id] {
+			return nil, fmt.Errorf("-peers: duplicate id %q", id)
+		}
+		seen[id] = true
+		u, err := url.Parse(strings.TrimSpace(rawURL))
+		if err != nil || (u.Scheme != "http" && u.Scheme != "https") || u.Host == "" {
+			return nil, fmt.Errorf("-peers: %s has a malformed URL %q (want http://host:port)", id, rawURL)
+		}
+		fleet = append(fleet, server.Peer{ID: id, URL: u.String()})
+	}
+	if len(fleet) == 0 {
+		return nil, fmt.Errorf("-peers %q names no replicas", spec)
+	}
+	return fleet, nil
 }
 
 // writeRows stores one exhibit's rows with the given encoder.

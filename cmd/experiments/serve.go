@@ -17,9 +17,11 @@ import (
 
 // serve runs the experiment daemon on addr until SIGTERM/SIGINT, then
 // drains: /healthz flips to 503 immediately, in-flight requests get up
-// to drainTimeout to finish, and a clean drain exits 0.
-func serve(addr string, setup experiments.Setup, drainTimeout time.Duration) error {
-	srv := server.New(server.Options{Setup: setup})
+// to drainTimeout to finish, and a clean drain exits 0. A non-empty
+// fleet list puts the daemon in peer mode: sweep points it does not own
+// on the fleet's hash ring are fetched from their owners.
+func serve(addr string, setup experiments.Setup, drainTimeout time.Duration, peerID string, fleet []server.Peer) error {
+	srv := server.New(server.Options{Setup: setup, PeerID: peerID, Peers: fleet})
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return err

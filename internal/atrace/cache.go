@@ -2,8 +2,10 @@ package atrace
 
 import (
 	"container/list"
+	"errors"
 	"os"
 	"sync"
+	"time"
 
 	"mlpsim/internal/annotate"
 )
@@ -42,6 +44,8 @@ type Cache struct {
 	order      *list.List // front = most recently used
 	segInsts   int64
 	segWorkers int
+	leaseOwner string
+	leaseTTL   time.Duration
 
 	hits     uint64
 	misses   uint64
@@ -86,6 +90,30 @@ func (c *Cache) SetDir(dir string) {
 		return
 	}
 	c.disk = newDiskCache(dir)
+	c.disk.leaseOwner = c.leaseOwner
+	c.disk.leaseTTL = c.leaseTTL
+}
+
+// SetLease switches cross-process build coordination from flock to
+// cross-host lease files: owner identifies this process in lease
+// records (must be unique across all processes sharing the directory —
+// e.g. the daemon's peer id), ttl is the lease expiry renewed by live
+// builders. An empty owner restores flock coordination. Order with
+// SetDir does not matter.
+func (c *Cache) SetLease(owner string, ttl time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if owner != "" && ttl <= 0 {
+		ttl = DefaultLeaseTTL
+	}
+	c.leaseOwner = owner
+	c.leaseTTL = ttl
+	if c.disk != nil {
+		c.disk.leaseOwner = owner
+		if ttl > 0 {
+			c.disk.leaseTTL = ttl
+		}
+	}
 }
 
 // SetDiskCapBytes bounds the spill directory's total size (<= 0 means
@@ -119,6 +147,10 @@ type CacheStats struct {
 	Quarantined   uint64 // corrupt spill files moved aside
 	DiskEvictions uint64 // spill files evicted for directory capacity
 	Swept         uint64 // litter files reclaimed by the directory sweep
+	SegEvictions  uint64 // individual segments evicted under the byte cap
+	SegRebuilds   uint64 // evicted segments rebuilt on demand
+	LeasesTaken   uint64 // cross-host build leases acquired
+	LeasesStolen  uint64 // expired leases reclaimed from dead owners
 	Bytes         int64  // current in-memory footprint
 	Streams       int    // traces currently held
 }
@@ -135,6 +167,10 @@ func (c *Cache) Stats() CacheStats {
 		st.Quarantined = c.disk.quarantined.Load()
 		st.DiskEvictions = c.disk.evictions.Load()
 		st.Swept = c.disk.swept.Load()
+		st.SegEvictions = c.disk.segEvictions.Load()
+		st.SegRebuilds = c.disk.segRebuilds.Load()
+		st.LeasesTaken = c.disk.leasesAcquired.Load()
+		st.LeasesStolen = c.disk.leasesStolen.Load()
 	}
 	return st
 }
@@ -263,8 +299,17 @@ func (c *Cache) obtain(disk *diskCache, key Key, build func() Trace) (t Trace, f
 	}
 	defer unlock()
 	// Another process may have published while we waited for the lock.
-	if loaded, err := disk.load(hash); err == nil {
+	loaded, lerr := disk.load(hash)
+	if lerr == nil {
 		return loaded, true
+	}
+	var see *SegmentsEvictedError
+	if errors.As(lerr, &see) {
+		// A partially-evicted segmented spill, but this caller builds
+		// monolithically (no SegSpec to rebuild holes from). Clear the
+		// segmented remains so the monolithic publish below does not
+		// leave orphan segment files shadowed by a same-named manifest.
+		disk.quarantine(hash)
 	}
 	t = build()
 	if s, ok := t.(*Stream); ok {
@@ -303,8 +348,20 @@ func (c *Cache) obtainSegmented(disk *diskCache, key Key, spec SegSpec) (Trace, 
 		return buildInMemory(), false
 	}
 	defer unlock()
-	if loaded, err := disk.load(hash); err == nil {
+	loaded, lerr := disk.load(hash)
+	if lerr == nil {
 		return loaded, true
+	}
+	var see *SegmentsEvictedError
+	if errors.As(lerr, &see) {
+		// Rebuild only the evicted segments in place; counted as a build
+		// (annotation work ran), with SegRebuilds recording how little.
+		if t, rerr := disk.rebuildSegments(hash, key, spec, see.Missing); rerr == nil {
+			return t, false
+		}
+		// The holes cannot be filled (spec drifted from the manifest,
+		// disk trouble): fall back to a clean full rebuild.
+		disk.quarantine(hash)
 	}
 	if err := os.MkdirAll(disk.dir, 0o755); err != nil {
 		return buildInMemory(), false

@@ -110,12 +110,24 @@ type diskCache struct {
 	tmpMaxAge     time.Duration
 	corruptMaxAge time.Duration
 	// now is the sweep's clock; a field so tests can pin litter ages
-	// exactly at the young/aged boundary.
+	// exactly at the young/aged boundary. Lease expiry decisions use it
+	// too (see lease.go), so clock-skew scenarios are testable.
 	now func() time.Time
 
-	quarantined atomic.Uint64
-	evictions   atomic.Uint64
-	swept       atomic.Uint64
+	// leaseOwner, when non-empty, switches per-key build coordination
+	// from flock to cross-host lease files with leaseTTL expiry (see
+	// lease.go); leasePoll is a blocked claimer's re-probe interval.
+	leaseOwner string
+	leaseTTL   time.Duration
+	leasePoll  time.Duration
+
+	quarantined    atomic.Uint64
+	evictions      atomic.Uint64
+	swept          atomic.Uint64
+	segEvictions   atomic.Uint64
+	segRebuilds    atomic.Uint64
+	leasesAcquired atomic.Uint64
+	leasesStolen   atomic.Uint64
 }
 
 func newDiskCache(dir string) *diskCache {
@@ -125,6 +137,7 @@ func newDiskCache(dir string) *diskCache {
 		tmpMaxAge:     sweepTmpMaxAge,
 		corruptMaxAge: sweepCorruptMaxAge,
 		now:           time.Now,
+		leasePoll:     leasePollDefault,
 	}
 }
 
@@ -163,22 +176,33 @@ func (d *diskCache) spillBytes(hash string) int64 {
 	return total
 }
 
-// lockKey serializes builders of one key across processes.
+// lockKey serializes builders of one key across processes: flock on a
+// single host, lease files (lease.go) when a lease owner is configured
+// and the directory may be shared between hosts.
 func (d *diskCache) lockKey(hash string) (unlock func(), err error) {
 	if err := os.MkdirAll(d.dir, 0o755); err != nil {
 		return nil, err
+	}
+	if d.leaseOwner != "" {
+		return d.acquireLease(hash)
 	}
 	return lockFile(filepath.Join(d.dir, hash+".lock"))
 }
 
 // load opens the spill for key if present and valid. Corrupt files are
 // quarantined so the caller rebuilds instead of crashing; the error then
-// wraps ErrCorruptSpill.
+// wraps ErrCorruptSpill. One exception: a segmented spill whose only
+// defect is missing segments all named by the eviction sidecar is a
+// rebuildable hole, reported as *SegmentsEvictedError without touching
+// the (still perfectly good) remaining files.
 func (d *diskCache) load(hash string) (Trace, error) {
 	path := d.spillPath(hash)
 	t, err := OpenSpill(path)
 	if err != nil {
 		if errors.Is(err, ErrCorruptSpill) {
+			if missing, ok := d.evictedHole(path); ok {
+				return nil, &SegmentsEvictedError{Missing: missing}
+			}
 			d.quarantine(hash)
 		}
 		return nil, err
@@ -205,6 +229,7 @@ func (d *diskCache) quarantine(hash string) {
 			moved = true
 		}
 	}
+	os.Remove(d.spillPath(hash) + evictStateSuffix)
 	if moved {
 		d.quarantined.Add(1)
 	}
@@ -262,7 +287,10 @@ func (d *diskCache) touch(hash string) {
 
 // evictIndexed removes least-recently-used spills until the directory —
 // including litterBytes of unindexed litter (young quarantined files) —
-// fits capBytes, never evicting keep (the entry just published).
+// fits capBytes, never evicting keep (the entry just published). When
+// the remaining overage is smaller than a victim, only tail segments of
+// that victim are evicted (a rebuildable hole, see segevict.go) instead
+// of the whole key — the margin costs a partial rebuild, not a full one.
 func (d *diskCache) evictIndexed(idx *indexFile, keep string, litterBytes int64) {
 	if d.capBytes <= 0 {
 		return
@@ -283,11 +311,21 @@ func (d *diskCache) evictIndexed(idx *indexFile, keep string, litterBytes int64)
 		if h == keep {
 			continue
 		}
+		if over := total - d.capBytes; over < idx.Entries[h].Bytes {
+			total -= d.evictSegments(idx, h, over)
+			if total <= d.capBytes {
+				break
+			}
+			// Partial trim could not free enough (nothing evictable left
+			// but segment 0, or not a segmented spill): fall through to
+			// whole-key eviction with the entry's remaining bytes.
+		}
 		total -= idx.Entries[h].Bytes
 		delete(idx.Entries, h)
 		for _, p := range d.spillFiles(h) {
 			os.Remove(p)
 		}
+		os.Remove(d.spillPath(h) + evictStateSuffix)
 		d.evictions.Add(1)
 	}
 }
@@ -333,6 +371,29 @@ func (d *diskCache) sweepLocked(idx *indexFile) (litterBytes int64) {
 			reap(de, d.tmpMaxAge)
 		case strings.Contains(name, corruptMark):
 			reap(de, d.corruptMaxAge)
+		case strings.HasSuffix(name, evictStateSuffix):
+			// Eviction sidecar whose manifest is gone (whole key evicted or
+			// quarantined between the two removals): plain litter.
+			if !manifests[strings.TrimSuffix(name, evictStateSuffix)] {
+				reap(de, d.tmpMaxAge)
+			}
+		case strings.HasSuffix(name, leaseExt):
+			// A lease names an in-flight claim. Expired ones are reclaimable
+			// by definition (any claimer may steal them), so reap on sight;
+			// unexpired ones are live litter whose bytes we keep charging.
+			// Unreadable or malformed leases fall back to mtime aging.
+			var li leaseInfo
+			if data, rerr := os.ReadFile(filepath.Join(d.dir, name)); rerr == nil && json.Unmarshal(data, &li) == nil && li.Owner != "" {
+				if li.Expires <= now.UnixNano() {
+					if os.Remove(filepath.Join(d.dir, name)) == nil {
+						d.swept.Add(1)
+					}
+				} else if fi, ferr := de.Info(); ferr == nil {
+					litterBytes += fi.Size()
+				}
+			} else {
+				reap(de, d.tmpMaxAge)
+			}
 		case strings.HasSuffix(name, ".lock"):
 			// A lock file is litter only once its spill is gone (evicted or
 			// never built); live keys keep theirs for reuse. Unlinking is

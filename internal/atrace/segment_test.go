@@ -236,13 +236,17 @@ func TestSegmentedDiskCache(t *testing.T) {
 	}
 }
 
-// TestSegmentedDiskEviction: byte-cap eviction removes a segmented
-// spill's manifest AND all its segment files.
+// TestSegmentedDiskEviction pins byte-cap eviction's two regimes for
+// segmented spills: a margin overage trims only tail segments of the
+// LRU victim (leaving a sidecar-named rebuildable hole, segment 0
+// live), while a deep overage still removes the whole key — manifest,
+// every segment file AND the eviction sidecar.
 func TestSegmentedDiskEviction(t *testing.T) {
 	dir := t.TempDir()
 	w := workload.Presets(25)[0]
 	key1 := Key{Workload: w, Annot: "evict1", Warmup: testWarmup, Measure: testMeasure}
 	key2 := Key{Workload: w, Annot: "evict2", Warmup: testWarmup, Measure: testMeasure}
+	key3 := Key{Workload: w, Annot: "evict3", Warmup: testWarmup, Measure: testMeasure}
 
 	c := NewCache()
 	c.SetDir(dir)
@@ -252,20 +256,41 @@ func TestSegmentedDiskEviction(t *testing.T) {
 	if size <= 0 {
 		t.Fatal("first spill reports no bytes")
 	}
-	// Room for ~1.5 spills: publishing key2 must evict key1 entirely.
+	// Room for ~1.5 spills: publishing key2 overshoots by ~half a spill,
+	// which partial eviction covers by trimming key1's tail.
 	c.SetDiskCapBytes(size + size/2)
 	c.GetTrace(key2, segCacheSpec(w))
-	if st := c.Stats(); st.DiskEvictions != 1 {
-		t.Fatalf("stats %+v, want 1 disk eviction", st)
+	if st := c.Stats(); st.DiskEvictions != 0 || st.SegEvictions == 0 {
+		t.Fatalf("stats %+v, want 0 whole-key evictions and > 0 segment evictions", st)
 	}
 	h1 := keyHash(key1)
-	left, _ := filepath.Glob(filepath.Join(dir, h1+"*"))
-	for _, p := range left {
-		if !strings.HasSuffix(p, ".lock") {
-			t.Errorf("evicted spill left %s behind", p)
+	manifest1 := filepath.Join(dir, h1+spillExt)
+	if !IsSegmentedFile(manifest1) {
+		t.Error("trimmed spill lost its manifest")
+	}
+	if _, err := os.Stat(segmentPath(manifest1, 0)); err != nil {
+		t.Errorf("segment 0 must stay live after a partial trim: %v", err)
+	}
+	if missing, ok := newDiskCache(dir).evictedHole(manifest1); !ok || len(missing) == 0 {
+		t.Errorf("trimmed spill's hole (%v, named=%v) not rebuildable", missing, ok)
+	}
+
+	// Deep overage: a cap far below the victims' sizes removes whole
+	// keys — key1's remains (sidecar included) and then key2.
+	c.SetDiskCapBytes(size / 2)
+	c.GetTrace(key3, segCacheSpec(w))
+	if st := c.Stats(); st.DiskEvictions != 2 {
+		t.Fatalf("stats %+v, want 2 whole-key evictions", st)
+	}
+	for _, h := range []string{h1, keyHash(key2)} {
+		left, _ := filepath.Glob(filepath.Join(dir, h+"*"))
+		for _, p := range left {
+			if !strings.HasSuffix(p, ".lock") {
+				t.Errorf("evicted spill left %s behind", p)
+			}
 		}
 	}
-	if _, err := OpenSpill(filepath.Join(dir, keyHash(key2)+spillExt)); err != nil {
+	if _, err := OpenSpill(filepath.Join(dir, keyHash(key3)+spillExt)); err != nil {
 		t.Errorf("surviving spill unreadable: %v", err)
 	}
 }

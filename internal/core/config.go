@@ -193,8 +193,10 @@ type Config struct {
 	// MaxInstructions bounds the run (0 = until the stream ends).
 	MaxInstructions int64
 	// OnEpoch, when non-nil, receives every completed epoch; tests use it
-	// to check epoch sets against the paper's worked examples.
-	OnEpoch func(Epoch)
+	// to check epoch sets against the paper's worked examples. Excluded
+	// from JSON: funcs don't marshal, and Results (which embed Config)
+	// travel over the peer API and the exhibit json endpoints.
+	OnEpoch func(Epoch) `json:"-"`
 }
 
 // Default returns the paper's default processor configuration (§5.1):

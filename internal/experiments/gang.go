@@ -38,11 +38,10 @@ type GangStats struct {
 	ScalarInsts atomic.Uint64
 }
 
-// RunMLPsimBatch runs every point and returns results in point order,
-// bit-identical to calling RunMLPsim per point. Points that share an
-// annotated stream are grouped and dispatched as gangs; Parallelism
-// bounds concurrent gangs, not points.
-func (s Setup) RunMLPsimBatch(points []MLPPoint) []core.Result {
+// runBatchLocal executes every point on this replica, in point order.
+// It is the gang-dispatch engine behind RunMLPsimBatch (see shard.go
+// for the sharded and shard-executor wrappers).
+func (s Setup) runBatchLocal(points []MLPPoint) []core.Result {
 	results := make([]core.Result, len(points))
 	plan := s.gangPlan(points)
 	s.forEach(len(plan), func(gi int) {

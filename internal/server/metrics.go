@@ -22,6 +22,12 @@ type metrics struct {
 	runsStarted atomic.Uint64 // exhibit sweeps actually executed
 	runErrors   atomic.Uint64 // sweeps that ended in error (incl. cancelled)
 	inflight    atomic.Int64  // sweeps currently executing
+
+	peerFetches       atomic.Uint64 // shard fetches attempted against peers
+	peerFetchErrors   atomic.Uint64 // fetches that fell back to local execution
+	peerPointsFetched atomic.Uint64 // sweep points computed by peers on our behalf
+	peerRequests      atomic.Uint64 // peer-points requests this replica served
+	peerPointsServed  atomic.Uint64 // sweep points this replica computed for peers
 }
 
 func newMetrics() *metrics {
@@ -101,6 +107,20 @@ func (s *Server) writeMetrics(w io.Writer) {
 	fmt.Fprintf(w, "mlpsim_smt_sched_overlapped_total %d\n", s.smtSched.Overlapped.Load())
 	fmt.Fprintf(w, "mlpsim_smt_sched_floor_picks_total %d\n", s.smtSched.FloorPicks.Load())
 
+	fmt.Fprintln(w, "# HELP mlpsim_peer Sharded-sweep fabric counters (peer fleet mode).")
+	fmt.Fprintln(w, "# TYPE mlpsim_peer_fleet_size gauge")
+	fleet := 0
+	if s.ring != nil {
+		fleet = len(s.peers) + 1
+	}
+	fmt.Fprintf(w, "mlpsim_peer_fleet_size %d\n", fleet)
+	fmt.Fprintln(w, "# TYPE mlpsim_peer_fetches_total counter")
+	fmt.Fprintf(w, "mlpsim_peer_fetches_total %d\n", m.peerFetches.Load())
+	fmt.Fprintf(w, "mlpsim_peer_fetch_errors_total %d\n", m.peerFetchErrors.Load())
+	fmt.Fprintf(w, "mlpsim_peer_points_fetched_total %d\n", m.peerPointsFetched.Load())
+	fmt.Fprintf(w, "mlpsim_peer_requests_total %d\n", m.peerRequests.Load())
+	fmt.Fprintf(w, "mlpsim_peer_points_served_total %d\n", m.peerPointsServed.Load())
+
 	hits, misses, abandoned, entries := s.results.stats()
 	fmt.Fprintln(w, "# HELP mlpsim_result_cache Result-cache effectiveness.")
 	fmt.Fprintf(w, "mlpsim_result_cache_hits_total %d\n", hits)
@@ -117,6 +137,10 @@ func (s *Server) writeMetrics(w io.Writer) {
 		fmt.Fprintf(w, "mlpsim_trace_cache_disk_hits_total %d\n", st.DiskHits)
 		fmt.Fprintf(w, "mlpsim_trace_cache_quarantined_total %d\n", st.Quarantined)
 		fmt.Fprintf(w, "mlpsim_trace_cache_disk_evictions_total %d\n", st.DiskEvictions)
+		fmt.Fprintf(w, "mlpsim_trace_cache_seg_evictions_total %d\n", st.SegEvictions)
+		fmt.Fprintf(w, "mlpsim_trace_cache_seg_rebuilds_total %d\n", st.SegRebuilds)
+		fmt.Fprintf(w, "mlpsim_trace_cache_leases_taken_total %d\n", st.LeasesTaken)
+		fmt.Fprintf(w, "mlpsim_trace_cache_leases_stolen_total %d\n", st.LeasesStolen)
 		fmt.Fprintf(w, "mlpsim_trace_cache_bytes %d\n", st.Bytes)
 		fmt.Fprintf(w, "mlpsim_trace_cache_streams %d\n", st.Streams)
 	}

@@ -1,0 +1,246 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+	"sync"
+
+	"mlpsim/internal/core"
+	"mlpsim/internal/experiments"
+	"mlpsim/internal/workload"
+)
+
+// Peer mode.
+//
+// N daemon replicas cooperate on one exhibit: every replica builds the
+// same consistent-hash ring over the fleet's ids, so for any result key
+// (exhibit, seed, warmup, measure) plus batch ordinal and point index
+// they all agree on the owner without coordination. A replica answering
+// GET /v1/exhibits/{name} runs its own shard of the sweep while
+// fetching remotely-owned shards over GET /v1/peer/points; peers
+// re-derive the points deterministically from the key alone, so only
+// (exhibit, batch, indices) and the resulting []core.Result travel the
+// wire. Any fetch failure — dead peer, mismatched batch geometry, short
+// reply — falls back to local execution, so a degraded fleet is slower,
+// never wrong, and the merged response stays byte-identical to a solo
+// daemon's.
+//
+// The peer-points endpoint itself never re-shards (the executor hook
+// carries no router), so requests cannot recurse through the fleet.
+
+// Peer identifies one replica of the fleet.
+type Peer struct {
+	// ID is the replica's stable identity on the hash ring.
+	ID string
+	// URL is the replica's base URL, e.g. "http://host:8080".
+	URL string
+}
+
+// maxPeerPoints bounds one peer-points request; a full sweep batch is
+// far below this.
+const maxPeerPoints = 65536
+
+// peerPointsResponse is the wire format of /v1/peer/points.
+type peerPointsResponse struct {
+	// BatchLen is the peer's total point count for the batch; the
+	// coordinator cross-validates it against its own batch geometry.
+	BatchLen int `json:"batch_len"`
+	// Results carries the executed points, in request order.
+	Results []core.Result `json:"results"`
+}
+
+// peerRouter routes one exhibit run's sweep points across the fleet.
+// It implements experiments.ShardRouter.
+type peerRouter struct {
+	s   *Server
+	ctx context.Context
+	key resultKey
+
+	mu   sync.Mutex
+	lens map[int]int // batch ordinal -> observed local batch length
+}
+
+func (s *Server) newPeerRouter(ctx context.Context, key resultKey) *peerRouter {
+	return &peerRouter{s: s, ctx: ctx, key: key, lens: make(map[int]int)}
+}
+
+// pointKey is the ring key for one sweep point: the result-cache key
+// plus the point's coordinates within the run.
+func (r *peerRouter) pointKey(batch, index int) string {
+	return fmt.Sprintf("%s#b%d#p%d", r.key, batch, index)
+}
+
+func (r *peerRouter) Owner(batch, index int) string {
+	// Owner is consulted for every point of the batch in order, which
+	// makes max(index)+1 the batch length — remembered here and checked
+	// against the peer's own derivation before results are trusted.
+	r.mu.Lock()
+	if index+1 > r.lens[batch] {
+		r.lens[batch] = index + 1
+	}
+	r.mu.Unlock()
+	id := r.s.ring.owner(r.pointKey(batch, index))
+	if id == r.s.opts.PeerID {
+		return ""
+	}
+	return id
+}
+
+func (r *peerRouter) Fetch(owner string, batch int, indices []int) ([]core.Result, error) {
+	res, err := r.fetch(owner, batch, indices)
+	if err != nil {
+		r.s.metrics.peerFetchErrors.Add(1)
+		return nil, err
+	}
+	r.s.metrics.peerPointsFetched.Add(uint64(len(indices)))
+	return res, nil
+}
+
+func (r *peerRouter) fetch(owner string, batch int, indices []int) ([]core.Result, error) {
+	r.s.metrics.peerFetches.Add(1)
+	p, ok := r.s.peers[owner]
+	if !ok {
+		return nil, fmt.Errorf("unknown peer %q", owner)
+	}
+	pts := make([]string, len(indices))
+	for i, idx := range indices {
+		pts[i] = strconv.Itoa(idx)
+	}
+	q := url.Values{
+		"exhibit": {r.key.Exhibit},
+		"seed":    {strconv.FormatInt(r.key.Seed, 10)},
+		"warmup":  {strconv.FormatInt(r.key.Warmup, 10)},
+		"measure": {strconv.FormatInt(r.key.Measure, 10)},
+		"batch":   {strconv.Itoa(batch)},
+		"points":  {strings.Join(pts, ",")},
+	}
+	u := strings.TrimSuffix(p.URL, "/") + "/v1/peer/points?" + q.Encode()
+	req, err := http.NewRequestWithContext(r.ctx, http.MethodGet, u, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := r.s.peerClient.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("peer %s: %w", owner, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return nil, fmt.Errorf("peer %s: %s: %s", owner, resp.Status, strings.TrimSpace(string(body)))
+	}
+	var pr peerPointsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&pr); err != nil {
+		return nil, fmt.Errorf("peer %s: decode: %w", owner, err)
+	}
+	r.mu.Lock()
+	want := r.lens[batch]
+	r.mu.Unlock()
+	if pr.BatchLen != want {
+		return nil, fmt.Errorf("peer %s derived %d points for batch %d, coordinator has %d — geometry mismatch",
+			owner, pr.BatchLen, batch, want)
+	}
+	if len(pr.Results) != len(indices) {
+		return nil, fmt.Errorf("peer %s returned %d results for %d requested points", owner, len(pr.Results), len(indices))
+	}
+	return pr.Results, nil
+}
+
+// parsePoints parses the comma-separated point index list.
+func parsePoints(s string) ([]int, error) {
+	if s == "" {
+		return nil, fmt.Errorf("points parameter is required")
+	}
+	parts := strings.Split(s, ",")
+	if len(parts) > maxPeerPoints {
+		return nil, fmt.Errorf("%d points exceeds the per-request cap %d", len(parts), maxPeerPoints)
+	}
+	out := make([]int, len(parts))
+	for i, p := range parts {
+		n, err := strconv.Atoi(p)
+		if err != nil || n < 0 {
+			return nil, fmt.Errorf("points=%q: bad index %q", s, p)
+		}
+		out[i] = n
+	}
+	return out, nil
+}
+
+// handlePeerPoints executes one shard of one batch of an exhibit on
+// behalf of a coordinating replica. The endpoint is available on every
+// daemon (peer fleet or not): it only exposes results the public
+// exhibit endpoint already serves, at finer granularity.
+func (s *Server) handlePeerPoints(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	name := q.Get("exhibit")
+	if experiments.Find(name) == nil {
+		httpError(w, http.StatusNotFound, "unknown exhibit %q", name)
+		return
+	}
+	seed, err := int64Param(r, "seed", s.opts.Setup.Seed)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	warmup, err := int64Param(r, "warmup", s.opts.Setup.Warmup)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	measure, err := int64Param(r, "measure", s.opts.Setup.Measure)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if warmup < 0 || measure <= 0 {
+		httpError(w, http.StatusBadRequest, "warmup must be >= 0 and measure > 0 (got %d, %d)", warmup, measure)
+		return
+	}
+	batch, err := strconv.Atoi(r.URL.Query().Get("batch"))
+	if err != nil || batch < 0 {
+		httpError(w, http.StatusBadRequest, "batch=%q: want a non-negative integer", r.URL.Query().Get("batch"))
+		return
+	}
+	indices, err := parsePoints(r.URL.Query().Get("points"))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+
+	ctx, cancel := context.WithTimeout(r.Context(), s.opts.RequestTimeout)
+	defer cancel()
+	// Shard execution shares the sweep semaphore with full exhibit runs:
+	// a replica's total simulation load is bounded no matter who asks.
+	select {
+	case s.sem <- struct{}{}:
+	case <-ctx.Done():
+		httpError(w, http.StatusGatewayTimeout, "peer points %s: %v", name, ctx.Err())
+		return
+	}
+	defer func() { <-s.sem }()
+	s.metrics.peerRequests.Add(1)
+
+	setup := s.opts.Setup
+	setup.Seed = seed
+	setup.Workloads = workload.Presets(seed)
+	setup.Warmup = warmup
+	setup.Measure = measure
+	setup.Ctx = ctx
+
+	results, batchLen, err := experiments.RunExhibitShard(setup, name, batch, indices)
+	if err != nil {
+		// 422: the request was well-formed but this replica cannot derive
+		// that shard (geometry drift between versions, cancelled context).
+		// The coordinator falls back to local execution.
+		httpError(w, http.StatusUnprocessableEntity, "shard %s batch %d: %v", name, batch, err)
+		return
+	}
+	s.metrics.peerPointsServed.Add(uint64(len(results)))
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(peerPointsResponse{BatchLen: batchLen, Results: results})
+}

@@ -1,0 +1,72 @@
+package server
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+// hashRing is a consistent-hash ring over replica ids. Every replica in
+// a fleet builds the same ring from the same member list (order
+// independent), so all of them agree on which replica owns any given
+// sweep point without talking to each other — ownership is a pure
+// function of (fleet, key).
+//
+// Virtual nodes smooth the split: each id is hashed onto the ring
+// ringVnodes times, and a key belongs to the id of the first ring point
+// at or after the key's hash (wrapping). With one replica everything
+// hashes to it and the daemon behaves exactly like solo mode.
+type hashRing struct {
+	nodes []ringNode // sorted by point
+}
+
+type ringNode struct {
+	point uint32
+	id    string
+}
+
+const ringVnodes = 64
+
+func ringHash(s string) uint32 {
+	h := fnv.New32a()
+	h.Write([]byte(s))
+	return h.Sum32()
+}
+
+// newHashRing builds the ring for the given member ids; duplicates
+// collapse. Returns nil for an empty fleet.
+func newHashRing(ids []string) *hashRing {
+	seen := make(map[string]bool, len(ids))
+	r := &hashRing{}
+	for _, id := range ids {
+		if id == "" || seen[id] {
+			continue
+		}
+		seen[id] = true
+		for v := 0; v < ringVnodes; v++ {
+			r.nodes = append(r.nodes, ringNode{point: ringHash(fmt.Sprintf("%s#%d", id, v)), id: id})
+		}
+	}
+	if len(r.nodes) == 0 {
+		return nil
+	}
+	sort.Slice(r.nodes, func(i, j int) bool {
+		if r.nodes[i].point != r.nodes[j].point {
+			return r.nodes[i].point < r.nodes[j].point
+		}
+		// Tie-break by id so every replica sorts identically.
+		return r.nodes[i].id < r.nodes[j].id
+	})
+	return r
+}
+
+// owner returns the id owning key: the first ring node clockwise from
+// the key's hash.
+func (r *hashRing) owner(key string) string {
+	h := ringHash(key)
+	i := sort.Search(len(r.nodes), func(i int) bool { return r.nodes[i].point >= h })
+	if i == len(r.nodes) {
+		i = 0
+	}
+	return r.nodes[i].id
+}

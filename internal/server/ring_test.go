@@ -1,0 +1,53 @@
+package server
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestRingOrderIndependent(t *testing.T) {
+	a := newHashRing([]string{"r0", "r1", "r2"})
+	b := newHashRing([]string{"r2", "r0", "r1", "r2"}) // shuffled + duplicate
+	for i := 0; i < 500; i++ {
+		k := fmt.Sprintf("figure4?seed=1#b0#p%d", i)
+		if ao, bo := a.owner(k), b.owner(k); ao != bo {
+			t.Fatalf("key %q: owner %q vs %q across member orderings", k, ao, bo)
+		}
+	}
+}
+
+func TestRingCoversAllMembers(t *testing.T) {
+	ids := []string{"r0", "r1", "r2"}
+	r := newHashRing(ids)
+	counts := make(map[string]int)
+	const n = 3000
+	for i := 0; i < n; i++ {
+		counts[r.owner(fmt.Sprintf("ext-storesets?seed=7#b0#p%d", i))]++
+	}
+	for _, id := range ids {
+		// Virtual nodes keep the split coarse-grained fair; 10% of an
+		// even share is a very loose floor that still catches a broken
+		// ring (one member owning everything or nothing).
+		if counts[id] < n/len(ids)/10 {
+			t.Errorf("member %s owns %d of %d keys — ring badly skewed: %v", id, counts[id], n, counts)
+		}
+	}
+}
+
+func TestRingSingleMember(t *testing.T) {
+	r := newHashRing([]string{"only"})
+	for i := 0; i < 50; i++ {
+		if got := r.owner(fmt.Sprintf("k%d", i)); got != "only" {
+			t.Fatalf("owner(k%d) = %q, want only", i, got)
+		}
+	}
+}
+
+func TestRingEmpty(t *testing.T) {
+	if r := newHashRing(nil); r != nil {
+		t.Fatalf("empty fleet built a ring: %+v", r)
+	}
+	if r := newHashRing([]string{""}); r != nil {
+		t.Fatalf("blank ids built a ring: %+v", r)
+	}
+}

@@ -58,6 +58,15 @@ type Options struct {
 	RequestTimeout time.Duration
 	// MaxResults bounds the completed-result cache (LRU). 0 means 64.
 	MaxResults int
+	// PeerID is this replica's identity on the fleet's hash ring. Empty
+	// (or a fleet smaller than two) runs solo.
+	PeerID string
+	// Peers lists every replica of the fleet, this one included (its
+	// own entry needs no usable URL). All replicas must be configured
+	// with the same id set — ownership is a pure function of it.
+	Peers []Peer
+	// PeerTimeout caps one peer-points fetch. 0 means RequestTimeout.
+	PeerTimeout time.Duration
 }
 
 // Server answers exhibit requests. Create with New, expose via Handler,
@@ -73,6 +82,11 @@ type Server struct {
 	smtSched *experiments.SMTSchedStats
 	mux      *http.ServeMux
 	draining atomic.Bool
+
+	// Peer mode (see peer.go): nil ring means solo.
+	ring       *hashRing
+	peers      map[string]Peer // fleet minus this replica
+	peerClient *http.Client
 }
 
 // New builds a Server; opts.Setup must have Workloads populated (use
@@ -118,8 +132,34 @@ func New(opts Options) *Server {
 	} else {
 		s.smtSched = s.opts.Setup.SMTSched
 	}
+	// Peer fleet: a ring forms when this replica has an identity and at
+	// least one other replica to talk to; otherwise the daemon runs
+	// solo. The ring hashes the configured id set — a PeerID absent from
+	// Peers yields a coordinator-only replica that owns no points and
+	// answers exhibits purely by scatter/gather (plus local fallback).
+	if opts.PeerID != "" {
+		ids := make([]string, 0, len(opts.Peers))
+		s.peers = make(map[string]Peer)
+		for _, p := range opts.Peers {
+			ids = append(ids, p.ID)
+			if p.ID != "" && p.ID != opts.PeerID {
+				s.peers[p.ID] = p
+			}
+		}
+		if len(s.peers) > 0 {
+			s.ring = newHashRing(ids)
+			timeout := opts.PeerTimeout
+			if timeout <= 0 {
+				timeout = opts.RequestTimeout
+			}
+			s.peerClient = &http.Client{Timeout: timeout}
+		} else {
+			s.peers = nil
+		}
+	}
 	s.mux.HandleFunc("GET /v1/exhibits", s.handleList)
 	s.mux.HandleFunc("GET /v1/exhibits/{name}", s.handleExhibit)
+	s.mux.HandleFunc("GET /v1/peer/points", s.handlePeerPoints)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return s
@@ -285,6 +325,12 @@ func (s *Server) runExhibit(ctx context.Context, runner experiments.Runner, key 
 	setup.Warmup = key.Warmup
 	setup.Measure = key.Measure
 	setup.Ctx = ctx
+	if s.ring != nil {
+		// Peer fleet: remotely-owned sweep points are fetched from their
+		// owners instead of run; any failure falls back to local
+		// execution, so the output is byte-identical either way.
+		setup = setup.ShardedBy(s.newPeerRouter(ctx, key))
+	}
 
 	out := runner.Run(setup)
 	if err := ctx.Err(); err != nil {

@@ -29,7 +29,7 @@ package smt
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 
 	"mlpsim/internal/annotate"
 	"mlpsim/internal/core"
@@ -355,13 +355,62 @@ func (m *schedMachine) issue(s *schedThread, now int64, acc uint64) {
 	s.accIssued += acc
 }
 
+// Scheduler replays pre-computed per-thread epoch traces with reusable
+// scratch — thread replay cursors, the ready set, the burst-start log
+// and the fetch-share buffer. Construction (and the first replay at a
+// given thread count) allocates; steady-state Schedule calls do not.
+// The returned result's Shares slice aliases the Scheduler's buffer and
+// is only valid until the next Schedule call; the package-level
+// Schedule wrapper clones it for callers that keep results around.
+type Scheduler struct {
+	m       schedMachine
+	threads []schedThread
+	ready   []ThreadState
+	shares  []float64
+	rr      roundRobin
+	ma      mlpAware
+}
+
+// NewScheduler returns an empty Scheduler; buffers grow on first use.
+func NewScheduler() *Scheduler { return &Scheduler{} }
+
+// policy returns the named policy backed by the Scheduler's cached
+// instances, reset for a fresh k-thread replay. It panics on an unknown
+// name, like Schedule always has.
+func (sc *Scheduler) policy(name string, k int, floor float64) Policy {
+	switch name {
+	case "", PolicyRoundRobin:
+		sc.rr = roundRobin{k: k, prev: -1}
+		return &sc.rr
+	case PolicyICount:
+		return iCount{}
+	case PolicyMLPAware:
+		if floor == 0 {
+			floor = 0.5 / float64(k)
+		}
+		sc.ma = mlpAware{floor: floor}
+		return &sc.ma
+	}
+	panic(fmt.Errorf("smt: unknown policy %q", name))
+}
+
 // Schedule replays pre-computed per-thread epoch traces under the named
 // policy — the pure scheduling core of RunScheduled, exported so
 // benchmarks and property tests can drive it over synthetic traces.
 // granule <= 0 and latency <= 0 select the defaults (64, 512); floor is
 // the mlp-aware share floor (0 = default). It panics on an unknown
-// policy name or an empty trace set.
+// policy name or an empty trace set. The result's Shares slice owns its
+// memory (unlike Scheduler.Schedule's, which is reused).
 func Schedule(traces [][]EpochRec, policy string, granule, latency int64, floor float64) SchedResult {
+	res := NewScheduler().Schedule(traces, policy, granule, latency, floor)
+	res.Shares = append([]float64(nil), res.Shares...)
+	return res
+}
+
+// Schedule is the reusing form of the package-level Schedule: identical
+// semantics and output, but all scratch comes from the Scheduler and
+// the result's Shares alias its buffer (valid until the next call).
+func (sc *Scheduler) Schedule(traces [][]EpochRec, policy string, granule, latency int64, floor float64) SchedResult {
 	k := len(traces)
 	if k == 0 {
 		panic("smt: Schedule needs at least one thread trace")
@@ -372,13 +421,16 @@ func Schedule(traces [][]EpochRec, policy string, granule, latency int64, floor 
 	if latency <= 0 {
 		latency = 512
 	}
-	pol, err := NewPolicy(policy, k, floor)
-	if err != nil {
-		panic(err)
-	}
+	pol := sc.policy(policy, k, floor)
 
-	m := &schedMachine{latency: latency}
-	threads := make([]schedThread, k)
+	m := &sc.m
+	m.latency = latency
+	m.starts = m.starts[:0]
+	m.bursts = 0
+	if cap(sc.threads) < k {
+		sc.threads = make([]schedThread, k)
+	}
+	threads := sc.threads[:k]
 	running := 0
 	for i := range threads {
 		threads[i] = schedThread{epochs: traces[i], cur: -1}
@@ -388,15 +440,21 @@ func Schedule(traces [][]EpochRec, policy string, granule, latency int64, floor 
 		}
 	}
 
+	if cap(sc.shares) < k {
+		sc.shares = make([]float64, k)
+	}
 	res := SchedResult{
 		Policy: pol.Name(),
-		Shares: make([]float64, k),
+		Shares: sc.shares[:k],
+	}
+	for i := range res.Shares {
+		res.Shares[i] = 0
 	}
 	var t int64
 	var totalFetch int64
 	last := -1
 	sharesSampled := running < k // an empty trace finishes "first" at t=0
-	ready := make([]ThreadState, 0, k)
+	ready := sc.ready[:0]
 
 	for running > 0 {
 		ready = ready[:0]
@@ -467,6 +525,7 @@ func Schedule(traces [][]EpochRec, policy string, granule, latency int64, floor 
 	if !sharesSampled {
 		sampleShares(threads, totalFetch, &res)
 	}
+	sc.ready = ready[:0] // keep any capacity append grew
 
 	res.Bursts = m.bursts
 	res.Overlapped, res.MachineEpochs = m.union()
@@ -512,7 +571,7 @@ func (m *schedMachine) union() (overlapped uint64, machineEpochs float64) {
 	if len(m.starts) == 0 {
 		return 0, 0
 	}
-	sort.Slice(m.starts, func(i, j int) bool { return m.starts[i] < m.starts[j] })
+	slices.Sort(m.starts)
 	var busy, end int64
 	end = m.starts[0] - 1 // before the first window
 	for i, st := range m.starts {
